@@ -1,0 +1,66 @@
+//! Criterion benches for the network-simulation substrate: topology
+//! construction, collection-tree builds, and flux superposition at the
+//! paper's network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_netsim::{CollectionTree, Network, NetworkBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_network(n_side: usize, radius: f64) -> Network {
+    let mut rng = StdRng::seed_from_u64(1);
+    NetworkBuilder::new()
+        .field(Rect::square(30.0).unwrap())
+        .perturbed_grid(n_side, n_side, 0.3)
+        .radius(radius)
+        .build(&mut rng)
+        .unwrap()
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    for (label, side) in [("900", 30usize), ("1764", 42)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &side, |b, &side| {
+            b.iter(|| black_box(build_network(side, 2.4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collection_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection_tree");
+    for (label, side) in [("900", 30usize), ("1764", 42)] {
+        let net = build_network(side, 2.4);
+        let root = net.nearest_node(Point2::new(15.0, 15.0));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &net, |b, net| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(CollectionTree::build(net, root, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flux_superposition(c: &mut Criterion) {
+    let net = build_network(30, 2.4);
+    let mut group = c.benchmark_group("flux_superposition");
+    for k in [1usize, 2, 4] {
+        let users: Vec<(Point2, f64)> = (0..k)
+            .map(|i| (Point2::new(5.0 + 6.0 * i as f64, 8.0 + 4.0 * i as f64), 2.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &users, |b, users| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(net.simulate_flux(users, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology_build,
+    bench_collection_tree,
+    bench_flux_superposition
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benches for the NLS solver layer: basis evaluation, the
+//! inner NNLS stretch fit, objective evaluation, and full random searches.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_linalg::{nnls, Matrix};
+use fluxprint_solver::{random_search, FluxObjective, RandomSearchConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn objective(k: usize, n_sniffers: usize) -> FluxObjective {
+    let field = Rect::square(30.0).unwrap();
+    let model = FluxModel::default();
+    let mut rng = StdRng::seed_from_u64(4);
+    let truths: Vec<(Point2, f64)> = (0..k)
+        .map(|_| {
+            (
+                Point2::new(rng.gen_range(4.0..26.0), rng.gen_range(4.0..26.0)),
+                rng.gen_range(1.0..3.0),
+            )
+        })
+        .collect();
+    let sniffers: Vec<Point2> = (0..n_sniffers)
+        .map(|_| Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+        .collect();
+    let measured: Vec<f64> = sniffers
+        .iter()
+        .map(|&p| model.predict_superposed(&truths, p, &field))
+        .collect();
+    FluxObjective::new(Arc::new(field), model, sniffers, measured).unwrap()
+}
+
+fn bench_design_matrix(c: &mut Criterion) {
+    let model = FluxModel::default();
+    let field = Rect::square(30.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes: Vec<Point2> = (0..90)
+        .map(|_| Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+        .collect();
+    let mut group = c.benchmark_group("design_matrix_90_sniffers");
+    for k in [1usize, 2, 4] {
+        let sinks: Vec<Point2> = (0..k)
+            .map(|i| Point2::new(5.0 + 5.0 * i as f64, 10.0 + 3.0 * i as f64))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &sinks, |b, sinks| {
+            b.iter(|| black_box(model.design_matrix(&nodes, sinks, &field)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nnls(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("nnls_90_rows");
+    for k in [1usize, 2, 4, 8] {
+        let data: Vec<f64> = (0..90 * k).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let a = Matrix::from_vec(90, k, data).unwrap();
+        let b_vec: Vec<f64> = (0..90).map(|_| rng.gen_range(0.0..100.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &a, |bch, a| {
+            bch.iter(|| black_box(nnls(a, &b_vec).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_objective_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_evaluate");
+    for k in [1usize, 2, 4] {
+        let obj = objective(k, 90);
+        let sinks: Vec<Point2> = (0..k)
+            .map(|i| Point2::new(6.0 + 4.0 * i as f64, 12.0 + 2.0 * i as f64))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &obj, |b, obj| {
+            b.iter(|| black_box(obj.evaluate(&sinks).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_search(c: &mut Criterion) {
+    let obj = objective(1, 90);
+    let mut group = c.benchmark_group("random_search_1_user");
+    group.sample_size(10);
+    for samples in [1000usize, 5000] {
+        let cfg = RandomSearchConfig {
+            samples,
+            top_m: 10,
+            refine: false,
+            refine_evals: 0,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(random_search(&obj, 1, cfg, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_design_matrix,
+    bench_nnls,
+    bench_objective_evaluate,
+    bench_random_search
+);
+criterion_main!(benches);

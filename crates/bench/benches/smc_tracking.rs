@@ -1,0 +1,97 @@
+//! Criterion benches for the Sequential Monte Carlo tracker: one full
+//! prediction→filter→update step at the paper's parameters, and the
+//! association-based filtering alone.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_smc::{SmcConfig, Tracker};
+use fluxprint_solver::FluxObjective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn observation(k: usize) -> FluxObjective {
+    let field = Rect::square(30.0).unwrap();
+    let model = FluxModel::default();
+    let mut rng = StdRng::seed_from_u64(8);
+    let truths: Vec<(Point2, f64)> = (0..k)
+        .map(|_| {
+            (
+                Point2::new(rng.gen_range(4.0..26.0), rng.gen_range(4.0..26.0)),
+                rng.gen_range(1.0..3.0),
+            )
+        })
+        .collect();
+    let sniffers: Vec<Point2> = (0..90)
+        .map(|_| Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+        .collect();
+    let measured: Vec<f64> = sniffers
+        .iter()
+        .map(|&p| model.predict_superposed(&truths, p, &field))
+        .collect();
+    FluxObjective::new(Arc::new(field), model, sniffers, measured).unwrap()
+}
+
+fn bench_tracker_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_step_n1000_m10");
+    group.sample_size(10);
+    for k in [1usize, 2, 4] {
+        let obj = observation(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &obj, |b, obj| {
+            b.iter_with_setup(
+                || {
+                    let mut rng = StdRng::seed_from_u64(9);
+                    let tracker = Tracker::new(
+                        k,
+                        Arc::new(Rect::square(30.0).unwrap()),
+                        FluxModel::default(),
+                        SmcConfig::default(),
+                        0.0,
+                        &mut rng,
+                    )
+                    .unwrap();
+                    (tracker, rng)
+                },
+                |(mut tracker, mut rng)| black_box(tracker.step(1.0, obj, &mut rng).unwrap()),
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_association(c: &mut Criterion) {
+    let mut group = c.benchmark_group("associate_n400");
+    group.sample_size(20);
+    for k in [1usize, 2, 4] {
+        let obj = observation(k);
+        let mut rng = StdRng::seed_from_u64(10);
+        let candidates: Vec<Vec<Point2>> = (0..k)
+            .map(|_| {
+                (0..400)
+                    .map(|_| Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+                    .collect()
+            })
+            .collect();
+        let explore_from: Vec<usize> = vec![360; k];
+        group.bench_with_input(BenchmarkId::from_parameter(k), &obj, |b, obj| {
+            b.iter(|| {
+                black_box(
+                    fluxprint_smc::associate(
+                        obj,
+                        &candidates,
+                        &explore_from,
+                        &SmcConfig::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker_step, bench_association);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the low-level substrates: the spatial hash, the
+//! Hungarian assignment, the flux-model basis, and the linear solvers at
+//! the shapes the attack actually uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{deployment, Point2, Rect, SpatialGrid};
+use fluxprint_linalg::{lstsq, CholeskyFactor, Matrix};
+use fluxprint_solver::min_cost_assignment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+    let field = Rect::square(30.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    deployment::uniform_random(&field, n, &mut rng).unwrap()
+}
+
+fn bench_spatial_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_grid");
+    for n in [900usize, 2500] {
+        let pts = random_points(n, 1);
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| black_box(SpatialGrid::build(pts, 2.4)))
+        });
+        let grid = SpatialGrid::build(&pts, 2.4);
+        group.bench_with_input(BenchmarkId::new("query_radius", n), &grid, |b, grid| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let q = Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0));
+                black_box(grid.within_radius(q, 2.4))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian_assignment");
+    for n in [4usize, 10, 20] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..30.0)).collect();
+        let cost = Matrix::from_vec(n, n, data).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| black_box(min_cost_assignment(cost).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_basis(c: &mut Criterion) {
+    let field = Rect::square(30.0).unwrap();
+    let model = FluxModel::default();
+    let nodes = random_points(90, 4);
+    let mut out = vec![0.0; nodes.len()];
+    c.bench_function("basis_column_90_nodes", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let sink = Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0));
+            model.basis_column_into(&nodes, sink, &field, &mut out);
+            black_box(&out);
+        })
+    });
+}
+
+fn bench_linear_solvers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("linear_solvers");
+    for n in [4usize, 8, 16] {
+        let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut spd = Matrix::from_vec(n, n, data).unwrap().gram();
+        spd.add_diagonal(1.0);
+        let rhs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &spd, |b, spd| {
+            b.iter(|| black_box(CholeskyFactor::new(spd).unwrap().solve(&rhs).unwrap()))
+        });
+    }
+    // The tall-thin least-squares shape of the stretch fit.
+    let data: Vec<f64> = (0..90 * 4).map(|_| rng.gen_range(0.0..10.0)).collect();
+    let a = Matrix::from_vec(90, 4, data).unwrap();
+    let b_vec: Vec<f64> = (0..90).map(|_| rng.gen_range(0.0..100.0)).collect();
+    group.bench_function("qr_lstsq_90x4", |b| {
+        b.iter(|| black_box(lstsq(&a, &b_vec).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spatial_grid,
+    bench_hungarian,
+    bench_model_basis,
+    bench_linear_solvers
+);
+criterion_main!(benches);

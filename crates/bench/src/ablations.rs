@@ -1,0 +1,537 @@
+//! Ablations of the design choices DESIGN.md calls out — these are not in
+//! the paper, but quantify the substitutions and refinements this
+//! reproduction makes.
+
+use std::time::Instant;
+
+use fluxprint_core::{run_instant_localization, run_tracking, AttackConfig, ScenarioBuilder};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_mobility::{scenarios, CollectionSchedule, UserMotion};
+use fluxprint_smc::{filter_candidates, FilterStrategy, SmcConfig};
+use fluxprint_solver::{levenberg_marquardt, FluxObjective};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+use crate::common::{
+    f, mean, paper_builder, print_row, print_table_header, random_static_users, FIELD_SIDE,
+};
+use crate::Effort;
+
+/// Exact `N^K` enumeration vs greedy coordinate descent on instances small
+/// enough to run both (DESIGN.md §4 substitution 2).
+pub fn run_ablation_filter(effort: Effort) -> serde_json::Value {
+    let trials = effort.trials(5, 20);
+    let n_candidates = 40; // 40² = 1600 combinations: exact is affordable
+    print_table_header(
+        "Ablation: exact N^K enumeration vs greedy coordinate descent (K = 2)",
+        &[
+            "strategy",
+            "best residual (mean)",
+            "agreement",
+            "time/round",
+        ],
+    );
+
+    let mut exact_res = Vec::new();
+    let mut greedy_res = Vec::new();
+    let mut agree = 0usize;
+    let mut exact_time = 0.0;
+    let mut greedy_time = 0.0;
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(14_000 + trial as u64);
+        let field = Rect::square(FIELD_SIDE).expect("valid field");
+        let model = FluxModel::default();
+        let truths = [
+            (
+                Point2::new(rng.gen_range(4.0..14.0), rng.gen_range(4.0..26.0)),
+                2.0,
+            ),
+            (
+                Point2::new(rng.gen_range(16.0..26.0), rng.gen_range(4.0..26.0)),
+                2.0,
+            ),
+        ];
+        let sniffers: Vec<Point2> = (0..49)
+            .map(|i| Point2::new(2.0 + (i % 7) as f64 * 4.3, 2.0 + (i / 7) as f64 * 4.3))
+            .collect();
+        let measured: Vec<f64> = sniffers
+            .iter()
+            .map(|&p| model.predict_superposed(&truths, p, &field))
+            .collect();
+        let objective = FluxObjective::new(std::sync::Arc::new(field), model, sniffers, measured)
+            .expect("objective builds");
+        let candidates: Vec<Vec<Point2>> = (0..2)
+            .map(|_| {
+                (0..n_candidates)
+                    .map(|_| Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+                    .collect()
+            })
+            .collect();
+
+        let exact_cfg = SmcConfig {
+            exact_enumeration_cap: 1_000_000,
+            ..Default::default()
+        };
+        let greedy_cfg = SmcConfig {
+            exact_enumeration_cap: 1,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let exact =
+            filter_candidates(&objective, &candidates, &[], &exact_cfg).expect("exact filter runs");
+        exact_time += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let greedy = filter_candidates(&objective, &candidates, &[], &greedy_cfg)
+            .expect("greedy filter runs");
+        greedy_time += t0.elapsed().as_secs_f64();
+        assert_eq!(exact.strategy, FilterStrategy::Exact);
+        assert_eq!(greedy.strategy, FilterStrategy::Greedy);
+        exact_res.push(exact.best_fit.residual);
+        greedy_res.push(greedy.best_fit.residual);
+        if exact.best_combination == greedy.best_combination {
+            agree += 1;
+        }
+    }
+    print_row(&[
+        "exact".to_string(),
+        f(mean(&exact_res)),
+        "—".to_string(),
+        format!("{:.1} ms", exact_time / trials as f64 * 1e3),
+    ]);
+    print_row(&[
+        "greedy".to_string(),
+        f(mean(&greedy_res)),
+        format!("{agree}/{trials}"),
+        format!("{:.1} ms", greedy_time / trials as f64 * 1e3),
+    ]);
+    println!(
+        "\ngreedy reaches the exact optimum on almost every instance at a fraction of the cost,"
+    );
+    println!("justifying the substitution for the paper's infeasible N^K = 1000^K enumeration.");
+    json!({
+        "ablation": "filter",
+        "exact_mean_residual": mean(&exact_res),
+        "greedy_mean_residual": mean(&greedy_res),
+        "agreement": agree as f64 / trials as f64,
+        "speedup": exact_time / greedy_time.max(1e-12),
+    })
+}
+
+/// Importance weights (Formula 4.3) vs plain top-M (§4.C without §4.D).
+pub fn run_ablation_weights(effort: Effort) -> serde_json::Value {
+    let trials = effort.trials(3, 10);
+    print_table_header(
+        "Ablation: importance weights (§4.D) vs uniform top-M (§4.C)",
+        &["variant", "converged error", "final error"],
+    );
+    let mut out = Vec::new();
+    for (name, use_weights) in [("importance weights", true), ("uniform top-M", false)] {
+        let mut converged = Vec::new();
+        let mut finals = Vec::new();
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(15_000 + trial as u64);
+            let field = Rect::square(FIELD_SIDE).expect("valid field");
+            let tracks = scenarios::parallel_tracks(&field, 2, 0.0, 10.0).expect("valid tracks");
+            let schedule = CollectionSchedule::periodic(0.0, 1.0, 11).expect("valid schedule");
+            let users: Vec<UserMotion> = tracks
+                .into_iter()
+                .map(|t| UserMotion::new(t, schedule.clone(), 2.0).expect("valid user"))
+                .collect();
+            let scenario = paper_builder()
+                .users(users)
+                .build(&mut rng)
+                .expect("scenario builds");
+            let mut config = AttackConfig::default();
+            config.smc.n_predictions = 400;
+            config.smc.use_importance_weights = use_weights;
+            let report = run_tracking(&scenario, &config, &mut rng).expect("tracking runs");
+            converged.push(report.converged_mean_error().expect("rounds exist"));
+            finals.push(report.final_mean_error().expect("rounds exist"));
+        }
+        print_row(&[name.to_string(), f(mean(&converged)), f(mean(&finals))]);
+        out.push(json!({
+            "variant": name,
+            "converged": mean(&converged),
+            "final": mean(&finals),
+        }));
+    }
+    println!(
+        "\n§4.D's claim: weighted samples converge faster / more accurately than plain top-M."
+    );
+    json!({ "ablation": "weights", "rows": out })
+}
+
+/// Neighborhood smoothing of sniffed flux (§3.B) on vs off — the single
+/// most important observation-model choice in this reproduction.
+pub fn run_ablation_smoothing(effort: Effort) -> serde_json::Value {
+    let trials = effort.trials(3, 10);
+    print_table_header(
+        "Ablation: neighborhood smoothing of sniffed flux (§3.B)",
+        &["variant", "mean localization error"],
+    );
+    let mut out = Vec::new();
+    for (name, smooth) in [("smoothed (default)", true), ("raw per-node flux", false)] {
+        let mut errs = Vec::new();
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(16_000 + trial as u64);
+            let users = random_static_users(1, 5, &mut rng);
+            let scenario = paper_builder()
+                .users(users)
+                .build(&mut rng)
+                .expect("scenario builds");
+            let mut config = AttackConfig::default();
+            config.search.samples = 4000;
+            config.smooth = smooth;
+            errs.push(
+                run_instant_localization(&scenario, 0.0, &config, &mut rng)
+                    .expect("attack runs")
+                    .mean_error,
+            );
+        }
+        print_row(&[name.to_string(), f(mean(&errs))]);
+        out.push(json!({ "variant": name, "mean_error": mean(&errs) }));
+    }
+    println!("\nraw per-node flux in a randomized tree is so dispersed that the NLS fit degrades");
+    println!("severalfold — exactly why §3.B prescribes neighborhood averaging.");
+    json!({ "ablation": "smoothing", "rows": out })
+}
+
+/// Smooth NLS solvers (Levenberg–Marquardt) vs the derivative-free
+/// pipeline on the rectangular field (§4.A's applicability claim), fitted
+/// against *simulated* flux — the realistic, non-smooth objective.
+pub fn run_ablation_solvers(effort: Effort) -> serde_json::Value {
+    use fluxprint_netsim::{NetworkBuilder, Sniffer};
+
+    let trials = effort.trials(4, 12);
+    print_table_header(
+        "Ablation: Levenberg–Marquardt vs derivative-free search (rectangular field, simulated flux)",
+        &["method", "mean error", "success rate (err < 2)"],
+    );
+    let model = FluxModel::default();
+    let mut lm1_errs = Vec::new();
+    let mut lm10_errs = Vec::new();
+    let mut rs_errs = Vec::new();
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(17_000 + trial as u64);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(FIELD_SIDE).expect("valid field"))
+            .perturbed_grid(30, 30, 0.3)
+            .radius(2.4)
+            .require_connected(true)
+            .build(&mut rng)
+            .expect("paper network builds");
+        let truth = Point2::new(rng.gen_range(5.0..25.0), rng.gen_range(5.0..25.0));
+        let flux = net
+            .simulate_flux(&[(truth, 2.0)], &mut rng)
+            .expect("simulation runs");
+        let sniffer = Sniffer::random_percentage(&net, 10.0, &mut rng).expect("sniffer builds");
+        let measured =
+            sniffer.observe_smoothed(&net, &flux, fluxprint_netsim::NoiseModel::None, &mut rng);
+        let objective = FluxObjective::new(
+            net.boundary_arc(),
+            model,
+            sniffer.positions().to_vec(),
+            measured,
+        )
+        .expect("objective builds");
+
+        // LM from one and from ten random starts.
+        let lm_best_of = |starts: usize, rng: &mut StdRng| -> f64 {
+            let mut best = (f64::INFINITY, f64::INFINITY); // (residual, err)
+            for _ in 0..starts {
+                let start = Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0));
+                if let Ok(report) = levenberg_marquardt(&objective, &[start], &[1.0], 60) {
+                    if report.fit.residual < best.0 {
+                        best = (report.fit.residual, report.fit.positions[0].distance(truth));
+                    }
+                }
+            }
+            best.1
+        };
+        lm1_errs.push(lm_best_of(1, &mut rng));
+        lm10_errs.push(lm_best_of(10, &mut rng));
+
+        // Derivative-free: random search + Nelder–Mead (the pipeline).
+        let cfg = fluxprint_solver::RandomSearchConfig {
+            samples: 2000,
+            top_m: 5,
+            ..Default::default()
+        };
+        let fits =
+            fluxprint_solver::random_search(&objective, 1, &cfg, &mut rng).expect("search runs");
+        rs_errs.push(fits[0].positions[0].distance(truth));
+    }
+    let success =
+        |errs: &[f64]| errs.iter().filter(|&&e| e < 2.0).count() as f64 / errs.len() as f64;
+    print_row(&[
+        "LM, single start".to_string(),
+        f(mean(&lm1_errs)),
+        format!("{:.0} %", success(&lm1_errs) * 100.0),
+    ]);
+    print_row(&[
+        "LM, best of 10 starts".to_string(),
+        f(mean(&lm10_errs)),
+        format!("{:.0} %", success(&lm10_errs) * 100.0),
+    ]);
+    print_row(&[
+        "random search + Nelder–Mead".to_string(),
+        f(mean(&rs_errs)),
+        format!("{:.0} %", success(&rs_errs) * 100.0),
+    ]);
+    println!("\n§4.A's claim, quantified: a single gradient descent is unreliable on the");
+    println!("kinked rectangular-boundary objective; heavy multistart repairs much of it,");
+    println!("but the derivative-free pipeline is uniformly dependable at similar cost.");
+    json!({
+        "ablation": "solvers",
+        "lm1_mean": mean(&lm1_errs),
+        "lm1_success": success(&lm1_errs),
+        "lm10_mean": mean(&lm10_errs),
+        "lm10_success": success(&lm10_errs),
+        "rs_mean": mean(&rs_errs),
+        "rs_success": success(&rs_errs),
+    })
+}
+
+/// Countermeasure effectiveness (§6 future work), including the energy
+/// bill each defense charges the network (netsim's first-order radio
+/// model) — defenses are only viable if the battery cost is bearable.
+pub fn run_ablation_countermeasures(effort: Effort) -> serde_json::Value {
+    use fluxprint_core::Countermeasure;
+    use fluxprint_netsim::EnergyModel;
+    let trials = effort.trials(3, 10);
+    print_table_header(
+        "Ablation: traffic-reshaping countermeasures (§6)",
+        &[
+            "defense",
+            "mean localization error",
+            "vs baseline",
+            "energy overhead",
+        ],
+    );
+    let defenses: [(&str, Countermeasure); 5] = [
+        ("none", Countermeasure::None),
+        (
+            "padding 50/node",
+            Countermeasure::UniformPadding { amount: 50.0 },
+        ),
+        (
+            "2 dummy sinks",
+            Countermeasure::DummySinks {
+                count: 2,
+                stretch: 2.0,
+            },
+        ),
+        (
+            "4 dummy sinks",
+            Countermeasure::DummySinks {
+                count: 4,
+                stretch: 2.0,
+            },
+        ),
+        ("30 % jitter", Countermeasure::FluxJitter { amount: 0.3 }),
+    ];
+    let mut baseline = f64::NAN;
+    let mut baseline_energy = f64::NAN;
+    let energy_model = EnergyModel::default();
+    let mut out = Vec::new();
+    for (name, defense) in defenses {
+        let mut errs = Vec::new();
+        let mut energy = Vec::new();
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(18_000 + trial as u64);
+            let users = random_static_users(1, 5, &mut rng);
+            let scenario = ScenarioBuilder::new()
+                .users(users)
+                .build(&mut rng)
+                .expect("scenario builds");
+            let mut config = AttackConfig::default();
+            config.search.samples = 3000;
+            config.defense = defense;
+            errs.push(
+                run_instant_localization(&scenario, 0.0, &config, &mut rng)
+                    .expect("attack runs")
+                    .mean_error,
+            );
+            // Energy bill of one defended window (jitter only perturbs the
+            // adversary's *readings*, so its radio cost is the baseline's).
+            let mut flux = scenario.simulate_window(0.0, &mut rng).expect("window");
+            let stretch_sum: f64 = scenario
+                .active_users_at(0.0)
+                .iter()
+                .map(|&(_, _, s)| s)
+                .sum();
+            defense
+                .apply(&scenario.network, &mut flux, &mut rng)
+                .expect("defense");
+            let dummy_stretch = match defense {
+                Countermeasure::DummySinks { count, stretch } => count as f64 * stretch,
+                _ => 0.0,
+            };
+            energy.push(
+                energy_model
+                    .price_uniform(&scenario.network, &flux, stretch_sum + dummy_stretch)
+                    .total,
+            );
+        }
+        let m = mean(&errs);
+        let e = mean(&energy);
+        if baseline.is_nan() {
+            baseline = m;
+            baseline_energy = e;
+        }
+        print_row(&[
+            name.to_string(),
+            f(m),
+            format!("{:.1}×", m / baseline),
+            format!("{:.2}×", e / baseline_energy),
+        ]);
+        out.push(json!({
+            "defense": name,
+            "mean_error": m,
+            "energy_ratio": e / baseline_energy,
+        }));
+    }
+    println!("\ndummy sinks (decoy peaks) dominate cost-effectiveness: the biggest error");
+    println!("inflation per unit of energy. Heavy padding also disrupts the fit but pays");
+    println!("more energy per unit of protection; jitter is free and useless against");
+    println!("neighborhood smoothing.");
+    json!({ "ablation": "countermeasures", "rows": out })
+}
+
+/// The §4.C heading refinement: forward-cone prediction bias vs the plain
+/// uniform-disc prior, on straight trajectories (where heading helps) and
+/// reversing trajectories (where a stale heading could hurt).
+pub fn run_ablation_heading(effort: Effort) -> serde_json::Value {
+    let trials = effort.trials(3, 10);
+    print_table_header(
+        "Ablation: heading-aware prediction (§4.C refinement)",
+        &["variant", "straight-track error", "reversal-track error"],
+    );
+    let run = |bias: f64, reverse: bool, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rounds = 10usize;
+        let traj = if reverse {
+            // Out five rounds, back five rounds.
+            fluxprint_mobility::Trajectory::new(vec![
+                (0.0, Point2::new(6.0, 15.0)),
+                (5.0, Point2::new(21.0, 15.0)),
+                (10.0, Point2::new(6.0, 15.0)),
+            ])
+            .expect("valid trajectory")
+        } else {
+            fluxprint_mobility::Trajectory::linear(
+                0.0,
+                Point2::new(5.0, 14.0),
+                rounds as f64,
+                Point2::new(25.0, 17.0),
+            )
+            .expect("valid trajectory")
+        };
+        let schedule = CollectionSchedule::periodic(0.0, 1.0, rounds + 1).expect("valid schedule");
+        let scenario = paper_builder()
+            .user(UserMotion::new(traj, schedule, 2.0).expect("valid user"))
+            .build(&mut rng)
+            .expect("scenario builds");
+        let mut config = AttackConfig::default();
+        config.smc.n_predictions = 400;
+        config.smc.heading_bias = bias;
+        run_tracking(&scenario, &config, &mut rng)
+            .expect("tracking runs")
+            .converged_mean_error()
+            .expect("rounds exist")
+    };
+    let mut out = Vec::new();
+    for (name, bias) in [("uniform disc (paper)", 0.0), ("heading bias 0.5", 0.5)] {
+        let straight: Vec<f64> = (0..trials)
+            .map(|t| run(bias, false, 19_000 + t as u64))
+            .collect();
+        let reversal: Vec<f64> = (0..trials)
+            .map(|t| run(bias, true, 19_500 + t as u64))
+            .collect();
+        print_row(&[name.to_string(), f(mean(&straight)), f(mean(&reversal))]);
+        out.push(json!({
+            "variant": name,
+            "straight": mean(&straight),
+            "reversal": mean(&reversal),
+        }));
+    }
+    println!("\n§4.C suggests heading knowledge can refine the prior; the reversal column");
+    println!("shows the cost when the heading assumption breaks.");
+    json!({ "ablation": "heading", "rows": out })
+}
+
+/// Robustness to measurement imperfections: Gaussian noise and dropout on
+/// the sniffed readings.
+pub fn run_ablation_noise(effort: Effort) -> serde_json::Value {
+    use fluxprint_netsim::NoiseModel;
+    let trials = effort.trials(3, 10);
+    print_table_header(
+        "Ablation: measurement noise on sniffed flux",
+        &["channel", "mean localization error"],
+    );
+    let channels: [(&str, NoiseModel); 5] = [
+        ("exact", NoiseModel::None),
+        (
+            "5 % relative Gaussian",
+            NoiseModel::RelativeGaussian { sigma: 0.05 },
+        ),
+        (
+            "20 % relative Gaussian",
+            NoiseModel::RelativeGaussian { sigma: 0.20 },
+        ),
+        ("10 % dropout", NoiseModel::Dropout { probability: 0.10 }),
+        ("30 % dropout", NoiseModel::Dropout { probability: 0.30 }),
+    ];
+    let mut out = Vec::new();
+    for (name, noise) in channels {
+        let mut errs = Vec::new();
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(20_000 + trial as u64);
+            let users = random_static_users(1, 5, &mut rng);
+            let scenario = ScenarioBuilder::new()
+                .users(users)
+                .build(&mut rng)
+                .expect("scenario builds");
+            let mut config = AttackConfig::default();
+            config.search.samples = 3000;
+            config.noise = noise;
+            errs.push(
+                run_instant_localization(&scenario, 0.0, &config, &mut rng)
+                    .expect("attack runs")
+                    .mean_error,
+            );
+        }
+        print_row(&[name.to_string(), f(mean(&errs))]);
+        out.push(json!({ "channel": name, "mean_error": mean(&errs) }));
+    }
+    println!("\nmoderate Gaussian noise barely matters (the fit is over ~90 smoothed readings);");
+    println!("dropout hurts more because zeros are confidently wrong, not just fuzzy.");
+    json!({ "ablation": "noise", "rows": out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_ablation_agrees_mostly() {
+        let v = run_ablation_filter(Effort::Quick);
+        assert!(v["agreement"].as_f64().unwrap() >= 0.6);
+        // Greedy can never beat exact.
+        assert!(
+            v["greedy_mean_residual"].as_f64().unwrap()
+                >= v["exact_mean_residual"].as_f64().unwrap() - 1e-9
+        );
+    }
+
+    #[test]
+    fn smoothing_ablation_confirms_benefit() {
+        let v = run_ablation_smoothing(Effort::Quick);
+        let rows = v["rows"].as_array().unwrap();
+        let smoothed = rows[0]["mean_error"].as_f64().unwrap();
+        let raw = rows[1]["mean_error"].as_f64().unwrap();
+        assert!(smoothed < raw, "smoothing should help: {smoothed} vs {raw}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Regenerates every figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <target> [--quick] [--json <path>]
+//!
+//! targets:
+//!   fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8a fig8b fig10a fig10b
+//!   ablation-filter ablation-weights ablation-smoothing
+//!   ablation-solvers ablation-countermeasures ablation-heading
+//!   ablation-noise
+//!   figures    (all paper figures)
+//!   ablations  (all ablations)
+//!   all        (everything)
+//! ```
+//!
+//! `--quick` shrinks trial counts to smoke-test sizes; the EXPERIMENTS.md
+//! numbers come from full runs. `--json` appends each result as a JSON
+//! line to the given file.
+
+use std::io::Write;
+
+use fluxprint_bench::{ablations, fig10, fig3, fig4, fig5, fig6, fig7, fig8, Effort};
+
+type Generator = (&'static str, fn(Effort) -> serde_json::Value);
+
+const GENERATORS: &[Generator] = &[
+    ("fig3a", fig3::run_fig3a),
+    ("fig3b", fig3::run_fig3b),
+    ("fig4", fig4::run_fig4),
+    ("fig5", fig5::run_fig5),
+    ("fig6a", fig6::run_fig6a),
+    ("fig6b", fig6::run_fig6b),
+    ("fig7", fig7::run_fig7),
+    ("fig8a", fig8::run_fig8a),
+    ("fig8b", fig8::run_fig8b),
+    ("fig10a", fig10::run_fig10a),
+    ("fig10b", fig10::run_fig10b),
+    ("ablation-filter", ablations::run_ablation_filter),
+    ("ablation-weights", ablations::run_ablation_weights),
+    ("ablation-smoothing", ablations::run_ablation_smoothing),
+    ("ablation-solvers", ablations::run_ablation_solvers),
+    (
+        "ablation-countermeasures",
+        ablations::run_ablation_countermeasures,
+    ),
+    ("ablation-heading", ablations::run_ablation_heading),
+    ("ablation-noise", ablations::run_ablation_noise),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro <target> [--quick] [--json <path>]");
+    eprintln!("targets: all figures ablations");
+    for (name, _) in GENERATORS {
+        eprintln!("         {name}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut target = None;
+    let mut effort = Effort::Full;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            name if target.is_none() => target = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let target = target.unwrap_or_else(|| usage());
+
+    let selected: Vec<&Generator> = match target.as_str() {
+        "all" => GENERATORS.iter().collect(),
+        "figures" => GENERATORS
+            .iter()
+            .filter(|(n, _)| n.starts_with("fig"))
+            .collect(),
+        "ablations" => GENERATORS
+            .iter()
+            .filter(|(n, _)| n.starts_with("ablation"))
+            .collect(),
+        name => {
+            let found: Vec<&Generator> = GENERATORS.iter().filter(|(n, _)| *n == name).collect();
+            if found.is_empty() {
+                eprintln!("unknown target: {name}");
+                usage();
+            }
+            found
+        }
+    };
+
+    let mut sink = json_path.map(|p| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+            .expect("open json output")
+    });
+    for (name, generator) in selected {
+        eprintln!("== running {name} ({effort:?}) ==");
+        let started = std::time::Instant::now();
+        let value = generator(effort);
+        eprintln!(
+            "== {name} done in {:.1}s ==",
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(file) = sink.as_mut() {
+            writeln!(file, "{value}").expect("write json line");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared helpers for the figure generators.
+
+use fluxprint_core::ScenarioBuilder;
+use fluxprint_geometry::Point2;
+use fluxprint_mobility::{CollectionSchedule, Trajectory, UserMotion};
+use rand::Rng;
+
+/// The paper's field side (30 × 30).
+pub const FIELD_SIDE: f64 = 30.0;
+
+/// A stationary user collecting every `interval` for `count` rounds.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (callers pass constants).
+pub fn static_user(pos: Point2, stretch: f64, interval: f64, count: usize) -> UserMotion {
+    UserMotion::new(
+        Trajectory::stationary(0.0, pos).expect("valid trajectory"),
+        CollectionSchedule::periodic(0.0, interval, count).expect("valid schedule"),
+        stretch,
+    )
+    .expect("valid user")
+}
+
+/// `k` stationary users at random interior positions with stretch drawn
+/// from the paper's `[1, 3]` range, all collecting every round.
+pub fn random_static_users<R: Rng + ?Sized>(
+    k: usize,
+    rounds: usize,
+    rng: &mut R,
+) -> Vec<UserMotion> {
+    (0..k)
+        .map(|_| {
+            let pos = Point2::new(rng.gen_range(3.0..27.0), rng.gen_range(3.0..27.0));
+            static_user(pos, rng.gen_range(1.0..3.0), 1.0, rounds)
+        })
+        .collect()
+}
+
+/// The paper's default scenario builder: 900-node perturbed grid, radius
+/// 2.4, window 1.
+pub fn paper_builder() -> ScenarioBuilder {
+    ScenarioBuilder::new()
+}
+
+/// Mean of a slice (`NaN` for empty input — callers print it as-is).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Prints a Markdown-style table header.
+pub fn print_table_header(title: &str, columns: &[&str]) {
+    println!("\n### {title}\n");
+    println!("| {} |", columns.join(" | "));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Prints one table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Formats a float cell.
+pub fn f(v: f64) -> String {
+    if v.is_nan() {
+        "–".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_user_schedule_matches() {
+        let u = static_user(Point2::new(1.0, 2.0), 2.0, 1.0, 3);
+        assert_eq!(u.schedule.times(), &[0.0, 1.0, 2.0]);
+        assert_eq!(u.position_at(100.0), Point2::new(1.0, 2.0));
+        assert_eq!(u.stretch, 2.0);
+    }
+
+    #[test]
+    fn random_users_within_field_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let users = random_static_users(5, 4, &mut rng);
+        assert_eq!(users.len(), 5);
+        for u in users {
+            assert!((1.0..=3.0).contains(&u.stretch));
+            let p = u.position_at(0.0);
+            assert!(p.x > 2.0 && p.x < 28.0 && p.y > 2.0 && p.y < 28.0);
+        }
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(f(f64::NAN), "–");
+    }
+}

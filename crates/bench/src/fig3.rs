@@ -1,0 +1,226 @@
+//! Figure 3: accuracy of the analytical flux model.
+//!
+//! (a) CDF of the per-node approximation error rate on 2500-node uniform
+//! random networks at average degrees 12, 16, and 27. Paper: "the traffic
+//! flux of most nodes (80 %+) can be well approximated with less than 0.4
+//! error rate", improving with density.
+//!
+//! (b) Measured vs modeled flux per hop ring at degree 12. Paper: the
+//! ≥3-hop band is modeled much more accurately and still preserves
+//! "more than 70 % energy of the network flux".
+
+use fluxprint_fluxmodel::{
+    approximation_error_rates, flux_by_hops, near_field_energy_fraction, FluxModel,
+};
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_netsim::{Network, NetworkBuilder};
+use fluxprint_stats::Ecdf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+use crate::common::{f, mean, print_row, print_table_header, FIELD_SIDE};
+use crate::Effort;
+
+/// Radius giving the target average degree for 2500 nodes on the 30×30
+/// field: `degree = ρ·π·R²` with `ρ = 2500 / 900`.
+fn radius_for_degree(degree: f64) -> f64 {
+    let density = 2500.0 / (FIELD_SIDE * FIELD_SIDE);
+    (degree / (density * std::f64::consts::PI)).sqrt()
+}
+
+fn build_network(degree: f64, seed: u64) -> Network {
+    // Uniform random deployments at degree 12 are occasionally
+    // disconnected (isolated corner pockets); redraw like the paper's
+    // "uniform random networks" implicitly do.
+    for attempt in 0..50 {
+        let mut rng = StdRng::seed_from_u64(seed + attempt * 7919);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(FIELD_SIDE).expect("valid field"))
+            .uniform_random(2500)
+            .radius(radius_for_degree(degree))
+            .require_connected(true)
+            .build(&mut rng);
+        if let Ok(net) = net {
+            return net;
+        }
+    }
+    panic!("no connected 2500-node deployment found at degree {degree}");
+}
+
+/// Figure 3(a): error-rate CDFs per density.
+pub fn run_fig3a(effort: Effort) -> serde_json::Value {
+    let trials = effort.trials(2, 8);
+    let degrees = [12.0, 16.0, 27.0];
+    let xs = [0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0];
+    let model = FluxModel::default();
+
+    print_table_header(
+        "Figure 3(a): CDF of model approximation error rate (2500 nodes, uniform random)",
+        &[
+            "degree",
+            "P(err<0.1)",
+            "P(err<0.2)",
+            "P(err<0.4)",
+            "P(err<1.0)",
+            "mean err",
+        ],
+    );
+
+    let mut series = Vec::new();
+    for &degree in &degrees {
+        let mut all_errors = Vec::new();
+        for trial in 0..trials {
+            let net = build_network(degree, 1000 + trial as u64);
+            let mut rng = StdRng::seed_from_u64(2000 + trial as u64);
+            let sink = Point2::new(rng.gen_range(6.0..24.0), rng.gen_range(6.0..24.0));
+            let errors = approximation_error_rates(&net, sink, 1.0, &model, true, &mut rng)
+                .expect("simulation succeeds");
+            all_errors.extend(errors);
+        }
+        let cdf = Ecdf::from_samples(&all_errors).expect("non-empty errors");
+        let row = xs.iter().map(|&x| cdf.eval(x)).collect::<Vec<_>>();
+        print_row(&[
+            format!("{degree}"),
+            f(cdf.eval(0.1)),
+            f(cdf.eval(0.2)),
+            f(cdf.eval(0.4)),
+            f(cdf.eval(1.0)),
+            f(mean(&all_errors)),
+        ]);
+        series.push(json!({
+            "degree": degree,
+            "xs": xs,
+            "cdf": row,
+            "mean_error": mean(&all_errors),
+            "frac_below_0_4": cdf.eval(0.4),
+        }));
+    }
+    println!("\npaper: 80 %+ of nodes below 0.4 error rate; higher density → lower error.");
+    json!({ "figure": "3a", "series": series })
+}
+
+/// Figure 3(b): measured vs modeled flux per hop ring at degree 12.
+pub fn run_fig3b(effort: Effort) -> serde_json::Value {
+    let trials = effort.trials(2, 6);
+    let model = FluxModel::default();
+    let max_hops = 16u32;
+
+    let mut measured_by_hop = vec![Vec::new(); max_hops as usize + 1];
+    let mut predicted_by_hop = vec![Vec::new(); max_hops as usize + 1];
+    let mut energy_fractions = Vec::new();
+    let mut near_err = Vec::new();
+    let mut mid_err = Vec::new();
+    let mut outer_err = Vec::new();
+    for trial in 0..trials {
+        let net = build_network(12.0, 3000 + trial as u64);
+        let mut rng = StdRng::seed_from_u64(4000 + trial as u64);
+        let sink = Point2::new(rng.gen_range(10.0..20.0), rng.gen_range(10.0..20.0));
+        let cmp =
+            flux_by_hops(&net, sink, 1.0, &model, true, &mut rng).expect("simulation succeeds");
+        for c in &cmp {
+            if c.hops >= 1 && c.hops <= max_hops {
+                measured_by_hop[c.hops as usize].push(c.measured);
+                predicted_by_hop[c.hops as usize].push(c.predicted);
+            }
+            match c.hops {
+                1..=2 => near_err.push(c.error_rate()),
+                3..=8 => mid_err.push(c.error_rate()),
+                h if h > 8 => outer_err.push(c.error_rate()),
+                _ => {}
+            }
+        }
+        energy_fractions.push(near_field_energy_fraction(&cmp, 3));
+    }
+
+    print_table_header(
+        "Figure 3(b): flux measurement vs model by hop count (degree 12)",
+        &["hops", "measured (mean)", "model (mean)", "ratio"],
+    );
+    let mut rows = Vec::new();
+    for h in 1..=max_hops as usize {
+        if measured_by_hop[h].is_empty() {
+            continue;
+        }
+        let m = mean(&measured_by_hop[h]);
+        let p = mean(&predicted_by_hop[h]);
+        print_row(&[h.to_string(), f(m), f(p), f(p / m.max(1e-9))]);
+        rows.push(json!({ "hops": h, "measured": m, "model": p }));
+    }
+    let energy = mean(&energy_fractions);
+    println!(
+        "\n≥3-hop flux energy retained: {:.0} % (paper: > 70 %)",
+        energy * 100.0
+    );
+    println!(
+        "mean error rate by band — 1–2 hops: {:.2}; 3–8 hops: {:.2}; >8 hops: {:.2}",
+        mean(&near_err),
+        mean(&mid_err),
+        mean(&outer_err)
+    );
+    println!("(the paper boxes the ≥3-hop band as well-approximated; beyond ~8 hops the");
+    println!(" *relative* error grows again because measured flux approaches one unit)");
+    json!({
+        "figure": "3b",
+        "rows": rows,
+        "energy_fraction_beyond_3_hops": energy,
+        "near_error": mean(&near_err),
+        "mid_error": mean(&mid_err),
+        "outer_error": mean(&outer_err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_reproduces_target_degree() {
+        // Spot-check the degree calibration on a built network.
+        let net = build_network(12.0, 7);
+        let deg = net.topology_stats().avg_degree;
+        assert!((deg - 12.0).abs() < 2.0, "calibrated degree {deg}");
+    }
+
+    #[test]
+    fn fig3a_quick_runs() {
+        let v = run_fig3a(Effort::Quick);
+        let series = v["series"].as_array().unwrap();
+        assert_eq!(series.len(), 3);
+        // A substantial share of nodes is well approximated at every
+        // density (see EXPERIMENTS.md for the quantitative gap to the
+        // paper's 80 % claim), and accuracy improves with density.
+        for s in series {
+            assert!(s["frac_below_0_4"].as_f64().unwrap() > 0.3);
+        }
+        let mean_errs: Vec<f64> = series
+            .iter()
+            .map(|s| s["mean_error"].as_f64().unwrap())
+            .collect();
+        assert!(
+            mean_errs[2] < mean_errs[0],
+            "densest network should approximate best: {mean_errs:?}"
+        );
+    }
+
+    #[test]
+    fn fig3b_quick_runs() {
+        let v = run_fig3b(Effort::Quick);
+        assert!(v["energy_fraction_beyond_3_hops"].as_f64().unwrap() > 0.4);
+        // Figure 3(b)'s visual statement is about ring *means*: in the 3–8
+        // hop band the model mean tracks the measured mean closely (the
+        // per-node scatter around it is large — exactly the red-dot cloud
+        // the paper plots).
+        for row in v["rows"].as_array().unwrap() {
+            let h = row["hops"].as_u64().unwrap();
+            if (3..=8).contains(&h) {
+                let m = row["measured"].as_f64().unwrap();
+                let p = row["model"].as_f64().unwrap();
+                assert!(
+                    (p / m - 1.0).abs() < 0.4,
+                    "hop {h}: model mean {p:.1} vs measured mean {m:.1}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure-reproduction harness for the `fluxprint` workspace.
+//!
+//! Every figure of the paper's evaluation (§5) has a generator here that
+//! re-runs the experiment with this workspace's simulator and prints the
+//! same rows/series the paper plots, side by side with the paper's
+//! reported numbers where the text states them. The `repro` binary drives
+//! the generators; EXPERIMENTS.md records the measured-vs-paper outcomes.
+//!
+//! Absolute agreement is not expected — the substrate is a reimplemented
+//! simulator, not the authors' — but the *shape* (who wins, by what
+//! factor, where accuracy breaks down) must match. See DESIGN.md §3 for
+//! the experiment index.
+
+// Generators tweak one or two fields of large default configs; the
+// struct-literal form clippy suggests obscures which knob an experiment
+// turns.
+#![allow(clippy::field_reassign_with_default)]
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+
+/// Effort level for a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Few trials, small parameter grids — smoke-test in seconds.
+    Quick,
+    /// The full grids the EXPERIMENTS.md numbers were produced with.
+    Full,
+}
+
+impl Effort {
+    /// Scales a trial count by the effort level.
+    pub fn trials(self, quick: usize, full: usize) -> usize {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+}

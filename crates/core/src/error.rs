@@ -1,0 +1,113 @@
+//! Unified error type for the attack pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use fluxprint_mobility::MobilityError;
+use fluxprint_netsim::NetsimError;
+use fluxprint_smc::SmcError;
+use fluxprint_solver::SolverError;
+use fluxprint_stats::StatsError;
+
+/// Errors produced while building scenarios or running attacks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A scenario needs at least one mobile user.
+    NoUsers,
+    /// A configuration value was out of range.
+    BadConfig {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A network-simulation failure.
+    Netsim(NetsimError),
+    /// A mobility-construction failure.
+    Mobility(MobilityError),
+    /// A solver failure.
+    Solver(SolverError),
+    /// A tracker failure.
+    Smc(SmcError),
+    /// A statistics failure.
+    Stats(StatsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoUsers => write!(f, "scenario needs at least one mobile user"),
+            CoreError::BadConfig { field } => write!(f, "invalid config field {field}"),
+            CoreError::Netsim(e) => write!(f, "network simulation: {e}"),
+            CoreError::Mobility(e) => write!(f, "mobility: {e}"),
+            CoreError::Solver(e) => write!(f, "solver: {e}"),
+            CoreError::Smc(e) => write!(f, "tracker: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Netsim(e) => Some(e),
+            CoreError::Mobility(e) => Some(e),
+            CoreError::Solver(e) => Some(e),
+            CoreError::Smc(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetsimError> for CoreError {
+    fn from(e: NetsimError) -> Self {
+        CoreError::Netsim(e)
+    }
+}
+
+impl From<MobilityError> for CoreError {
+    fn from(e: MobilityError) -> Self {
+        CoreError::Mobility(e)
+    }
+}
+
+impl From<SolverError> for CoreError {
+    fn from(e: SolverError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<SmcError> for CoreError {
+    fn from(e: SmcError) -> Self {
+        CoreError::Smc(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::NoUsers,
+            CoreError::BadConfig { field: "window" },
+            NetsimError::EmptyNetwork.into(),
+            MobilityError::EmptyTrajectory.into(),
+            SolverError::ZeroSinks.into(),
+            SmcError::ZeroUsers.into(),
+            StatsError::EmptyInput.into(),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(Error::source(&errs[2]).is_some());
+        assert!(Error::source(&errs[0]).is_none());
+    }
+}

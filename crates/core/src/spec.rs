@@ -1,0 +1,414 @@
+//! Declarative, serializable experiment specifications.
+//!
+//! [`ScenarioSpec`] and [`AttackSpec`] are plain-data descriptions of a
+//! scenario and an attacker configuration that round-trip through JSON —
+//! the interface the `fluxprint` CLI consumes, and a stable format for
+//! scripting sweeps without writing Rust.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fluxprint_geometry::Point2;
+use fluxprint_mobility::{CollectionSchedule, Trajectory, UserMotion};
+use fluxprint_netsim::NoiseModel;
+
+use crate::{AttackConfig, CoreError, Countermeasure, Scenario, ScenarioBuilder, SnifferSpec};
+
+/// Field shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "shape", rename_all = "snake_case")]
+pub enum FieldSpec {
+    /// Square `[0, side]²` (the paper's setting).
+    Square {
+        /// Side length.
+        side: f64,
+    },
+    /// Circle of the given radius (smooth-boundary extension).
+    Circle {
+        /// Radius.
+        radius: f64,
+    },
+}
+
+/// Node deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DeploymentSpec {
+    /// Perturbed grid (§5.A's regular layout).
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Uniform random placement (§5.C's variable layout).
+    Random {
+        /// Node count.
+        n: usize,
+    },
+}
+
+/// One mobile user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "motion", rename_all = "snake_case")]
+pub enum UserSpec {
+    /// Parked at a fixed position.
+    Static {
+        /// Position x.
+        x: f64,
+        /// Position y.
+        y: f64,
+        /// Traffic stretch.
+        stretch: f64,
+        /// First collection time.
+        start: f64,
+        /// Collection interval.
+        interval: f64,
+        /// Number of collections.
+        count: usize,
+    },
+    /// Straight-line motion with periodic collections.
+    Linear {
+        /// Start position (x, y).
+        from: (f64, f64),
+        /// End position (x, y).
+        to: (f64, f64),
+        /// Departure time.
+        start: f64,
+        /// Travel duration.
+        duration: f64,
+        /// Traffic stretch.
+        stretch: f64,
+        /// Collection interval.
+        interval: f64,
+    },
+    /// Explicit timed waypoints and collection times.
+    Waypoints {
+        /// `(time, x, y)` trajectory waypoints, strictly increasing times.
+        points: Vec<(f64, f64, f64)>,
+        /// Collection times, strictly increasing.
+        collections: Vec<f64>,
+        /// Traffic stretch.
+        stretch: f64,
+    },
+}
+
+impl UserSpec {
+    /// Builds the runtime [`UserMotion`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory/schedule validation failures.
+    pub fn build(&self) -> Result<UserMotion, CoreError> {
+        let motion = match self {
+            UserSpec::Static {
+                x,
+                y,
+                stretch,
+                start,
+                interval,
+                count,
+            } => UserMotion::new(
+                Trajectory::stationary(0.0, Point2::new(*x, *y))?,
+                CollectionSchedule::periodic(*start, *interval, *count)?,
+                *stretch,
+            )?,
+            UserSpec::Linear {
+                from,
+                to,
+                start,
+                duration,
+                stretch,
+                interval,
+            } => {
+                let n_collections = ((duration / interval).floor() as usize).saturating_add(1);
+                UserMotion::new(
+                    Trajectory::linear(
+                        *start,
+                        Point2::new(from.0, from.1),
+                        start + duration,
+                        Point2::new(to.0, to.1),
+                    )?,
+                    CollectionSchedule::periodic(*start, *interval, n_collections)?,
+                    *stretch,
+                )?
+            }
+            UserSpec::Waypoints {
+                points,
+                collections,
+                stretch,
+            } => UserMotion::new(
+                Trajectory::new(
+                    points
+                        .iter()
+                        .map(|&(t, x, y)| (t, Point2::new(x, y)))
+                        .collect(),
+                )?,
+                CollectionSchedule::from_times(collections.clone())?,
+                *stretch,
+            )?,
+        };
+        Ok(motion)
+    }
+}
+
+/// A full scenario description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Field shape.
+    pub field: FieldSpec,
+    /// Node deployment.
+    pub deployment: DeploymentSpec,
+    /// Communication radius.
+    pub radius: f64,
+    /// Observation window `ΔT`.
+    pub window: f64,
+    /// The mobile users.
+    pub users: Vec<UserSpec>,
+}
+
+impl ScenarioSpec {
+    /// The paper's default setup with one central user.
+    pub fn example() -> Self {
+        ScenarioSpec {
+            field: FieldSpec::Square { side: 30.0 },
+            deployment: DeploymentSpec::Grid { rows: 30, cols: 30 },
+            radius: 2.4,
+            window: 1.0,
+            users: vec![
+                UserSpec::Static {
+                    x: 12.0,
+                    y: 17.0,
+                    stretch: 2.0,
+                    start: 0.0,
+                    interval: 1.0,
+                    count: 10,
+                },
+                UserSpec::Linear {
+                    from: (5.0, 6.0),
+                    to: (25.0, 9.0),
+                    start: 0.0,
+                    duration: 10.0,
+                    stretch: 1.5,
+                    interval: 1.0,
+                },
+            ],
+        }
+    }
+
+    /// Builds the runtime [`Scenario`], deploying nodes with `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation failures.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Scenario, CoreError> {
+        let mut builder = ScenarioBuilder::new()
+            .radius(self.radius)
+            .window(self.window);
+        builder = match self.field {
+            FieldSpec::Square { side } => builder.field_side(side),
+            FieldSpec::Circle { radius } => builder.circular_field(radius),
+        };
+        builder = match self.deployment {
+            DeploymentSpec::Grid { rows, cols } => builder.grid_nodes(rows, cols),
+            DeploymentSpec::Random { n } => builder.random_nodes(n),
+        };
+        for user in &self.users {
+            builder = builder.user(user.build()?);
+        }
+        builder.build(rng)
+    }
+}
+
+/// A full attacker description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct AttackSpec {
+    /// Sniffed node percentage; `None` defers to `sniffer_count`/all.
+    pub sniffer_percentage: Option<f64>,
+    /// Exact sniffer count (used when `sniffer_percentage` is `None`).
+    pub sniffer_count: Option<usize>,
+    /// Measurement noise.
+    pub noise: NoiseModel,
+    /// Neighborhood smoothing of readings (§3.B).
+    pub smooth: bool,
+    /// Random-search samples for instant localization.
+    pub samples: usize,
+    /// Fits kept per search.
+    pub top_m: usize,
+    /// Particle predictions per user per round.
+    pub n_predictions: usize,
+    /// Samples kept per user.
+    pub keep_m: usize,
+    /// Assumed maximum user speed.
+    pub vmax: f64,
+    /// Heading-aware prediction bias (§4.C refinement; 0 disables).
+    pub heading_bias: f64,
+    /// Network-side defense.
+    pub defense: Countermeasure,
+    /// Assumed number of users (`None` = ground-truth count).
+    pub assumed_k: Option<usize>,
+}
+
+impl Default for AttackSpec {
+    fn default() -> Self {
+        let cfg = AttackConfig::default();
+        AttackSpec {
+            sniffer_percentage: Some(10.0),
+            sniffer_count: None,
+            noise: NoiseModel::None,
+            smooth: true,
+            samples: cfg.search.samples,
+            top_m: cfg.search.top_m,
+            n_predictions: cfg.smc.n_predictions,
+            keep_m: cfg.smc.keep_m,
+            vmax: cfg.smc.vmax,
+            heading_bias: 0.0,
+            defense: Countermeasure::None,
+            assumed_k: None,
+        }
+    }
+}
+
+impl AttackSpec {
+    /// Converts to the runtime [`AttackConfig`].
+    // Field-by-field assignment over Default keeps this resilient as
+    // AttackConfig grows; the clippy suggestion (struct literal) would
+    // force this function to name nested sub-configs wholesale.
+    #[allow(clippy::field_reassign_with_default)]
+    pub fn to_config(&self) -> AttackConfig {
+        let mut config = AttackConfig::default();
+        config.sniffer = match (self.sniffer_percentage, self.sniffer_count) {
+            (Some(pct), _) => SnifferSpec::Percentage(pct),
+            (None, Some(count)) => SnifferSpec::Count(count),
+            (None, None) => SnifferSpec::All,
+        };
+        config.noise = self.noise;
+        config.smooth = self.smooth;
+        config.search.samples = self.samples;
+        config.search.top_m = self.top_m;
+        config.smc.n_predictions = self.n_predictions;
+        config.smc.keep_m = self.keep_m;
+        config.smc.vmax = self.vmax;
+        config.smc.heading_bias = self.heading_bias;
+        config.defense = self.defense;
+        config.assumed_k = self.assumed_k;
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn example_spec_builds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scenario = ScenarioSpec::example().build(&mut rng).unwrap();
+        assert_eq!(scenario.network.len(), 900);
+        assert_eq!(scenario.k(), 2);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec::example();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+
+        let attack = AttackSpec::default();
+        let json = serde_json::to_string(&attack).unwrap();
+        let back: AttackSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(attack, back);
+    }
+
+    #[test]
+    fn attack_spec_maps_to_config() {
+        let spec = AttackSpec {
+            sniffer_percentage: None,
+            sniffer_count: Some(42),
+            samples: 1234,
+            vmax: 7.5,
+            ..Default::default()
+        };
+        let config = spec.to_config();
+        assert_eq!(config.sniffer, SnifferSpec::Count(42));
+        assert_eq!(config.search.samples, 1234);
+        assert_eq!(config.smc.vmax, 7.5);
+        let all = AttackSpec {
+            sniffer_percentage: None,
+            sniffer_count: None,
+            ..Default::default()
+        };
+        assert_eq!(all.to_config().sniffer, SnifferSpec::All);
+    }
+
+    #[test]
+    fn user_specs_build_expected_motions() {
+        let s = UserSpec::Static {
+            x: 1.0,
+            y: 2.0,
+            stretch: 2.0,
+            start: 0.5,
+            interval: 2.0,
+            count: 3,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(s.schedule.times(), &[0.5, 2.5, 4.5]);
+        assert_eq!(s.position_at(100.0), Point2::new(1.0, 2.0));
+
+        let l = UserSpec::Linear {
+            from: (0.0, 0.0),
+            to: (10.0, 0.0),
+            start: 0.0,
+            duration: 10.0,
+            stretch: 1.0,
+            interval: 2.5,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(l.position_at(5.0), Point2::new(5.0, 0.0));
+        assert_eq!(l.schedule.len(), 5);
+
+        let w = UserSpec::Waypoints {
+            points: vec![(0.0, 0.0, 0.0), (2.0, 4.0, 0.0)],
+            collections: vec![0.0, 1.0, 2.0],
+            stretch: 1.5,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(w.position_at(1.0), Point2::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn partial_attack_spec_json_uses_defaults() {
+        // serde(default): a minimal JSON object fills everything else.
+        let spec: AttackSpec = serde_json::from_str(r#"{"samples": 99}"#).unwrap();
+        assert_eq!(spec.samples, 99);
+        assert_eq!(spec.keep_m, AttackSpec::default().keep_m);
+    }
+
+    #[test]
+    fn circular_field_spec_builds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = ScenarioSpec {
+            field: FieldSpec::Circle { radius: 15.0 },
+            deployment: DeploymentSpec::Random { n: 400 },
+            radius: 3.2,
+            window: 1.0,
+            users: vec![UserSpec::Static {
+                x: 15.0,
+                y: 15.0,
+                stretch: 1.0,
+                start: 0.0,
+                interval: 1.0,
+                count: 5,
+            }],
+        };
+        let scenario = spec.build(&mut rng).unwrap();
+        assert_eq!(scenario.network.len(), 400);
+    }
+}

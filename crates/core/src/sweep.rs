@@ -1,0 +1,198 @@
+//! Parameter sweeps with parallel trials.
+//!
+//! The paper's evaluation is a collection of one-dimensional sweeps
+//! (sampling percentage, node count, user count, resampling radius), each
+//! point averaged over repeated trials. [`Sweep`] packages that pattern:
+//! give it the parameter points and a trial function, and it runs the
+//! trials on scoped threads and accumulates [`OnlineStats`] per point.
+//!
+//! # Example
+//!
+//! ```
+//! use fluxprint_core::sweep::Sweep;
+//!
+//! // A toy "experiment": error decreases with the parameter.
+//! let results = Sweep::new(vec![1.0, 2.0, 4.0])
+//!     .trials(8)
+//!     .run(|&p, trial| 10.0 / p + trial as f64 * 0.01);
+//! assert_eq!(results.len(), 3);
+//! assert!(results[0].stats.mean() > results[2].stats.mean());
+//! ```
+
+use fluxprint_stats::OnlineStats;
+
+/// One sweep point's accumulated outcome.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<P> {
+    /// The parameter value.
+    pub parameter: P,
+    /// Statistics over the trials at this point.
+    pub stats: OnlineStats,
+}
+
+/// A one-dimensional parameter sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep<P> {
+    points: Vec<P>,
+    trials: usize,
+    parallel: bool,
+}
+
+impl<P: Sync> Sweep<P> {
+    /// Creates a sweep over the given parameter points.
+    pub fn new(points: Vec<P>) -> Self {
+        Sweep {
+            points,
+            trials: 1,
+            parallel: true,
+        }
+    }
+
+    /// Sets the number of trials per point (default 1).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Disables the scoped-thread parallelism (e.g. for trial functions
+    /// that are not `Sync`-friendly to debug).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Runs `trial(parameter, trial_index)` for every point × trial and
+    /// returns per-point statistics. The trial function receives the trial
+    /// index so it can derive a deterministic per-trial seed.
+    ///
+    /// Trials of one point run concurrently on scoped threads (unless
+    /// [`sequential`](Self::sequential) was chosen); points run in order.
+    pub fn run<F>(self, trial: F) -> Vec<SweepPoint<P>>
+    where
+        F: Fn(&P, usize) -> f64 + Sync,
+        P: Clone,
+    {
+        self.points
+            .iter()
+            .map(|p| {
+                let mut stats = OnlineStats::new();
+                if self.parallel && self.trials > 1 {
+                    let values: Vec<f64> = crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..self.trials)
+                            .map(|t| {
+                                let trial = &trial;
+                                scope.spawn(move |_| trial(p, t))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("sweep trial thread"))
+                            .collect()
+                    })
+                    .expect("sweep scope joins");
+                    for v in values {
+                        stats.push(v);
+                    }
+                } else {
+                    for t in 0..self.trials {
+                        stats.push(trial(p, t));
+                    }
+                }
+                SweepPoint {
+                    parameter: p.clone(),
+                    stats,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Formats sweep results as a compact Markdown table with a caller-chosen
+/// parameter formatter.
+pub fn format_table<P>(
+    title: &str,
+    results: &[SweepPoint<P>],
+    fmt_param: impl Fn(&P) -> String,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let _ = writeln!(out, "| parameter | mean | std dev | min | max | trials |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for point in results {
+        let s = &point.stats;
+        let _ = writeln!(
+            out,
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {} |",
+            fmt_param(&point.parameter),
+            s.mean(),
+            s.std_dev(),
+            s.min(),
+            s.max(),
+            s.count()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_point_and_trial() {
+        let counter = AtomicUsize::new(0);
+        let results = Sweep::new(vec![1, 2, 3]).trials(5).run(|&p, t| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            (p * 10 + t) as f64
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 15);
+        assert_eq!(results.len(), 3);
+        for (i, point) in results.iter().enumerate() {
+            assert_eq!(point.parameter, i + 1);
+            assert_eq!(point.stats.count(), 5);
+            // Trials 0..5 at point p: mean = 10p + 2.
+            assert!((point.stats.mean() - (10.0 * point.parameter as f64 + 2.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let f = |&p: &f64, t: usize| p * 2.0 + t as f64;
+        let par = Sweep::new(vec![1.0, 5.0]).trials(4).run(f);
+        let seq = Sweep::new(vec![1.0, 5.0]).trials(4).sequential().run(f);
+        for (a, b) in par.iter().zip(&seq) {
+            assert!((a.stats.mean() - b.stats.mean()).abs() < 1e-12);
+            assert_eq!(a.stats.count(), b.stats.count());
+        }
+    }
+
+    #[test]
+    fn trial_index_enables_deterministic_seeding() {
+        // Two runs with the same trial function must agree exactly.
+        let f = |&p: &u64, t: usize| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(p * 1000 + t as u64);
+            rng.gen_range(0.0..1.0)
+        };
+        let a = Sweep::new(vec![7u64]).trials(6).run(f);
+        let b = Sweep::new(vec![7u64]).trials(6).run(f);
+        assert_eq!(a[0].stats.mean(), b[0].stats.mean());
+    }
+
+    #[test]
+    fn table_formatting() {
+        let results = Sweep::new(vec![10.0]).trials(2).run(|&p, _| p);
+        let table = format_table("demo", &results, |p| format!("{p} %"));
+        assert!(table.contains("### demo"));
+        assert!(table.contains("| 10 % | 10.000 |"));
+    }
+
+    #[test]
+    fn zero_trials_clamped_to_one() {
+        let results = Sweep::new(vec![1.0]).trials(0).run(|&p, _| p);
+        assert_eq!(results[0].stats.count(), 1);
+    }
+}

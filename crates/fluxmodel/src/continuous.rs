@@ -1,0 +1,140 @@
+//! The continuous flux derivation of §3.B, Equation 3.1.
+//!
+//! On a sector of angle `ω` and radius `l` rooted at the sink, every point
+//! generates one unit of data scaled by the stretch `s`; all data generated
+//! beyond the arc at distance `d` crosses that arc on its way in:
+//!
+//! ```text
+//! M_a = ∫₀^ω ∫_d^l s·r dr dθ = F_a · (arc length ω·d)
+//! ```
+//!
+//! which yields Formula 3.2, `F_a = s·(l² − d²) / (2d)`. This module
+//! provides the closed forms plus a quadrature evaluator so the identity is
+//! *tested* rather than assumed, and the discrete ring-mass identity behind
+//! Equation 3.3.
+
+/// Total data generated in the sector band between radii `d` and `l`
+/// (angle `omega`, stretch `s`): `s·ω·(l² − d²)/2` — the left-hand side of
+/// Equation 3.1 in closed form.
+///
+/// # Panics
+///
+/// Panics (debug builds) for a negative band (`d > l`) or angle.
+pub fn sector_band_mass(s: f64, omega: f64, d: f64, l: f64) -> f64 {
+    debug_assert!(d <= l, "band requires d ≤ l");
+    debug_assert!(omega >= 0.0, "angle must be non-negative");
+    s * omega * (l * l - d * d) / 2.0
+}
+
+/// The same band mass evaluated by midpoint quadrature with `steps` radial
+/// slices — used by tests to validate the closed form, and exposed so
+/// downstream users can check model variants against their own integrands.
+pub fn sector_band_mass_quadrature(s: f64, omega: f64, d: f64, l: f64, steps: usize) -> f64 {
+    assert!(steps > 0, "quadrature needs at least one step");
+    let h = (l - d) / steps as f64;
+    let mut total = 0.0;
+    for i in 0..steps {
+        let r = d + (i as f64 + 0.5) * h;
+        total += s * r * h * omega;
+    }
+    total
+}
+
+/// Per-point flux on the arc at distance `d` (Formula 3.2): the band mass
+/// divided by the arc length `ω·d`, independent of `ω`.
+pub fn arc_flux(s: f64, d: f64, l: f64) -> f64 {
+    debug_assert!(d > 0.0, "arc flux requires positive distance");
+    s * (l * l - d * d) / (2.0 * d)
+}
+
+/// The discrete ring-mass identity behind Equation 3.3: with node density
+/// `rho` and hop length `r`, the number of nodes in the `k`-hop ring of a
+/// sector of angle `omega` is approximately
+/// `rho · ω · r² · (2k − 1) / 2` (the annulus between `(k−1)·r` and `k·r`).
+pub fn ring_node_count(rho: f64, omega: f64, r: f64, k: u32) -> f64 {
+    debug_assert!(k >= 1, "rings are 1-indexed");
+    let outer = k as f64 * r;
+    let inner = (k as f64 - 1.0) * r;
+    rho * omega * (outer * outer - inner * inner) / 2.0
+}
+
+/// Nodes beyond the `k`-hop ring in the sector (between `k·r` and `l`) —
+/// the data volume those ring nodes must relay, per unit stretch.
+pub fn beyond_ring_node_count(rho: f64, omega: f64, r: f64, k: u32, l: f64) -> f64 {
+    let inner = k as f64 * r;
+    debug_assert!(inner <= l, "ring beyond the boundary");
+    rho * omega * (l * l - inner * inner) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hop_flux;
+
+    #[test]
+    fn closed_form_matches_quadrature() {
+        for (s, omega, d, l) in [
+            (1.0, 0.5, 1.0, 10.0),
+            (2.5, 1.2, 3.0, 15.0),
+            (0.7, 0.01, 0.5, 30.0),
+        ] {
+            let exact = sector_band_mass(s, omega, d, l);
+            let quad = sector_band_mass_quadrature(s, omega, d, l, 10_000);
+            assert!(
+                (exact - quad).abs() < 1e-6 * exact.max(1.0),
+                "closed {exact} vs quadrature {quad}"
+            );
+        }
+    }
+
+    #[test]
+    fn equation_3_1_balances() {
+        // All data beyond the arc crosses the arc: band mass = flux density
+        // × arc length, for any sector angle.
+        let (s, d, l) = (1.5, 4.0, 20.0);
+        for omega in [0.1, 0.5, 1.5] {
+            let mass = sector_band_mass(s, omega, d, l);
+            let arc_length = omega * d;
+            let flux = arc_flux(s, d, l);
+            assert!(
+                (mass - flux * arc_length).abs() < 1e-9,
+                "ω={omega}: {mass} vs {}",
+                flux * arc_length
+            );
+        }
+    }
+
+    #[test]
+    fn arc_flux_is_angle_independent() {
+        // The ω cancels — the paper's observation that letting ω → 0 gives
+        // a per-point flux depending only on d and l.
+        let f = arc_flux(2.0, 3.0, 12.0);
+        assert!((f - 2.0 * (144.0 - 9.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_3_3_balances_in_the_discrete_ring_model() {
+        // F_k · (#k-ring nodes) = s · (#nodes beyond the ring):
+        // the paper's Equation 3.3, checked against the closed forms.
+        let (s, rho, r, l, omega) = (1.2, 2.8, 1.0, 14.0, 0.8);
+        for k in 1..=10u32 {
+            let fk = hop_flux(s, r, k, l);
+            let ring = ring_node_count(rho, omega, r, k);
+            let beyond = beyond_ring_node_count(rho, omega, r, k, l);
+            // Each ring node relays the beyond-data plus generates its own
+            // unit: F_k·ring = s·(beyond + ring).
+            let lhs = fk * ring;
+            let rhs = s * (beyond + ring);
+            assert!(
+                (lhs - rhs).abs() < 1e-6 * rhs.max(1.0),
+                "k={k}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn quadrature_rejects_zero_steps() {
+        sector_band_mass_quadrature(1.0, 1.0, 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's analytical network-flux model (§3.B) and its accuracy
+//! statistics (Figure 3).
+//!
+//! A node at Euclidean distance `d` from a collecting sink relays all data
+//! generated between itself and the field boundary along the sink→node ray
+//! (distance `l`). In the continuous limit the flux is
+//! `F = s·(l² − d²) / (2d)` (Formula 3.2); for a discrete network of mean
+//! hop length `r` it becomes `F ≈ s·(l² − d²) / (2·d·r)` (Formula 3.4),
+//! which is linear in the *integrated stretch factor* `q = s/r` the solver
+//! fits.
+//!
+//! # Example
+//!
+//! ```
+//! use fluxprint_fluxmodel::FluxModel;
+//! use fluxprint_geometry::{Point2, Rect};
+//!
+//! let field = Rect::square(30.0)?;
+//! let model = FluxModel::default();
+//! let sink = Point2::new(15.0, 15.0);
+//! let node = Point2::new(20.0, 15.0);
+//! // Basis value (l² − d²)/(2d): l = 15 toward the +x wall, d = 5.
+//! let b = model.basis(sink, node, &field);
+//! assert!((b - (15.0f64.powi(2) - 25.0) / 10.0).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod continuous;
+mod error_stats;
+mod map;
+mod model;
+mod smoothing;
+
+pub use error_stats::{
+    approximation_error_rates, flux_by_hops, near_field_energy_fraction, FluxComparison,
+};
+pub use map::FluxMap;
+pub use model::{continuous_flux, hop_flux, FluxModel};
+pub use smoothing::neighborhood_smooth;

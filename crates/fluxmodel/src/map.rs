@@ -1,0 +1,266 @@
+//! Full-network flux snapshots.
+//!
+//! The briefing method (§3.C), the Figure 1/4 visualizations, and the
+//! full-map sniffer view all manipulate "the flux at every node" as one
+//! object. [`FluxMap`] packages that vector with the node positions it is
+//! indexed by, and provides the operations those call sites hand-roll:
+//! peaks, smoothing, superposition, residual maps, and energy summaries.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_geometry::Point2;
+use fluxprint_netsim::{Network, NodeId};
+
+use crate::neighborhood_smooth;
+
+/// A per-node flux snapshot over a fixed node set.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_fluxmodel::FluxMap;
+/// use fluxprint_geometry::Point2;
+///
+/// let map = FluxMap::new(
+///     vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)],
+///     vec![3.0, 7.0],
+/// );
+/// let (peak_node, peak_value) = map.peak().unwrap();
+/// assert_eq!(peak_node.index(), 1);
+/// assert_eq!(peak_value, 7.0);
+/// assert_eq!(map.total(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluxMap {
+    positions: Vec<Point2>,
+    values: Vec<f64>,
+}
+
+impl FluxMap {
+    /// Creates a map from parallel position/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors' lengths differ.
+    pub fn new(positions: Vec<Point2>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            positions.len(),
+            values.len(),
+            "flux map positions/values length mismatch"
+        );
+        FluxMap { positions, values }
+    }
+
+    /// Captures a simulated window over `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flux.len()` differs from the network size.
+    pub fn from_network(network: &Network, flux: Vec<f64>) -> Self {
+        assert_eq!(
+            flux.len(),
+            network.len(),
+            "flux length must match network size"
+        );
+        FluxMap {
+            positions: network.positions().to_vec(),
+            values: flux,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` for a map over zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Node positions, indexed by node id.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Per-node flux values, indexed by node id.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The node with the largest flux and its value (`None` when empty) —
+    /// the "global traffic peak" the briefing loop extracts (§3.C).
+    pub fn peak(&self) -> Option<(NodeId, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (NodeId::new(i), v))
+    }
+
+    /// Sum of all per-node flux.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Returns the map with each value replaced by its radio-neighborhood
+    /// mean over `network` (§3.B smoothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `network.len()` differs from the map's node count.
+    pub fn smoothed(&self, network: &Network) -> FluxMap {
+        FluxMap {
+            positions: self.positions.clone(),
+            values: neighborhood_smooth(network, &self.values),
+        }
+    }
+
+    /// Adds another map's values (flux superposition, `F = Σᵢ Fᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the maps cover different node counts.
+    pub fn superpose(&mut self, other: &FluxMap) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "superposing maps of different sizes"
+        );
+        for (v, &o) in self.values.iter_mut().zip(&other.values) {
+            *v += o;
+        }
+    }
+
+    /// The residual map after subtracting `other`, clamped at zero — the
+    /// "reduced map of network flux" each briefing round produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the maps cover different node counts.
+    pub fn saturating_sub(&self, other: &FluxMap) -> FluxMap {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "subtracting maps of different sizes"
+        );
+        FluxMap {
+            positions: self.positions.clone(),
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| (a - b).max(0.0))
+                .collect(),
+        }
+    }
+
+    /// Fraction of the total flux carried by nodes within `radius` of
+    /// `center` — how concentrated the fingerprint is around a hypothesis.
+    pub fn concentration_around(&self, center: Point2, radius: f64) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let near: f64 = self
+            .positions
+            .iter()
+            .zip(&self.values)
+            .filter(|(p, _)| p.distance(center) <= radius)
+            .map(|(_, &v)| v)
+            .sum();
+        near / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::Rect;
+    use fluxprint_netsim::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(15, 15, 0.3)
+            .radius(4.0)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn peak_total_and_concentration() {
+        let net = network();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sink = Point2::new(10.0, 10.0);
+        let flux = net.simulate_flux(&[(sink, 2.0)], &mut rng).unwrap();
+        let map = FluxMap::from_network(&net, flux);
+        let (peak_node, peak_value) = map.peak().unwrap();
+        // The peak is the attach node, carrying everything.
+        assert_eq!(peak_value, 2.0 * net.len() as f64);
+        assert!(map.positions()[peak_node.index()].distance(sink) < 2.0);
+        // Flux concentrates around the sink: the 8-unit disc holds more
+        // than its area share (8²π/900 ≈ 22 %) of the flux.
+        assert!(map.concentration_around(sink, 8.0) > 0.4);
+        assert!(map.total() > peak_value);
+    }
+
+    #[test]
+    fn superpose_and_subtract_are_inverse() {
+        let net = network();
+        let mut rng = StdRng::seed_from_u64(3);
+        let f1 = net
+            .simulate_flux(&[(Point2::new(8.0, 8.0), 1.0)], &mut rng)
+            .unwrap();
+        let f2 = net
+            .simulate_flux(&[(Point2::new(22.0, 20.0), 2.0)], &mut rng)
+            .unwrap();
+        let map1 = FluxMap::from_network(&net, f1);
+        let map2 = FluxMap::from_network(&net, f2);
+        let mut combined = map1.clone();
+        combined.superpose(&map2);
+        assert!((combined.total() - map1.total() - map2.total()).abs() < 1e-6);
+        let back = combined.saturating_sub(&map2);
+        for (a, b) in back.values().iter().zip(map1.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_total_roughly() {
+        let net = network();
+        let mut rng = StdRng::seed_from_u64(4);
+        let flux = net
+            .simulate_flux(&[(Point2::new(15.0, 15.0), 1.0)], &mut rng)
+            .unwrap();
+        let map = FluxMap::from_network(&net, flux);
+        let smoothed = map.smoothed(&net);
+        // Neighborhood averaging roughly conserves mass (boundary nodes
+        // have smaller neighborhoods, so allow a band).
+        let ratio = smoothed.total() / map.total();
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "smoothing changed total by {ratio}"
+        );
+        // And it flattens the peak.
+        assert!(smoothed.peak().unwrap().1 < map.peak().unwrap().1);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let map = FluxMap::new(vec![], vec![]);
+        assert!(map.is_empty());
+        assert_eq!(map.peak(), None);
+        assert_eq!(map.total(), 0.0);
+        assert_eq!(map.concentration_around(Point2::ORIGIN, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_construction_panics() {
+        FluxMap::new(vec![Point2::ORIGIN], vec![]);
+    }
+}

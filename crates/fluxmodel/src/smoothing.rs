@@ -1,0 +1,75 @@
+//! Neighborhood smoothing of measured flux maps.
+//!
+//! §3.B: "if we average the amount of flux within the neighborhood of an
+//! intermediate node, we are able to get a smoother map of the network flux
+//! and better approximation accuracy by mitigating the randomness of
+//! routing tree construction."
+
+use fluxprint_netsim::{Network, NodeId};
+
+/// Replaces each node's flux with the mean over itself and its radio
+/// neighbors.
+///
+/// # Panics
+///
+/// Panics when `flux.len()` does not match the network size.
+pub fn neighborhood_smooth(network: &Network, flux: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        flux.len(),
+        network.len(),
+        "flux length must match network size"
+    );
+    (0..network.len())
+        .map(|i| {
+            let neighbors = network.neighbors(NodeId::new(i));
+            let sum: f64 = flux[i] + neighbors.iter().map(|&j| flux[j]).sum::<f64>();
+            sum / (neighbors.len() + 1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::{Point2, Rect};
+    use fluxprint_netsim::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_network() -> Network {
+        // Three nodes in a row, radius covers only adjacent pairs.
+        let mut rng = StdRng::seed_from_u64(1);
+        NetworkBuilder::new()
+            .field(Rect::square(10.0).unwrap())
+            .positions(vec![
+                Point2::new(1.0, 5.0),
+                Point2::new(2.0, 5.0),
+                Point2::new(3.0, 5.0),
+            ])
+            .radius(1.2)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn smooth_averages_neighborhoods() {
+        let net = line_network();
+        let smoothed = neighborhood_smooth(&net, &[3.0, 0.0, 6.0]);
+        // Node 0: (3+0)/2; node 1: (3+0+6)/3; node 2: (0+6)/2.
+        assert_eq!(smoothed, vec![1.5, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn smooth_preserves_constant_fields() {
+        let net = line_network();
+        let smoothed = neighborhood_smooth(&net, &[7.0, 7.0, 7.0]);
+        assert_eq!(smoothed, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn length_mismatch_panics() {
+        let net = line_network();
+        neighborhood_smooth(&net, &[1.0]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Node deployment generators.
+//!
+//! The paper evaluates two layouts on a rectangular field:
+//!
+//! - **perturbed grids** (following Bruck et al., MobiCom 2005): nodes sit at
+//!   grid cell centers, each displaced by a bounded uniform jitter — the
+//!   "more regular" deployment of §5.C;
+//! - **uniform random** placement — the "more variable" deployment whose
+//!   tracking error the paper reports as roughly 1.5× the perturbed grid's.
+
+use rand::Rng;
+
+use crate::{Boundary, GeometryError, Point2, Rect, Vec2};
+
+/// Places `rows × cols` nodes on a perturbed grid over `field`.
+///
+/// Each node sits at its cell center plus a uniform jitter of at most
+/// `jitter` cell-widths (`0.0` = exact grid, `0.5` = jitter spanning the
+/// whole cell). Nodes are clamped to the field.
+///
+/// # Errors
+///
+/// Returns [`GeometryError::EmptyDeployment`] when `rows == 0 || cols == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::{deployment, Rect};
+/// use rand::SeedableRng;
+///
+/// let field = Rect::square(30.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let nodes = deployment::perturbed_grid(&field, 30, 30, 0.3, &mut rng)?;
+/// assert_eq!(nodes.len(), 900);
+/// # Ok::<(), fluxprint_geometry::GeometryError>(())
+/// ```
+pub fn perturbed_grid<R: Rng + ?Sized>(
+    field: &Rect,
+    rows: usize,
+    cols: usize,
+    jitter: f64,
+    rng: &mut R,
+) -> Result<Vec<Point2>, GeometryError> {
+    if rows == 0 || cols == 0 {
+        return Err(GeometryError::EmptyDeployment);
+    }
+    let cell_w = field.width() / cols as f64;
+    let cell_h = field.height() / rows as f64;
+    let jitter = jitter.clamp(0.0, 0.5);
+    let mut nodes = Vec::with_capacity(rows * cols);
+    for row in 0..rows {
+        for col in 0..cols {
+            let cx = field.min().x + (col as f64 + 0.5) * cell_w;
+            let cy = field.min().y + (row as f64 + 0.5) * cell_h;
+            let dx = rng.gen_range(-jitter..=jitter) * cell_w;
+            let dy = rng.gen_range(-jitter..=jitter) * cell_h;
+            nodes.push(field.clamp(Point2::new(cx + dx, cy + dy)));
+        }
+    }
+    Ok(nodes)
+}
+
+/// Places `n` nodes uniformly at random inside an arbitrary [`Boundary`].
+///
+/// Uses rejection sampling from the bounding box, which terminates quickly
+/// for the convex regions this workspace uses (acceptance ≥ area /
+/// bounding-box area).
+///
+/// # Errors
+///
+/// Returns [`GeometryError::EmptyDeployment`] when `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::{deployment, Boundary, Circle, Point2};
+/// use rand::SeedableRng;
+///
+/// let field = Circle::new(Point2::new(0.0, 0.0), 10.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let nodes = deployment::uniform_random(&field, 100, &mut rng)?;
+/// assert!(nodes.iter().all(|&p| field.contains(p)));
+/// # Ok::<(), fluxprint_geometry::GeometryError>(())
+/// ```
+pub fn uniform_random<B, R>(field: &B, n: usize, rng: &mut R) -> Result<Vec<Point2>, GeometryError>
+where
+    B: Boundary + ?Sized,
+    R: Rng + ?Sized,
+{
+    if n == 0 {
+        return Err(GeometryError::EmptyDeployment);
+    }
+    let (lo, hi) = field.bounding_box();
+    let mut nodes = Vec::with_capacity(n);
+    while nodes.len() < n {
+        let p = Point2::new(rng.gen_range(lo.x..=hi.x), rng.gen_range(lo.y..=hi.y));
+        if field.contains(p) {
+            nodes.push(p);
+        }
+    }
+    Ok(nodes)
+}
+
+/// Draws a single point uniformly at random inside `field`.
+///
+/// Convenience wrapper used by the particle filter's uninformed
+/// initialization (Algorithm 4.1 seeds each user with uniform samples).
+pub fn random_point<B, R>(field: &B, rng: &mut R) -> Point2
+where
+    B: Boundary + ?Sized,
+    R: Rng + ?Sized,
+{
+    let (lo, hi) = field.bounding_box();
+    loop {
+        let p = Point2::new(rng.gen_range(lo.x..=hi.x), rng.gen_range(lo.y..=hi.y));
+        if field.contains(p) {
+            return p;
+        }
+    }
+}
+
+/// Draws a point uniformly at random from the intersection of `field` with
+/// the disc of radius `radius` around `center`.
+///
+/// This realizes the motion prior of Formula 4.2: the next position is
+/// uniform on the reachable disc `v_max · Δt`, restricted to the field.
+/// Falls back to [`Boundary::clamp`]`(center)` if the intersection appears
+/// empty (e.g. `center` far outside the field).
+pub fn random_point_in_disc<B, R>(field: &B, center: Point2, radius: f64, rng: &mut R) -> Point2
+where
+    B: Boundary + ?Sized,
+    R: Rng + ?Sized,
+{
+    debug_assert!(radius >= 0.0, "disc radius must be non-negative");
+    const MAX_TRIES: usize = 256;
+    for _ in 0..MAX_TRIES {
+        // Uniform over the disc: r = R·sqrt(u) for uniform u.
+        let r = radius * rng.gen::<f64>().sqrt();
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let p = center + Vec2::from_angle(theta) * r;
+        if field.contains(p) {
+            return p;
+        }
+    }
+    field.clamp(center)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn perturbed_grid_count_and_containment() {
+        let field = Rect::square(30.0).unwrap();
+        let nodes = perturbed_grid(&field, 30, 30, 0.4, &mut rng()).unwrap();
+        assert_eq!(nodes.len(), 900);
+        assert!(nodes.iter().all(|&p| field.contains(p)));
+    }
+
+    #[test]
+    fn perturbed_grid_zero_jitter_is_exact_grid() {
+        let field = Rect::square(4.0).unwrap();
+        let nodes = perturbed_grid(&field, 2, 2, 0.0, &mut rng()).unwrap();
+        assert_eq!(
+            nodes,
+            vec![
+                Point2::new(1.0, 1.0),
+                Point2::new(3.0, 1.0),
+                Point2::new(1.0, 3.0),
+                Point2::new(3.0, 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn perturbed_grid_jitter_stays_in_cell() {
+        let field = Rect::square(10.0).unwrap();
+        let nodes = perturbed_grid(&field, 10, 10, 0.5, &mut rng()).unwrap();
+        for (i, &p) in nodes.iter().enumerate() {
+            let row = i / 10;
+            let col = i % 10;
+            assert!(p.x >= col as f64 - 1e-9 && p.x <= (col + 1) as f64 + 1e-9);
+            assert!(p.y >= row as f64 - 1e-9 && p.y <= (row + 1) as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturbed_grid_rejects_empty() {
+        let field = Rect::square(1.0).unwrap();
+        assert!(matches!(
+            perturbed_grid(&field, 0, 5, 0.1, &mut rng()),
+            Err(GeometryError::EmptyDeployment)
+        ));
+    }
+
+    #[test]
+    fn uniform_random_in_rect() {
+        let field = Rect::square(30.0).unwrap();
+        let nodes = uniform_random(&field, 500, &mut rng()).unwrap();
+        assert_eq!(nodes.len(), 500);
+        assert!(nodes.iter().all(|&p| field.contains(p)));
+        // Crude uniformity check: mean near the center.
+        let mx = nodes.iter().map(|p| p.x).sum::<f64>() / 500.0;
+        let my = nodes.iter().map(|p| p.y).sum::<f64>() / 500.0;
+        assert!((mx - 15.0).abs() < 2.0, "mean x {mx}");
+        assert!((my - 15.0).abs() < 2.0, "mean y {my}");
+    }
+
+    #[test]
+    fn uniform_random_in_circle_respects_boundary() {
+        let field = Circle::new(Point2::new(5.0, 5.0), 3.0).unwrap();
+        let nodes = uniform_random(&field, 200, &mut rng()).unwrap();
+        assert!(nodes.iter().all(|&p| field.contains(p)));
+    }
+
+    #[test]
+    fn uniform_random_rejects_zero() {
+        let field = Rect::square(1.0).unwrap();
+        assert!(uniform_random(&field, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn random_point_in_disc_stays_reachable() {
+        let field = Rect::square(30.0).unwrap();
+        let center = Point2::new(15.0, 15.0);
+        let mut r = rng();
+        for _ in 0..200 {
+            let p = random_point_in_disc(&field, center, 5.0, &mut r);
+            assert!(center.distance(p) <= 5.0 + 1e-9);
+            assert!(field.contains(p));
+        }
+    }
+
+    #[test]
+    fn random_point_in_disc_near_corner_respects_field() {
+        let field = Rect::square(30.0).unwrap();
+        let center = Point2::new(0.5, 0.5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let p = random_point_in_disc(&field, center, 5.0, &mut r);
+            assert!(field.contains(p));
+            assert!(center.distance(p) <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_point_in_disc_zero_radius_returns_center() {
+        let field = Rect::square(30.0).unwrap();
+        let center = Point2::new(3.0, 4.0);
+        let p = random_point_in_disc(&field, center, 0.0, &mut rng());
+        assert_eq!(p, center);
+    }
+
+    #[test]
+    fn random_point_inside_field() {
+        let field = Rect::square(30.0).unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(field.contains(random_point(&field, &mut r)));
+        }
+    }
+}

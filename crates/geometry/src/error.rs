@@ -1,0 +1,89 @@
+//! Error type for geometric construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or querying geometric primitives.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A rectangle was constructed with `min` not strictly below `max`
+    /// in some coordinate.
+    EmptyRect {
+        /// Requested minimum corner.
+        min: (f64, f64),
+        /// Requested maximum corner.
+        max: (f64, f64),
+    },
+    /// A circle was constructed with a non-positive or non-finite radius.
+    InvalidRadius(f64),
+    /// A polygon was constructed with fewer than three vertices.
+    TooFewVertices(usize),
+    /// A polygon was constructed whose vertices are not in convex position.
+    NotConvex {
+        /// Index of the offending vertex.
+        vertex: usize,
+    },
+    /// A coordinate was not finite.
+    NonFiniteCoordinate,
+    /// A deployment was requested with zero nodes.
+    EmptyDeployment,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyRect { min, max } => write!(
+                f,
+                "rectangle min ({}, {}) must be strictly below max ({}, {})",
+                min.0, min.1, max.0, max.1
+            ),
+            GeometryError::InvalidRadius(r) => {
+                write!(f, "radius must be positive and finite, got {r}")
+            }
+            GeometryError::TooFewVertices(n) => {
+                write!(f, "polygon needs at least 3 vertices, got {n}")
+            }
+            GeometryError::NotConvex { vertex } => {
+                write!(
+                    f,
+                    "polygon vertices are not in convex position at index {vertex}"
+                )
+            }
+            GeometryError::NonFiniteCoordinate => write!(f, "coordinate is not finite"),
+            GeometryError::EmptyDeployment => write!(f, "deployment must place at least one node"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            GeometryError::EmptyRect {
+                min: (0.0, 0.0),
+                max: (0.0, 0.0),
+            },
+            GeometryError::InvalidRadius(-1.0),
+            GeometryError::TooFewVertices(2),
+            GeometryError::NotConvex { vertex: 1 },
+            GeometryError::NonFiniteCoordinate,
+            GeometryError::EmptyDeployment,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Planar geometry substrate for the `fluxprint` workspace.
+//!
+//! This crate provides the geometric vocabulary the rest of the system is
+//! written in:
+//!
+//! - [`Point2`] / [`Vec2`] — positions and displacements on the sensor field;
+//! - the [`Boundary`] trait with [`Rect`], [`Circle`] and [`ConvexPolygon`]
+//!   implementations — the network field boundary, including the
+//!   *ray-to-boundary distance* query that realizes the `l` term of the
+//!   paper's flux model (distance from a mobile sink to the field boundary
+//!   along the sink→node direction);
+//! - node [`deployment`] generators (perturbed grid and uniform random, the
+//!   two layouts evaluated in the paper);
+//! - a [`SpatialGrid`] hash index for radius queries, used to build
+//!   unit-disk connectivity in `fluxprint-netsim`.
+//!
+//! # Example
+//!
+//! ```
+//! use fluxprint_geometry::{Boundary, Point2, Rect, Vec2};
+//!
+//! let field = Rect::new(Point2::new(0.0, 0.0), Point2::new(30.0, 30.0))?;
+//! let sink = Point2::new(10.0, 10.0);
+//! let node = Point2::new(20.0, 10.0);
+//! // Distance from the sink to the boundary through `node`:
+//! let l = field.ray_exit_distance(sink, (node - sink).normalized().unwrap());
+//! assert_eq!(l, Some(20.0));
+//! # Ok::<(), fluxprint_geometry::GeometryError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod boundary;
+mod error;
+mod point;
+mod spatial;
+
+pub mod deployment;
+
+pub use boundary::{Boundary, Circle, ConvexPolygon, Rect};
+pub use error::GeometryError;
+pub use point::{Point2, Vec2};
+pub use spatial::SpatialGrid;
+
+/// Numerical tolerance used for geometric predicates throughout the crate.
+pub const EPSILON: f64 = 1e-9;

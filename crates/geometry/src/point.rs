@@ -1,0 +1,387 @@
+//! Points and vectors in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::EPSILON;
+
+/// A position on the sensor field.
+///
+/// Field coordinates follow the paper: the evaluation field is a
+/// `30 × 30` rectangle and all errors are reported in these units.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Point2;
+///
+/// let a = Point2::new(0.0, 3.0);
+/// let b = Point2::new(4.0, 0.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point2`] values.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Vec2;
+///
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// assert_eq!(v.normalized().unwrap().norm(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    pub fn distance_squared(self, other: Point2) -> f64 {
+        (self - other).norm_squared()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates along the segment's line.
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        self + (other - self) * t
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        self.lerp(other, 0.5)
+    }
+
+    /// Converts the point to the displacement from the origin.
+    pub fn to_vec(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// Zero displacement.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector at `angle` radians counter-clockwise from the x-axis.
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    ///
+    /// Positive when `other` lies counter-clockwise of `self`.
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns the unit vector with the same direction, or `None` when the
+    /// vector is (numerically) zero.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Angle in radians counter-clockwise from the x-axis, in `(-π, π]`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Converts the displacement to the point it reaches from the origin.
+    pub fn to_point(self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// Returns `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vec2> for Point2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(-3.0, 5.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Point2::new(0.5, -0.25);
+        let b = Point2::new(2.0, 7.0);
+        assert!((a.distance_squared(b) - a.distance(b).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point2::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn point_vector_arithmetic_round_trips() {
+        let p = Point2::new(3.0, 4.0);
+        let v = Vec2::new(-1.0, 2.5);
+        assert_eq!((p + v) - v, p);
+        assert_eq!((p + v) - p, v);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec2::new(3.0, -4.0);
+        let u = v.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!((u.x - 0.6).abs() < 1e-12);
+        assert!((u.y + 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        assert!(Vec2::new(1e-12, -1e-12).normalized().is_none());
+    }
+
+    #[test]
+    fn cross_sign_indicates_orientation() {
+        let x = Vec2::new(1.0, 0.0);
+        let y = Vec2::new(0.0, 1.0);
+        assert!(x.cross(y) > 0.0);
+        assert!(y.cross(x) < 0.0);
+        assert_eq!(x.cross(x), 0.0);
+    }
+
+    #[test]
+    fn perp_is_orthogonal() {
+        let v = Vec2::new(2.0, 7.0);
+        assert_eq!(v.dot(v.perp()), 0.0);
+        assert_eq!(v.perp().norm(), v.norm());
+    }
+
+    #[test]
+    fn from_angle_round_trips() {
+        for &a in &[0.0, 0.5, 1.2, -2.0, 3.0] {
+            let v = Vec2::from_angle(a);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+            assert!((v.angle() - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let v = Vec2::new(1.0, -2.0);
+        assert_eq!(v * 2.0, Vec2::new(2.0, -4.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vec2::new(0.5, -1.0));
+        assert_eq!(-v, Vec2::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point2::new(1.0, 2.0).to_string(), "(1.000, 2.000)");
+        assert_eq!(Vec2::new(1.0, 2.0).to_string(), "<1.000, 2.000>");
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let p: Point2 = (1.0, 2.0).into();
+        assert_eq!(p, Point2::new(1.0, 2.0));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec2::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,278 @@
+//! Uniform-grid spatial index for fixed-radius neighbor queries.
+//!
+//! Building unit-disk connectivity naively is `O(n²)`; the paper's largest
+//! simulated networks (2500 nodes for the model-accuracy study, 1800 for the
+//! density sweeps) are comfortably in range of a bucketed grid, which keeps
+//! topology construction linear in practice.
+
+use crate::Point2;
+
+/// A spatial hash over a fixed point set, answering "which points lie within
+/// distance `r` of a query point" in expected `O(1 + k)` time.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::{Point2, SpatialGrid};
+///
+/// let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(5.0, 5.0)];
+/// let grid = SpatialGrid::build(&pts, 1.5);
+/// let mut near = grid.within_radius(Point2::new(0.0, 0.0), 1.5);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    min: Point2,
+    cols: usize,
+    rows: usize,
+    /// CSR-style layout: `starts[c]..starts[c+1]` indexes into `entries`.
+    starts: Vec<usize>,
+    entries: Vec<usize>,
+    points: Vec<Point2>,
+}
+
+impl SpatialGrid {
+    /// Builds an index over `points` with bucket size `cell` (usually the
+    /// query radius).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive and finite, or if any point is not
+    /// finite.
+    pub fn build(points: &[Point2], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell size must be positive, got {cell}"
+        );
+        assert!(
+            points.iter().all(|p| p.is_finite()),
+            "points must be finite"
+        );
+        let (min, max) = bounding(points);
+        let cols = (((max.x - min.x) / cell).floor() as usize + 1).max(1);
+        let rows = (((max.y - min.y) / cell).floor() as usize + 1).max(1);
+        let ncells = cols * rows;
+
+        // Counting sort of points into cells.
+        let mut counts = vec![0usize; ncells + 1];
+        let cell_of = |p: Point2| -> usize {
+            let cx = (((p.x - min.x) / cell).floor() as usize).min(cols - 1);
+            let cy = (((p.y - min.y) / cell).floor() as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=ncells {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0usize; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c]] = i;
+            cursor[c] += 1;
+        }
+
+        SpatialGrid {
+            cell,
+            min,
+            cols,
+            rows,
+            starts,
+            entries,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` of `query` (inclusive).
+    pub fn within_radius(&self, query: Point2, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(query, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f` with the index of every point within `radius` of `query`.
+    ///
+    /// Avoids the allocation of [`within_radius`](Self::within_radius) in hot
+    /// loops (topology construction visits every node).
+    pub fn for_each_within<F: FnMut(usize)>(&self, query: Point2, radius: f64, mut f: F) {
+        if self.points.is_empty() || radius.is_nan() || radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        let span = (radius / self.cell).ceil() as i64;
+        let qx = ((query.x - self.min.x) / self.cell).floor() as i64;
+        let qy = ((query.y - self.min.y) / self.cell).floor() as i64;
+        for cy in (qy - span).max(0)..=(qy + span).min(self.rows as i64 - 1) {
+            for cx in (qx - span).max(0)..=(qx + span).min(self.cols as i64 - 1) {
+                let c = cy as usize * self.cols + cx as usize;
+                for &i in &self.entries[self.starts[c]..self.starts[c + 1]] {
+                    if self.points[i].distance_squared(query) <= r2 {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of the point nearest to `query`, or `None` for an empty index.
+    pub fn nearest(&self, query: Point2) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Expanding ring search: try radii cell, 2·cell, … until a hit is
+        // found, then verify with one final pass at the found distance.
+        let mut radius = self.cell;
+        let max_radius = {
+            let (lo, hi) = bounding(&self.points);
+            (hi - lo).norm() + self.cell + (query - lo).norm() + (query - hi).norm()
+        };
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            self.for_each_within(query, radius, |i| {
+                let d = self.points[i].distance_squared(query);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            });
+            if let Some((i, _)) = best {
+                return Some(i);
+            }
+            if radius > max_radius {
+                // Fallback: exhaustive scan (only reachable through severe
+                // floating-point pathology).
+                return self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.distance_squared(query)
+                            .total_cmp(&b.1.distance_squared(query))
+                    })
+                    .map(|(i, _)| i);
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+fn bounding(points: &[Point2]) -> (Point2, Point2) {
+    let mut lo = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut hi = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        lo.x = lo.x.min(p.x);
+        lo.y = lo.y.min(p.y);
+        hi.x = hi.x.max(p.x);
+        hi.y = hi.y.max(p.y);
+    }
+    if points.is_empty() {
+        (Point2::ORIGIN, Point2::ORIGIN)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn within_radius_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<Point2> = (0..500)
+            .map(|_| Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 2.4);
+        for _ in 0..50 {
+            let q = Point2::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0));
+            let mut got = grid.within_radius(q, 2.4);
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(q) <= 2.4)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn within_radius_query_outside_bounds() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let hits = grid.within_radius(Point2::new(-3.0, 0.0), 3.5);
+        assert_eq!(hits, vec![0]);
+        assert!(grid
+            .within_radius(Point2::new(100.0, 100.0), 1.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts: Vec<Point2> = (0..300)
+            .map(|_| Point2::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 0.7);
+        for _ in 0..50 {
+            let q = Point2::new(rng.gen_range(-2.0..12.0), rng.gen_range(-2.0..12.0));
+            let got = grid.nearest(q).unwrap();
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.distance(q).total_cmp(&b.1.distance(q)))
+                .unwrap()
+                .0;
+            assert!(
+                (pts[got].distance(q) - pts[want].distance(q)).abs() < 1e-9,
+                "nearest mismatch: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_on_single_point() {
+        let grid = SpatialGrid::build(&[Point2::new(5.0, 5.0)], 1.0);
+        assert_eq!(grid.nearest(Point2::new(-100.0, 40.0)), Some(0));
+    }
+
+    #[test]
+    fn empty_grid_behaviour() {
+        let grid = SpatialGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert!(grid.within_radius(Point2::ORIGIN, 10.0).is_empty());
+        assert_eq!(grid.nearest(Point2::ORIGIN), None);
+    }
+
+    #[test]
+    fn colocated_points_all_found() {
+        let pts = vec![Point2::new(1.0, 1.0); 5];
+        let grid = SpatialGrid::build(&pts, 0.5);
+        assert_eq!(grid.within_radius(Point2::new(1.0, 1.0), 0.0).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_panics() {
+        SpatialGrid::build(&[Point2::ORIGIN], 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the geometry substrate.
+
+use fluxprint_geometry::{deployment, Boundary, Circle, Point2, Rect, SpatialGrid, Vec2};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn point_in(side: f64) -> impl Strategy<Value = Point2> {
+    (0.0..side, 0.0..side).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    /// The ray-exit point of a rectangle lies on the rectangle's boundary
+    /// and the segment to it stays inside.
+    #[test]
+    fn rect_ray_exit_lands_on_boundary(
+        o in point_in(30.0),
+        angle in 0.0..std::f64::consts::TAU,
+    ) {
+        let field = Rect::square(30.0).unwrap();
+        let dir = Vec2::from_angle(angle);
+        let l = field.ray_exit_distance(o, dir).unwrap();
+        prop_assert!(l >= 0.0);
+        let exit = o + dir * l;
+        let on_x = (exit.x.abs() < 1e-6) || ((exit.x - 30.0).abs() < 1e-6);
+        let on_y = (exit.y.abs() < 1e-6) || ((exit.y - 30.0).abs() < 1e-6);
+        prop_assert!(on_x || on_y, "exit {exit:?} not on boundary");
+        // Midpoint of the traversed segment is inside.
+        prop_assert!(field.contains(o.lerp(exit, 0.5)));
+    }
+
+    /// Exit distance is monotone under shrinking: a point strictly inside
+    /// has positive exit distance in every direction.
+    #[test]
+    fn rect_interior_exit_positive(
+        x in 1.0..29.0, y in 1.0..29.0,
+        angle in 0.0..std::f64::consts::TAU,
+    ) {
+        let field = Rect::square(30.0).unwrap();
+        let l = field.ray_exit_distance(Point2::new(x, y), Vec2::from_angle(angle)).unwrap();
+        prop_assert!(l >= 1.0 - 1e-9, "interior point exited after {l}");
+    }
+
+    /// Circle exit distance obeys the triangle bound: at most 2R.
+    #[test]
+    fn circle_exit_at_most_diameter(
+        r in 0.5..10.0f64,
+        frac in 0.0..0.999f64,
+        angle_pos in 0.0..std::f64::consts::TAU,
+        angle_dir in 0.0..std::f64::consts::TAU,
+    ) {
+        let c = Circle::new(Point2::new(3.0, -2.0), r).unwrap();
+        let o = c.center() + Vec2::from_angle(angle_pos) * (r * frac);
+        let l = c.ray_exit_distance(o, Vec2::from_angle(angle_dir)).unwrap();
+        prop_assert!(l <= 2.0 * r + 1e-7);
+        let exit = o + Vec2::from_angle(angle_dir) * l;
+        prop_assert!((exit.distance(c.center()) - r).abs() < 1e-6);
+    }
+
+    /// Clamping is idempotent and lands inside the region.
+    #[test]
+    fn clamp_idempotent(px in -50.0..80.0, py in -50.0..80.0) {
+        let field = Rect::square(30.0).unwrap();
+        let q = field.clamp(Point2::new(px, py));
+        prop_assert!(field.contains(q));
+        prop_assert_eq!(field.clamp(q), q);
+    }
+
+    /// Spatial grid radius queries agree with brute force on random input.
+    #[test]
+    fn grid_query_agrees_with_bruteforce(
+        seed in 0u64..1000,
+        radius in 0.1..5.0f64,
+        qx in -5.0..35.0,
+        qy in -5.0..35.0,
+    ) {
+        let field = Rect::square(30.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = deployment::uniform_random(&field, 120, &mut rng).unwrap();
+        let grid = SpatialGrid::build(&pts, radius);
+        let q = Point2::new(qx, qy);
+        let mut got = grid.within_radius(q, radius);
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Motion-prior sampling stays within the reachable disc and the field.
+    #[test]
+    fn disc_sampling_respects_constraints(
+        cx in 0.0..30.0, cy in 0.0..30.0,
+        radius in 0.0..8.0f64,
+        seed in 0u64..1000,
+    ) {
+        let field = Rect::square(30.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = Point2::new(cx, cy);
+        for _ in 0..16 {
+            let p = deployment::random_point_in_disc(&field, c, radius, &mut rng);
+            prop_assert!(field.contains(p));
+            prop_assert!(c.distance(p) <= radius + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::{LinalgError, Matrix};
+
+/// The lower-triangular Cholesky factor `L` of an SPD matrix `A = L·Lᵀ`.
+///
+/// Used to solve the (small, `K × K`) normal equations of the inner
+/// stretch-factor fit and the damped systems of Levenberg–Marquardt.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_linalg::{CholeskyFactor, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = CholeskyFactor::new(&a)?;
+/// let x = chol.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Factorizes the SPD matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not positive
+    /// (the matrix is singular or indefinite).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` using the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len()` differs from the
+    /// factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "cholesky solve",
+            });
+        }
+        // Forward substitution: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the factored matrix `A` (= 2·Σ log L_ii).
+    ///
+    /// Exposed for diagnostics on observation-model conditioning.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let chol = CholeskyFactor::new(&a).unwrap();
+        let l = chol.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_known_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let chol = CholeskyFactor::new(&a).unwrap();
+        // A · [1.25, 1.5] = [8, 7]
+        let x = chol.solve(&[8.0, 7.0]).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_spd_solve_residual_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 4, 8] {
+            let mut m = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    m[(i, j)] = rng.gen_range(-1.0..1.0);
+                }
+            }
+            // Gram matrix + ridge is SPD.
+            let mut a = m.gram();
+            a.add_diagonal(0.5);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let x = CholeskyFactor::new(&a).unwrap().solve(&b).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for (got, want) in ax.iter().zip(&b) {
+                assert!(
+                    (got - want).abs() < 1e-8,
+                    "residual too large: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, −1
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(CholeskyFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let a = Matrix::identity(2);
+        let chol = CholeskyFactor::new(&a).unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let chol = CholeskyFactor::new(&Matrix::identity(4)).unwrap();
+        assert!(chol.log_det().abs() < 1e-12);
+        let chol = CholeskyFactor::new(&Matrix::identity(2).scale(4.0)).unwrap();
+        assert!((chol.log_det() - 2.0 * 4.0f64.ln()).abs() < 1e-12);
+    }
+}

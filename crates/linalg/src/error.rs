@@ -1,0 +1,116 @@
+//! Error type for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix construction and factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Actual shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization hit a non-positive pivot: the matrix is not
+    /// positive definite (within tolerance).
+    NotPositiveDefinite {
+        /// Pivot index where factorization failed.
+        pivot: usize,
+    },
+    /// LU elimination hit a (numerically) zero pivot: the matrix is singular.
+    Singular {
+        /// Pivot index where elimination failed.
+        pivot: usize,
+    },
+    /// The least-squares system is rank deficient.
+    RankDeficient {
+        /// Diagonal index of R that vanished.
+        column: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A matrix was constructed from rows of unequal lengths.
+    RaggedRows {
+        /// Index of the first offending row.
+        row: usize,
+    },
+    /// An operation needs at least one row/column but got an empty matrix.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch for {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => write!(f, "matrix is singular (pivot {pivot})"),
+            LinalgError::RankDeficient { column } => {
+                write!(
+                    f,
+                    "least-squares system is rank deficient (column {column})"
+                )
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::RaggedRows { row } => write!(f, "rows have unequal lengths (row {row})"),
+            LinalgError::Empty => write!(f, "matrix must be non-empty"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            LinalgError::ShapeMismatch {
+                left: (2, 2),
+                right: (3, 3),
+                op: "mul",
+            },
+            LinalgError::NotSquare { shape: (2, 3) },
+            LinalgError::NotPositiveDefinite { pivot: 0 },
+            LinalgError::Singular { pivot: 1 },
+            LinalgError::RankDeficient { column: 2 },
+            LinalgError::NoConvergence { iterations: 10 },
+            LinalgError::RaggedRows { row: 1 },
+            LinalgError::Empty,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<LinalgError>();
+    }
+}

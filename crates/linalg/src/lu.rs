@@ -1,0 +1,200 @@
+//! Partially pivoted LU decomposition.
+
+use crate::{LinalgError, Matrix};
+
+/// LU decomposition with partial pivoting: `P·A = L·U`.
+///
+/// Used for the damped square systems of the Levenberg–Marquardt baseline,
+/// which are symmetric but may lose definiteness when the damping is tiny.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_linalg::{LuFactor, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = LuFactor::new(&a)?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined storage: U on and above the diagonal, L (unit diagonal
+    /// implied) below.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original index of factored row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Factorizes the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when no usable pivot exists.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-14 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for c in (k + 1)..n {
+                    let ukc = lu[(k, c)];
+                    lu[(i, c)] -= factor * ukc;
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for a wrong-length `b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu solve",
+            });
+        }
+        // Forward substitution with permuted RHS: L·y = P·b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s;
+        }
+        // Back substitution: U·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let x = LuFactor::new(&a).unwrap().solve(&[2.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_residual_small() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1usize, 2, 3, 6, 10] {
+            let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let a = match Matrix::from_vec(n, n, data) {
+                Ok(a) => a,
+                Err(_) => continue,
+            };
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let lu = match LuFactor::new(&a) {
+                Ok(lu) => lu,
+                Err(_) => continue, // singular random draw: skip
+            };
+            let x = lu.solve(&b).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for (got, want) in ax.iter().zip(&b) {
+                assert!((got - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        assert!((LuFactor::new(&a).unwrap().det() - 6.0).abs() < 1e-12);
+        // Swapped rows flip the sign.
+        let b = Matrix::from_rows(&[&[0.0, 3.0], &[2.0, 0.0]]).unwrap();
+        assert!((LuFactor::new(&b).unwrap().det() + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            LuFactor::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let lu = LuFactor::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Lawson–Hanson non-negative least squares.
+//!
+//! The inner fit of the paper's NLS objective (Equation 4.1) estimates the
+//! integrated traffic-stretch factors `q_j = s_j / r` for a *fixed*
+//! hypothesis of sink positions. Stretches are amounts of traffic and hence
+//! non-negative; a negative fitted stretch is how the asynchronous-update
+//! logic would misread an inactive user as "negative traffic". NNLS both
+//! fixes the sign and gives the `q_j → 0` signal the paper's Algorithm 4.1
+//! uses to detect users that did not collect data this round.
+
+use crate::{CholeskyFactor, LinalgError, Matrix};
+
+/// Result of a non-negative least-squares solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnlsSolution {
+    /// The non-negative coefficient vector.
+    pub x: Vec<f64>,
+    /// `‖A·x − b‖₂` at the solution.
+    pub residual_norm: f64,
+    /// Outer iterations used.
+    pub iterations: usize,
+}
+
+/// Solves `min ‖A·x − b‖₂` subject to `x ≥ 0` (Lawson–Hanson active set).
+///
+/// Optimized for this workspace's shape: tall thin systems (hundreds of
+/// sniffed nodes × a handful of users), so the Gram matrix `AᵀA` is formed
+/// once and passive-set subsystems are solved by Cholesky.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `b.len() != a.rows()` and
+/// [`LinalgError::NoConvergence`] if the active-set loop exceeds its budget
+/// (pathological inputs only; the budget is `3 · cols` outer iterations as
+/// in the reference algorithm, with inner-loop protection).
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_linalg::{nnls, Matrix};
+///
+/// // The unconstrained optimum has a negative coefficient; NNLS clamps it.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])?;
+/// let sol = nnls(&a, &[1.0, -0.5])?;
+/// assert_eq!(sol.x, vec![1.0, 0.0]);
+/// # Ok::<(), fluxprint_linalg::LinalgError>(())
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (b.len(), 1),
+            op: "nnls",
+        });
+    }
+    let gram = a.gram();
+    let atb = a.tr_matvec(b)?;
+
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    let tol = 1e-10 * gram.max_abs().max(1.0);
+    let max_outer = 3 * n.max(1) + 10;
+
+    for outer in 0..max_outer {
+        // Gradient of ½‖Ax−b‖² is Aᵀ(Ax−b); w = −gradient = Aᵀb − G·x.
+        let gx = gram.matvec(&x)?;
+        let w: Vec<f64> = atb.iter().zip(&gx).map(|(p, q)| p - q).collect();
+
+        // Pick the most promising zero-bound variable.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if !passive[i] && w[i] > tol && best.is_none_or(|(_, bw)| w[i] > bw) {
+                best = Some((i, w[i]));
+            }
+        }
+        let Some((j, _)) = best else {
+            return Ok(finish(a, b, x, outer));
+        };
+        passive[j] = true;
+
+        // Inner loop: solve on the passive set, step back if any passive
+        // coefficient would go negative.
+        let mut inner_guard = 0;
+        loop {
+            inner_guard += 1;
+            if inner_guard > n + 1 {
+                return Err(LinalgError::NoConvergence { iterations: outer });
+            }
+            let idx: Vec<usize> = (0..n).filter(|&i| passive[i]).collect();
+            let z = solve_passive(&gram, &atb, &idx)?;
+
+            if z.iter().all(|&v| v > tol.min(1e-12)) {
+                for (slot, &i) in idx.iter().enumerate() {
+                    x[i] = z[slot];
+                }
+                for i in 0..n {
+                    if !passive[i] {
+                        x[i] = 0.0;
+                    }
+                }
+                break;
+            }
+
+            // Interpolate toward z until the first passive variable hits 0.
+            let mut alpha = f64::INFINITY;
+            for (slot, &i) in idx.iter().enumerate() {
+                if z[slot] <= tol.min(1e-12) {
+                    let denom = x[i] - z[slot];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[i] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            let alpha = alpha.clamp(0.0, 1.0);
+            for (slot, &i) in idx.iter().enumerate() {
+                x[i] += alpha * (z[slot] - x[i]);
+            }
+            for &i in &idx {
+                if x[i] <= tol.min(1e-12) {
+                    x[i] = 0.0;
+                    passive[i] = false;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: max_outer,
+    })
+}
+
+/// Solves the unconstrained subproblem restricted to the passive columns.
+fn solve_passive(gram: &Matrix, atb: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
+    let k = idx.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut g = Matrix::zeros(k, k);
+    let mut rhs = vec![0.0; k];
+    for (r, &i) in idx.iter().enumerate() {
+        rhs[r] = atb[i];
+        for (c, &j) in idx.iter().enumerate() {
+            g[(r, c)] = gram[(i, j)];
+        }
+    }
+    match CholeskyFactor::new(&g) {
+        Ok(ch) => ch.solve(&rhs),
+        Err(_) => {
+            // Nearly collinear columns (two hypothesized sinks at the same
+            // spot): regularize slightly rather than fail the whole fit.
+            let mut gr = g;
+            gr.add_diagonal(1e-8 * gr.max_abs().max(1.0));
+            CholeskyFactor::new(&gr)?.solve(&rhs)
+        }
+    }
+}
+
+fn finish(a: &Matrix, b: &[f64], x: Vec<f64>, iterations: usize) -> NnlsSolution {
+    let ax = a.matvec(&x).expect("shape checked on entry");
+    let residual_norm = ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    NnlsSolution {
+        x,
+        residual_norm,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn interior_solution_matches_unconstrained() {
+        // Both true coefficients positive → NNLS equals ordinary LS.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let sol = nnls(&a, &b).unwrap();
+        let ls = lstsq(&a, &b).unwrap();
+        for (p, q) in sol.x.iter().zip(&ls) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+        assert!(sol.residual_norm < 1e-9);
+    }
+
+    #[test]
+    fn clamps_negative_coefficient() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let sol = nnls(&a, &[1.0, -0.5]).unwrap();
+        assert_eq!(sol.x, vec![1.0, 0.0]);
+        assert!((sol.residual_norm - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let sol = nnls(&a, &[0.0, 0.0]).unwrap();
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+        assert_eq!(sol.residual_norm, 0.0);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn recovers_known_nonnegative_mixture() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = 40;
+        let n = 4;
+        let data: Vec<f64> = (0..m * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let a = Matrix::from_vec(m, n, data).unwrap();
+        let truth = vec![0.5, 0.0, 2.0, 1.2];
+        let b = a.matvec(&truth).unwrap();
+        let sol = nnls(&a, &b).unwrap();
+        for (got, want) in sol.x.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn kkt_conditions_hold_on_random_problems() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..25 {
+            let m = rng.gen_range(3..30);
+            let n = rng.gen_range(1..6);
+            let data: Vec<f64> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let a = Matrix::from_vec(m, n, data).unwrap();
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sol = nnls(&a, &b).unwrap();
+            // KKT: x ≥ 0; gradient g = Aᵀ(Ax−b) has g_i ≥ −tol where x_i = 0
+            // and |g_i| ≈ 0 where x_i > 0.
+            let ax = a.matvec(&sol.x).unwrap();
+            let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+            let g = a.tr_matvec(&r).unwrap();
+            for (i, (&xi, &gi)) in sol.x.iter().zip(&g).enumerate() {
+                assert!(xi >= 0.0, "x[{i}] negative: {xi}");
+                if xi > 1e-8 {
+                    assert!(gi.abs() < 1e-6, "free variable gradient {gi}");
+                } else {
+                    assert!(gi > -1e-6, "bound variable gradient {gi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_columns_do_not_fail() {
+        // Two identical "users" at the same position — degenerate Gram.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let sol = nnls(&a, &[2.0, 4.0, 6.0]).unwrap();
+        // Any split with x0 + x1 = 2 is optimal; check feasibility + fit.
+        assert!(sol.x.iter().all(|&v| v >= 0.0));
+        assert!((sol.x[0] + sol.x[1] - 2.0).abs() < 1e-5);
+        assert!(sol.residual_norm < 1e-5);
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(2);
+        assert!(nnls(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn single_column_problems() {
+        let a = Matrix::column(vec![1.0, 1.0, 1.0]).unwrap();
+        // Positive mean → fitted; negative mean → clamped to zero.
+        assert!((nnls(&a, &[1.0, 2.0, 3.0]).unwrap().x[0] - 2.0).abs() < 1e-9);
+        assert_eq!(nnls(&a, &[-1.0, -2.0, -3.0]).unwrap().x[0], 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! The residual bookkeeping of the NLS objective (`‖F̂ − F′‖`, Equation 4.1)
+//! lives on plain slices; these helpers keep that code readable without
+//! pulling a vector type through every API.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot of unequal lengths {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm `‖a‖₂`.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm.
+pub fn norm_squared(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// Elementwise difference `a − b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "sub of unequal lengths {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "add of unequal lengths {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// In-place AXPY: `y ← y + alpha · x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy of unequal lengths {} vs {}",
+        x.len(),
+        y.len()
+    );
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scaled copy `alpha · a`.
+pub fn scale(alpha: f64, a: &[f64]) -> Vec<f64> {
+    a.iter().map(|x| alpha * x).collect()
+}
+
+/// Euclidean distance `‖a − b‖₂` without allocating.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance of unequal lengths {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Root-mean-square difference of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty(), "rms_diff of empty slices");
+    distance(a, b) / (a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_squared(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 1.0]), vec![2.0, 3.0]);
+        assert_eq!(add(&[3.0, 4.0], &[1.0, 1.0]), vec![4.0, 5.0]);
+        assert_eq!(scale(2.0, &[1.0, -1.0]), vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn distance_and_rms() {
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert!((rms_diff(&[0.0, 0.0], &[3.0, 4.0]) - 5.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

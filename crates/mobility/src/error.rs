@@ -1,0 +1,77 @@
+//! Error type for mobility construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building trajectories, schedules, or trace
+/// generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MobilityError {
+    /// A trajectory needs at least one waypoint.
+    EmptyTrajectory,
+    /// Waypoint times must be strictly increasing.
+    NonMonotonicTime {
+        /// Index of the offending waypoint.
+        index: usize,
+    },
+    /// A coordinate or time was not finite.
+    NonFinite {
+        /// Index of the offending waypoint.
+        index: usize,
+    },
+    /// A model parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A schedule needs at least one collection time.
+    EmptySchedule,
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::EmptyTrajectory => write!(f, "trajectory needs at least one waypoint"),
+            MobilityError::NonMonotonicTime { index } => {
+                write!(
+                    f,
+                    "waypoint times must be strictly increasing (index {index})"
+                )
+            }
+            MobilityError::NonFinite { index } => {
+                write!(f, "waypoint {index} has a non-finite time or position")
+            }
+            MobilityError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+            MobilityError::EmptySchedule => write!(f, "schedule needs at least one collection"),
+        }
+    }
+}
+
+impl Error for MobilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            MobilityError::EmptyTrajectory,
+            MobilityError::NonMonotonicTime { index: 1 },
+            MobilityError::NonFinite { index: 0 },
+            MobilityError::BadParameter {
+                name: "vmax",
+                value: -1.0,
+            },
+            MobilityError::EmptySchedule,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

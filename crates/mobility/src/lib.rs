@@ -1,0 +1,44 @@
+//! Mobility models and collection schedules for mobile users.
+//!
+//! The paper tracks mobile sinks along three kinds of movement:
+//!
+//! - scripted straight/crossing trajectories (Figure 7, including the
+//!   identity-mixing crossing case 7(d)) — [`scenarios`];
+//! - random-waypoint style motion bounded by a maximum speed
+//!   (`v_max · Δt` resampling discs, Formula 4.2) — [`RandomWaypoint`],
+//!   [`ReflectingWalk`];
+//! - real campus traces (Dartmouth data set v1.3, §5.C) — substituted here
+//!   by a synthetic generator, [`CampusTraceGenerator`], that reproduces the
+//!   two properties the experiment actually exercises: landmark-hop mobility
+//!   between ~50 access points and *asynchronous* per-user collection times
+//!   (see DESIGN.md §4).
+//!
+//! # Example
+//!
+//! ```
+//! use fluxprint_geometry::Point2;
+//! use fluxprint_mobility::Trajectory;
+//!
+//! let traj = Trajectory::new(vec![
+//!     (0.0, Point2::new(0.0, 0.0)),
+//!     (10.0, Point2::new(10.0, 0.0)),
+//! ])?;
+//! assert_eq!(traj.position_at(5.0), Point2::new(5.0, 0.0));
+//! assert_eq!(traj.position_at(-1.0), Point2::new(0.0, 0.0)); // clamped
+//! # Ok::<(), fluxprint_mobility::MobilityError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod models;
+pub mod scenarios;
+mod schedule;
+mod traces;
+mod trajectory;
+
+pub use error::MobilityError;
+pub use models::{RandomWaypoint, ReflectingWalk};
+pub use schedule::{CollectionSchedule, UserMotion};
+pub use traces::{CampusTrace, CampusTraceGenerator};
+pub use trajectory::Trajectory;

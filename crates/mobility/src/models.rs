@@ -1,0 +1,287 @@
+//! Stochastic mobility models.
+
+use rand::Rng;
+
+use fluxprint_geometry::{deployment, Boundary, Point2, Vec2};
+
+use crate::{MobilityError, Trajectory};
+
+/// The random-waypoint model: pick a uniform destination in the field, move
+/// toward it at a uniform random speed `≤ v_max`, optionally pause, repeat.
+///
+/// This is the "weak model" setting of §4.C — the tracker knows nothing
+/// about the motion except `v_max`, and random waypoint respects exactly
+/// that bound.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Rect;
+/// use fluxprint_mobility::RandomWaypoint;
+/// use rand::SeedableRng;
+///
+/// let field = Rect::square(30.0)?;
+/// let model = RandomWaypoint::new(5.0, 0.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let traj = model.generate(&field, 0.0, 100.0, &mut rng)?;
+/// assert!(traj.max_speed() <= 5.0 + 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    vmax: f64,
+    pause: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates the model with maximum speed `vmax` and a fixed `pause` at
+    /// every waypoint (`0` for continuous motion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for non-positive `vmax` or
+    /// negative `pause`.
+    pub fn new(vmax: f64, pause: f64) -> Result<Self, MobilityError> {
+        if !(vmax.is_finite() && vmax > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "vmax",
+                value: vmax,
+            });
+        }
+        if !(pause.is_finite() && pause >= 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "pause",
+                value: pause,
+            });
+        }
+        Ok(RandomWaypoint { vmax, pause })
+    }
+
+    /// Maximum speed.
+    pub fn vmax(&self) -> f64 {
+        self.vmax
+    }
+
+    /// Generates a trajectory of at least `duration` starting at `t0` from
+    /// a uniform random position in `field`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory-construction errors (unreachable for valid
+    /// parameters).
+    pub fn generate<B, R>(
+        &self,
+        field: &B,
+        t0: f64,
+        duration: f64,
+        rng: &mut R,
+    ) -> Result<Trajectory, MobilityError>
+    where
+        B: Boundary + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut t = t0;
+        let mut pos = deployment::random_point(field, rng);
+        let mut waypoints = vec![(t, pos)];
+        while t - t0 < duration {
+            let dest = deployment::random_point(field, rng);
+            let dist = pos.distance(dest);
+            if dist < 1e-9 {
+                continue;
+            }
+            let speed = rng.gen_range(0.1 * self.vmax..=self.vmax);
+            t += dist / speed;
+            waypoints.push((t, dest));
+            pos = dest;
+            if self.pause > 0.0 {
+                t += self.pause;
+                waypoints.push((t, dest));
+            }
+        }
+        Trajectory::new(waypoints)
+    }
+}
+
+/// A reflecting ("billiard") random walk: constant speed, heading
+/// perturbed at exponential intervals, specularly reflected at the field's
+/// bounding walls.
+///
+/// Unlike random waypoint this model has no long straight transits, giving
+/// the tracker a harder, jitterier target with the same `v_max` bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReflectingWalk {
+    speed: f64,
+    turn_interval: f64,
+}
+
+impl ReflectingWalk {
+    /// Creates the walk with constant `speed`, redrawing the heading about
+    /// every `turn_interval` time units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for non-positive parameters.
+    pub fn new(speed: f64, turn_interval: f64) -> Result<Self, MobilityError> {
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "speed",
+                value: speed,
+            });
+        }
+        if !(turn_interval.is_finite() && turn_interval > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "turn_interval",
+                value: turn_interval,
+            });
+        }
+        Ok(ReflectingWalk {
+            speed,
+            turn_interval,
+        })
+    }
+
+    /// Generates a trajectory of at least `duration` starting at `t0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory-construction errors (unreachable for valid
+    /// parameters).
+    pub fn generate<B, R>(
+        &self,
+        field: &B,
+        t0: f64,
+        duration: f64,
+        rng: &mut R,
+    ) -> Result<Trajectory, MobilityError>
+    where
+        B: Boundary + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let (lo, hi) = field.bounding_box();
+        let mut pos = deployment::random_point(field, rng);
+        let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut t = t0;
+        let mut waypoints = vec![(t, pos)];
+        while t - t0 < duration {
+            // Exponential leg duration with mean `turn_interval`.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let leg = -u.ln() * self.turn_interval;
+            let mut remaining = leg * self.speed;
+            // Walk the leg, reflecting off the bounding box walls.
+            while remaining > 1e-9 {
+                let dir = Vec2::from_angle(heading);
+                let step = remaining.min(wall_distance(pos, dir, lo, hi));
+                pos += dir * step;
+                remaining -= step;
+                t += step / self.speed;
+                if remaining > 1e-9 {
+                    // We hit a wall: reflect the heading component.
+                    let eps = 1e-7;
+                    if pos.x <= lo.x + eps || pos.x >= hi.x - eps {
+                        heading = std::f64::consts::PI - heading;
+                    }
+                    if pos.y <= lo.y + eps || pos.y >= hi.y - eps {
+                        heading = -heading;
+                    }
+                }
+                pos = field.clamp(pos);
+                waypoints.push((t, pos));
+            }
+            heading += rng.gen_range(-1.0..1.0);
+        }
+        // Drop duplicate timestamps created by zero-length steps.
+        waypoints.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-12);
+        Trajectory::new(waypoints)
+    }
+}
+
+/// Distance from `pos` along `dir` to the first bounding-box wall.
+fn wall_distance(pos: Point2, dir: Vec2, lo: Point2, hi: Point2) -> f64 {
+    let mut t = f64::INFINITY;
+    if dir.x > 1e-12 {
+        t = t.min((hi.x - pos.x) / dir.x);
+    } else if dir.x < -1e-12 {
+        t = t.min((lo.x - pos.x) / dir.x);
+    }
+    if dir.y > 1e-12 {
+        t = t.min((hi.y - pos.y) / dir.y);
+    } else if dir.y < -1e-12 {
+        t = t.min((lo.y - pos.y) / dir.y);
+    }
+    t.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::{Boundary, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn field() -> Rect {
+        Rect::square(30.0).unwrap()
+    }
+
+    #[test]
+    fn waypoint_respects_vmax_and_field() {
+        let model = RandomWaypoint::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let traj = model.generate(&field(), 0.0, 200.0, &mut rng).unwrap();
+        assert!(traj.max_speed() <= 5.0 + 1e-9);
+        assert!(traj.duration() >= 200.0);
+        for (_, p) in traj.sample_every(1.0) {
+            assert!(field().contains(p));
+        }
+    }
+
+    #[test]
+    fn waypoint_pause_creates_dwell() {
+        let model = RandomWaypoint::new(5.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let traj = model.generate(&field(), 0.0, 50.0, &mut rng).unwrap();
+        // During a pause the position is constant over a 3-unit window.
+        let (times, points) = traj.waypoints();
+        let has_dwell = times
+            .windows(2)
+            .zip(points.windows(2))
+            .any(|(ts, ps)| (ts[1] - ts[0] - 3.0).abs() < 1e-9 && ps[0] == ps[1]);
+        assert!(has_dwell, "pause should produce repeated positions");
+    }
+
+    #[test]
+    fn waypoint_rejects_bad_params() {
+        assert!(RandomWaypoint::new(0.0, 0.0).is_err());
+        assert!(RandomWaypoint::new(5.0, -1.0).is_err());
+        assert!(RandomWaypoint::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn walk_stays_in_field_at_constant_speed() {
+        let model = ReflectingWalk::new(2.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let traj = model.generate(&field(), 0.0, 100.0, &mut rng).unwrap();
+        assert!(traj.duration() >= 100.0);
+        assert!(traj.max_speed() <= 2.0 + 1e-6);
+        for (_, p) in traj.sample_every(0.5) {
+            assert!(field().contains(p), "walk escaped the field at {p}");
+        }
+    }
+
+    #[test]
+    fn walk_rejects_bad_params() {
+        assert!(ReflectingWalk::new(-1.0, 5.0).is_err());
+        assert!(ReflectingWalk::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_paths() {
+        let model = RandomWaypoint::new(5.0, 0.0).unwrap();
+        let t1 = model
+            .generate(&field(), 0.0, 50.0, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let t2 = model
+            .generate(&field(), 0.0, 50.0, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert_ne!(t1.position_at(25.0), t2.position_at(25.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Scripted trajectories for the tracking figures.
+//!
+//! Figure 7 tracks 1–3 users along straight paths and one deliberately
+//! crossing pair (7(d)), where the tracker keeps the positions right but
+//! may swap the users' identities at the intersection.
+
+use fluxprint_geometry::{Point2, Rect};
+
+use crate::{MobilityError, Trajectory};
+
+/// Straight diagonal paths spread across the field, one per user, each
+/// traversed over `duration` starting at `t0`.
+///
+/// Paths are chosen so simultaneous users stay well separated (the
+/// non-crossing cases of Figure 7(a)–(c)).
+///
+/// # Errors
+///
+/// Returns [`MobilityError::BadParameter`] when `count` is zero or exceeds
+/// four, or for a non-positive duration.
+pub fn parallel_tracks(
+    field: &Rect,
+    count: usize,
+    t0: f64,
+    duration: f64,
+) -> Result<Vec<Trajectory>, MobilityError> {
+    if count == 0 || count > 4 {
+        return Err(MobilityError::BadParameter {
+            name: "count",
+            value: count as f64,
+        });
+    }
+    if !(duration.is_finite() && duration > 0.0) {
+        return Err(MobilityError::BadParameter {
+            name: "duration",
+            value: duration,
+        });
+    }
+    let w = field.width();
+    let h = field.height();
+    let min = field.min();
+    // Horizontal lanes at distinct heights with alternating directions:
+    // constant pairwise separation (≥ 0.15·height) and a margin from the
+    // boundary where the flux model is least informative.
+    let lanes: [(f64, f64, f64, f64); 4] = [
+        (0.15, 0.20, 0.85, 0.20), // W → E, low lane
+        (0.85, 0.50, 0.15, 0.50), // E → W, middle lane
+        (0.15, 0.80, 0.85, 0.80), // W → E, high lane
+        (0.85, 0.35, 0.15, 0.35), // E → W, lower-middle lane
+    ];
+    lanes[..count]
+        .iter()
+        .map(|&(x0, y0, x1, y1)| {
+            Trajectory::linear(
+                t0,
+                Point2::new(min.x + x0 * w, min.y + y0 * h),
+                t0 + duration,
+                Point2::new(min.x + x1 * w, min.y + y1 * h),
+            )
+        })
+        .collect()
+}
+
+/// Two trajectories that cross at the field center halfway through
+/// (Figure 7(d)): user A moves W→E, user B moves S→N, meeting at
+/// `t0 + duration/2`.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::BadParameter`] for a non-positive duration.
+pub fn crossing_pair(
+    field: &Rect,
+    t0: f64,
+    duration: f64,
+) -> Result<[Trajectory; 2], MobilityError> {
+    if !(duration.is_finite() && duration > 0.0) {
+        return Err(MobilityError::BadParameter {
+            name: "duration",
+            value: duration,
+        });
+    }
+    let c = field.center();
+    let w = field.width();
+    let h = field.height();
+    let a = Trajectory::linear(
+        t0,
+        Point2::new(c.x - 0.35 * w, c.y),
+        t0 + duration,
+        Point2::new(c.x + 0.35 * w, c.y),
+    )?;
+    let b = Trajectory::linear(
+        t0,
+        Point2::new(c.x, c.y - 0.35 * h),
+        t0 + duration,
+        Point2::new(c.x, c.y + 0.35 * h),
+    )?;
+    Ok([a, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::Boundary;
+
+    fn field() -> Rect {
+        Rect::square(30.0).unwrap()
+    }
+
+    #[test]
+    fn parallel_tracks_stay_inside_and_separated() {
+        let tracks = parallel_tracks(&field(), 3, 0.0, 10.0).unwrap();
+        assert_eq!(tracks.len(), 3);
+        for t in &tracks {
+            for (_, p) in t.sample_every(0.5) {
+                assert!(field().contains(p));
+            }
+        }
+        // Pairwise separation at every sampled instant ≥ 2 field units.
+        for ti in 0..3 {
+            for tj in (ti + 1)..3 {
+                for step in 0..=20 {
+                    let t = step as f64 * 0.5;
+                    let d = tracks[ti]
+                        .position_at(t)
+                        .distance(tracks[tj].position_at(t));
+                    assert!(d > 2.0, "tracks {ti},{tj} too close ({d:.2}) at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_pair_meets_at_center() {
+        let [a, b] = crossing_pair(&field(), 0.0, 10.0).unwrap();
+        let meet_a = a.position_at(5.0);
+        let meet_b = b.position_at(5.0);
+        assert!(meet_a.distance(meet_b) < 1e-9);
+        assert!(meet_a.distance(field().center()) < 1e-9);
+        // Before/after the meeting they are apart.
+        assert!(a.position_at(0.0).distance(b.position_at(0.0)) > 5.0);
+        assert!(a.position_at(10.0).distance(b.position_at(10.0)) > 5.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(parallel_tracks(&field(), 0, 0.0, 10.0).is_err());
+        assert!(parallel_tracks(&field(), 5, 0.0, 10.0).is_err());
+        assert!(parallel_tracks(&field(), 2, 0.0, 0.0).is_err());
+        assert!(crossing_pair(&field(), 0.0, -1.0).is_err());
+    }
+}

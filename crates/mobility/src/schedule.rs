@@ -1,0 +1,223 @@
+//! Collection schedules: when each mobile user actually pulls data.
+//!
+//! §3.A: "The data collection of each user happens at different time and
+//! different places … Different users may have different time series of
+//! data collections independent of each other." A [`CollectionSchedule`]
+//! is that per-user time series; [`UserMotion`] bundles it with the user's
+//! trajectory and traffic stretch.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_geometry::Point2;
+
+use crate::{MobilityError, Trajectory};
+
+/// A strictly increasing series of data-collection times for one user.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_mobility::CollectionSchedule;
+///
+/// let s = CollectionSchedule::periodic(0.0, 5.0, 4)?; // t = 0, 5, 10, 15
+/// assert_eq!(s.times(), &[0.0, 5.0, 10.0, 15.0]);
+/// assert_eq!(s.next_in_window(4.0, 9.0), Some(5.0));
+/// assert_eq!(s.next_in_window(16.0, 20.0), None);
+/// # Ok::<(), fluxprint_mobility::MobilityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionSchedule {
+    times: Vec<f64>,
+}
+
+impl CollectionSchedule {
+    /// Builds a schedule from explicit times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptySchedule`] for no times,
+    /// [`MobilityError::NonMonotonicTime`] for non-increasing times, and
+    /// [`MobilityError::NonFinite`] for non-finite times.
+    pub fn from_times(times: Vec<f64>) -> Result<Self, MobilityError> {
+        if times.is_empty() {
+            return Err(MobilityError::EmptySchedule);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            if !t.is_finite() {
+                return Err(MobilityError::NonFinite { index: i });
+            }
+            if i > 0 && t <= times[i - 1] {
+                return Err(MobilityError::NonMonotonicTime { index: i });
+            }
+        }
+        Ok(CollectionSchedule { times })
+    }
+
+    /// A periodic schedule: `count` collections every `interval` starting
+    /// at `t0` (the synchronous setting of §5.B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for a non-positive interval
+    /// or zero count.
+    pub fn periodic(t0: f64, interval: f64, count: usize) -> Result<Self, MobilityError> {
+        if !(interval.is_finite() && interval > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "interval",
+                value: interval,
+            });
+        }
+        if count == 0 {
+            return Err(MobilityError::BadParameter {
+                name: "count",
+                value: 0.0,
+            });
+        }
+        CollectionSchedule::from_times((0..count).map(|i| t0 + i as f64 * interval).collect())
+    }
+
+    /// The collection times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of collections.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always `false` (construction rejects empty schedules).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// First collection time inside the half-open window `[t0, t1)`, if
+    /// any — the per-window activity test of Algorithm 4.1.
+    pub fn next_in_window(&self, t0: f64, t1: f64) -> Option<f64> {
+        let idx = self.times.partition_point(|&t| t < t0);
+        self.times.get(idx).copied().filter(|&t| t < t1)
+    }
+
+    /// Last collection time `< t`, if any (drives the asynchronous `Δt`
+    /// bookkeeping).
+    pub fn last_before(&self, t: f64) -> Option<f64> {
+        let idx = self.times.partition_point(|&x| x < t);
+        idx.checked_sub(1).map(|i| self.times[i])
+    }
+
+    /// Time span of the schedule `(first, last)`.
+    pub fn span(&self) -> (f64, f64) {
+        (self.times[0], *self.times.last().expect("non-empty"))
+    }
+}
+
+/// A complete mobile-user specification: where it is, when it collects,
+/// and how much traffic each collection pulls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserMotion {
+    /// The user's movement.
+    pub trajectory: Trajectory,
+    /// When the user collects data.
+    pub schedule: CollectionSchedule,
+    /// Traffic stretch `s` (the paper draws it from `[1, 3]`).
+    pub stretch: f64,
+}
+
+impl UserMotion {
+    /// Bundles a trajectory, schedule, and stretch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for a non-positive stretch.
+    pub fn new(
+        trajectory: Trajectory,
+        schedule: CollectionSchedule,
+        stretch: f64,
+    ) -> Result<Self, MobilityError> {
+        if !(stretch.is_finite() && stretch > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "stretch",
+                value: stretch,
+            });
+        }
+        Ok(UserMotion {
+            trajectory,
+            schedule,
+            stretch,
+        })
+    }
+
+    /// If the user collects during `[t0, t1)`, the `(time, position)` of
+    /// that collection.
+    pub fn collection_in(&self, t0: f64, t1: f64) -> Option<(f64, Point2)> {
+        self.schedule
+            .next_in_window(t0, t1)
+            .map(|t| (t, self.trajectory.position_at(t)))
+    }
+
+    /// Ground-truth position at time `t`.
+    pub fn position_at(&self, t: f64) -> Point2 {
+        self.trajectory.position_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_schedule_times() {
+        let s = CollectionSchedule::periodic(2.0, 3.0, 3).unwrap();
+        assert_eq!(s.times(), &[2.0, 5.0, 8.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.span(), (2.0, 8.0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn window_queries() {
+        let s = CollectionSchedule::from_times(vec![1.0, 4.0, 9.0]).unwrap();
+        assert_eq!(s.next_in_window(0.0, 2.0), Some(1.0));
+        assert_eq!(s.next_in_window(1.5, 4.0), None); // half-open at 4
+        assert_eq!(s.next_in_window(4.0, 5.0), Some(4.0));
+        assert_eq!(s.next_in_window(10.0, 20.0), None);
+        assert_eq!(s.last_before(4.0), Some(1.0));
+        assert_eq!(s.last_before(1.0), None);
+        assert_eq!(s.last_before(100.0), Some(9.0));
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(matches!(
+            CollectionSchedule::from_times(vec![]),
+            Err(MobilityError::EmptySchedule)
+        ));
+        assert!(matches!(
+            CollectionSchedule::from_times(vec![1.0, 1.0]),
+            Err(MobilityError::NonMonotonicTime { index: 1 })
+        ));
+        assert!(CollectionSchedule::periodic(0.0, 0.0, 3).is_err());
+        assert!(CollectionSchedule::periodic(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn user_motion_collection_position() {
+        let traj =
+            Trajectory::linear(0.0, Point2::new(0.0, 0.0), 10.0, Point2::new(10.0, 0.0)).unwrap();
+        let sched = CollectionSchedule::periodic(0.0, 5.0, 3).unwrap();
+        let user = UserMotion::new(traj, sched, 2.0).unwrap();
+        let (t, p) = user.collection_in(4.0, 6.0).unwrap();
+        assert_eq!(t, 5.0);
+        assert_eq!(p, Point2::new(5.0, 0.0));
+        assert!(user.collection_in(11.0, 12.0).is_none());
+        assert_eq!(user.position_at(2.0), Point2::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn user_motion_rejects_bad_stretch() {
+        let traj = Trajectory::stationary(0.0, Point2::ORIGIN).unwrap();
+        let sched = CollectionSchedule::periodic(0.0, 1.0, 1).unwrap();
+        assert!(UserMotion::new(traj.clone(), sched.clone(), 0.0).is_err());
+        assert!(UserMotion::new(traj, sched, f64::NAN).is_err());
+    }
+}

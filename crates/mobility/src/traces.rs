@@ -1,0 +1,374 @@
+//! Synthetic campus traces — the Dartmouth data-set substitute.
+//!
+//! §5.C drives the asynchronous-tracking experiment with the Dartmouth
+//! Wireless-Network mobility traces (v1.3): ~50 access points in a
+//! rectangular region serve as landmarks, each user's record is a sequence
+//! of AP associations over time, and the timeline is compressed ×100. The
+//! data set is not redistributable here, so this module generates traces
+//! with the same structure the experiment exercises:
+//!
+//! 1. **landmark-hop mobility** — users move between AP locations, dwelling
+//!    at each (heavy-tailed dwell times, as campus association logs show);
+//! 2. **asynchronous collections** — each user pulls network data at its
+//!    own association instants, independent of every other user.
+//!
+//! See DESIGN.md §4 for the substitution rationale.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+
+use fluxprint_geometry::{Point2, Rect};
+
+use crate::{CollectionSchedule, MobilityError, Trajectory, UserMotion};
+
+/// Output of the generator: AP landmarks plus per-user motion bundles.
+#[derive(Debug, Clone)]
+pub struct CampusTrace {
+    /// Access-point landmark positions.
+    pub aps: Vec<Point2>,
+    /// Per-user trajectory + asynchronous collection schedule + stretch.
+    pub users: Vec<UserMotion>,
+}
+
+/// Generator for synthetic campus traces.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Rect;
+/// use fluxprint_mobility::CampusTraceGenerator;
+/// use rand::SeedableRng;
+///
+/// let field = Rect::square(30.0)?;
+/// let gen = CampusTraceGenerator::new(field)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let trace = gen.generate(20, 300.0, &mut rng)?;
+/// assert_eq!(trace.users.len(), 20);
+/// assert_eq!(trace.aps.len(), 50);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampusTraceGenerator {
+    field: Rect,
+    ap_rows: usize,
+    ap_cols: usize,
+    mean_dwell: f64,
+    transit_speed: f64,
+    locality: f64,
+    stretch_range: (f64, f64),
+}
+
+impl CampusTraceGenerator {
+    /// Creates a generator with the paper-matching defaults: 50 APs
+    /// (10 × 5 grid), mean dwell 20 time units (log-normal), transit speed
+    /// 4 field units per time unit, stretch drawn from `[1, 3]`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid `Rect`; returns `Result` so future
+    /// validation does not break the API.
+    pub fn new(field: Rect) -> Result<Self, MobilityError> {
+        Ok(CampusTraceGenerator {
+            field,
+            ap_rows: 5,
+            ap_cols: 10,
+            mean_dwell: 20.0,
+            transit_speed: 4.0,
+            locality: 0.5,
+            stretch_range: (1.0, 3.0),
+        })
+    }
+
+    /// Sets the AP grid dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] when either dimension is 0.
+    pub fn ap_grid(mut self, rows: usize, cols: usize) -> Result<Self, MobilityError> {
+        if rows == 0 || cols == 0 {
+            return Err(MobilityError::BadParameter {
+                name: "ap_grid",
+                value: (rows * cols) as f64,
+            });
+        }
+        self.ap_rows = rows;
+        self.ap_cols = cols;
+        Ok(self)
+    }
+
+    /// Sets the mean dwell time at an AP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for a non-positive value.
+    pub fn mean_dwell(mut self, dwell: f64) -> Result<Self, MobilityError> {
+        if !(dwell.is_finite() && dwell > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "mean_dwell",
+                value: dwell,
+            });
+        }
+        self.mean_dwell = dwell;
+        Ok(self)
+    }
+
+    /// Sets the walking speed between APs (this is the `v_max` bound a
+    /// tracker should use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for a non-positive value.
+    pub fn transit_speed(mut self, speed: f64) -> Result<Self, MobilityError> {
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "transit_speed",
+                value: speed,
+            });
+        }
+        self.transit_speed = speed;
+        Ok(self)
+    }
+
+    /// The transit speed (tracker `v_max` bound).
+    pub fn speed(&self) -> f64 {
+        self.transit_speed
+    }
+
+    /// The AP landmark positions on their grid.
+    pub fn ap_positions(&self) -> Vec<Point2> {
+        let mut aps = Vec::with_capacity(self.ap_rows * self.ap_cols);
+        let w = self.field.width();
+        let h = self.field.height();
+        let min = self.field.min();
+        for r in 0..self.ap_rows {
+            for c in 0..self.ap_cols {
+                aps.push(Point2::new(
+                    min.x + (c as f64 + 0.5) * w / self.ap_cols as f64,
+                    min.y + (r as f64 + 0.5) * h / self.ap_rows as f64,
+                ));
+            }
+        }
+        aps
+    }
+
+    /// Generates `n_users` users over `[0, duration]`.
+    ///
+    /// Each user starts at a random AP at a random offset within the first
+    /// dwell period, then alternates heavy-tailed dwells and straight
+    /// transits to (locality-biased) random APs. A collection event fires
+    /// at every AP association, so different users' collections interleave
+    /// asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::BadParameter`] for `n_users == 0` or a
+    /// non-positive duration.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n_users: usize,
+        duration: f64,
+        rng: &mut R,
+    ) -> Result<CampusTrace, MobilityError> {
+        if n_users == 0 {
+            return Err(MobilityError::BadParameter {
+                name: "n_users",
+                value: 0.0,
+            });
+        }
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(MobilityError::BadParameter {
+                name: "duration",
+                value: duration,
+            });
+        }
+        let aps = self.ap_positions();
+        // Log-normal dwell: heavy right tail like association logs; σ=1
+        // gives a median well below the mean.
+        let sigma = 1.0;
+        let mu = self.mean_dwell.ln() - sigma * sigma / 2.0;
+        let dwell_dist = LogNormal::new(mu, sigma).expect("valid log-normal parameters");
+        let jitter = Exp::new(1.0 / (0.25 * self.mean_dwell)).expect("positive rate");
+
+        let mut users = Vec::with_capacity(n_users);
+        for _ in 0..n_users {
+            let mut ap = rng.gen_range(0..aps.len());
+            let mut t = jitter.sample(rng); // desynchronize users from t=0
+            let mut waypoints = vec![(0.0, aps[ap]), (t.max(1e-6), aps[ap])];
+            let mut collections = vec![t.max(1e-6)];
+            while t < duration {
+                // Dwell at the current AP.
+                let dwell = dwell_dist.sample(rng).max(0.5);
+                t += dwell;
+                waypoints.push((t, aps[ap]));
+                // Transit to the next AP (locality-biased choice).
+                let next = self.pick_next_ap(&aps, ap, rng);
+                let dist = aps[ap].distance(aps[next]);
+                let transit = (dist / self.transit_speed).max(1e-6);
+                t += transit;
+                ap = next;
+                waypoints.push((t, aps[ap]));
+                collections.push(t); // association event → collection
+            }
+            let stretch = rng.gen_range(self.stretch_range.0..=self.stretch_range.1);
+            users.push(UserMotion::new(
+                Trajectory::new(waypoints)?,
+                CollectionSchedule::from_times(collections)?,
+                stretch,
+            )?);
+        }
+        Ok(CampusTrace { aps, users })
+    }
+
+    /// Picks the next AP: with probability `locality` one of the four
+    /// nearest APs, otherwise uniform over all others.
+    fn pick_next_ap<R: Rng + ?Sized>(&self, aps: &[Point2], from: usize, rng: &mut R) -> usize {
+        if aps.len() == 1 {
+            return from;
+        }
+        if rng.gen::<f64>() < self.locality {
+            let mut order: Vec<usize> = (0..aps.len()).filter(|&i| i != from).collect();
+            order.sort_by(|&a, &b| {
+                aps[from]
+                    .distance(aps[a])
+                    .total_cmp(&aps[from].distance(aps[b]))
+            });
+            order[rng.gen_range(0..order.len().min(4))]
+        } else {
+            loop {
+                let i = rng.gen_range(0..aps.len());
+                if i != from {
+                    return i;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator() -> CampusTraceGenerator {
+        CampusTraceGenerator::new(Rect::square(30.0).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn default_grid_has_fifty_aps_inside_field() {
+        let gen = generator();
+        let aps = gen.ap_positions();
+        assert_eq!(aps.len(), 50);
+        let field = Rect::square(30.0).unwrap();
+        use fluxprint_geometry::Boundary;
+        assert!(aps.iter().all(|&p| field.contains(p)));
+    }
+
+    #[test]
+    fn users_have_async_schedules() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = gen.generate(20, 300.0, &mut rng).unwrap();
+        assert_eq!(trace.users.len(), 20);
+        // Collections of different users do not all coincide.
+        let firsts: Vec<f64> = trace.users.iter().map(|u| u.schedule.times()[0]).collect();
+        let distinct = {
+            let mut f = firsts.clone();
+            f.sort_by(f64::total_cmp);
+            f.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            f.len()
+        };
+        assert!(
+            distinct > 10,
+            "only {distinct} distinct first-collection times"
+        );
+    }
+
+    #[test]
+    fn trajectories_respect_transit_speed() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = gen.generate(5, 200.0, &mut rng).unwrap();
+        for u in &trace.users {
+            assert!(
+                u.trajectory.max_speed() <= gen.speed() + 1e-6,
+                "speed {} exceeds bound {}",
+                u.trajectory.max_speed(),
+                gen.speed()
+            );
+        }
+    }
+
+    #[test]
+    fn collections_happen_at_ap_positions() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = gen.generate(3, 200.0, &mut rng).unwrap();
+        for u in &trace.users {
+            for &t in u.schedule.times() {
+                let p = u.position_at(t);
+                let near_ap = trace.aps.iter().any(|&ap| ap.distance(p) < 1e-6);
+                assert!(near_ap, "collection at {p} is not at an AP");
+            }
+        }
+    }
+
+    #[test]
+    fn stretches_in_paper_range() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = gen.generate(20, 100.0, &mut rng).unwrap();
+        for u in &trace.users {
+            assert!((1.0..=3.0).contains(&u.stretch));
+        }
+    }
+
+    #[test]
+    fn dwells_are_heavy_tailed() {
+        // Median dwell well below mean dwell for the log-normal choice.
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = gen.generate(30, 500.0, &mut rng).unwrap();
+        let mut dwells = Vec::new();
+        for u in &trace.users {
+            let (times, points) = u.trajectory.waypoints();
+            for i in 1..times.len() {
+                if points[i] == points[i - 1] {
+                    dwells.push(times[i] - times[i - 1]);
+                }
+            }
+        }
+        let mean = dwells.iter().sum::<f64>() / dwells.len() as f64;
+        let mut sorted = dwells.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            median < mean,
+            "median {median:.1} should sit below mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(gen.generate(0, 100.0, &mut rng).is_err());
+        assert!(gen.generate(5, 0.0, &mut rng).is_err());
+        assert!(generator().ap_grid(0, 5).is_err());
+        assert!(generator().mean_dwell(-1.0).is_err());
+        assert!(generator().transit_speed(0.0).is_err());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let gen = generator()
+            .ap_grid(4, 4)
+            .unwrap()
+            .mean_dwell(10.0)
+            .unwrap()
+            .transit_speed(2.0)
+            .unwrap();
+        assert_eq!(gen.ap_positions().len(), 16);
+        assert_eq!(gen.speed(), 2.0);
+    }
+}

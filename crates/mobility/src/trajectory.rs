@@ -1,0 +1,228 @@
+//! Timed piecewise-linear trajectories.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_geometry::Point2;
+
+use crate::MobilityError;
+
+/// A mobile user's path: timed waypoints with linear interpolation.
+///
+/// Positions before the first waypoint clamp to it, positions after the
+/// last clamp likewise — a user "parks" at its trace endpoints.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Point2;
+/// use fluxprint_mobility::Trajectory;
+///
+/// let t = Trajectory::new(vec![
+///     (0.0, Point2::new(0.0, 0.0)),
+///     (2.0, Point2::new(4.0, 0.0)),
+///     (4.0, Point2::new(4.0, 4.0)),
+/// ])?;
+/// assert_eq!(t.position_at(1.0), Point2::new(2.0, 0.0));
+/// assert_eq!(t.position_at(3.0), Point2::new(4.0, 2.0));
+/// assert_eq!(t.path_length(), 8.0);
+/// # Ok::<(), fluxprint_mobility::MobilityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    times: Vec<f64>,
+    points: Vec<Point2>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from `(time, position)` waypoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyTrajectory`] for no waypoints,
+    /// [`MobilityError::NonMonotonicTime`] when times do not strictly
+    /// increase, and [`MobilityError::NonFinite`] for non-finite input.
+    pub fn new(waypoints: Vec<(f64, Point2)>) -> Result<Self, MobilityError> {
+        if waypoints.is_empty() {
+            return Err(MobilityError::EmptyTrajectory);
+        }
+        for (i, &(t, p)) in waypoints.iter().enumerate() {
+            if !t.is_finite() || !p.is_finite() {
+                return Err(MobilityError::NonFinite { index: i });
+            }
+            if i > 0 && t <= waypoints[i - 1].0 {
+                return Err(MobilityError::NonMonotonicTime { index: i });
+            }
+        }
+        let (times, points) = waypoints.into_iter().unzip();
+        Ok(Trajectory { times, points })
+    }
+
+    /// A stationary "trajectory" parked at `p` from time `t`.
+    pub fn stationary(t: f64, p: Point2) -> Result<Self, MobilityError> {
+        Trajectory::new(vec![(t, p)])
+    }
+
+    /// Straight-line motion from `from` at `t0` to `to` at `t1`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Trajectory::new`].
+    pub fn linear(t0: f64, from: Point2, t1: f64, to: Point2) -> Result<Self, MobilityError> {
+        Trajectory::new(vec![(t0, from), (t1, to)])
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always `false` (construction rejects empty waypoint lists).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Time of the first waypoint.
+    pub fn start_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Time of the last waypoint.
+    pub fn end_time(&self) -> f64 {
+        *self.times.last().expect("non-empty")
+    }
+
+    /// `end_time − start_time`.
+    pub fn duration(&self) -> f64 {
+        self.end_time() - self.start_time()
+    }
+
+    /// The waypoints as parallel `(times, points)` slices.
+    pub fn waypoints(&self) -> (&[f64], &[Point2]) {
+        (&self.times, &self.points)
+    }
+
+    /// Interpolated position at time `t` (clamped to the endpoints).
+    pub fn position_at(&self, t: f64) -> Point2 {
+        if t <= self.times[0] {
+            return self.points[0];
+        }
+        let last = self.times.len() - 1;
+        if t >= self.times[last] {
+            return self.points[last];
+        }
+        // Index of the first waypoint with time > t; segment is [idx-1, idx].
+        let idx = self.times.partition_point(|&wt| wt <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let frac = (t - t0) / (t1 - t0);
+        self.points[idx - 1].lerp(self.points[idx], frac)
+    }
+
+    /// Total Euclidean length of the path.
+    pub fn path_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// Maximum speed over any segment (0 for a single waypoint).
+    pub fn max_speed(&self) -> f64 {
+        self.times
+            .windows(2)
+            .zip(self.points.windows(2))
+            .map(|(ts, ps)| ps[0].distance(ps[1]) / (ts[1] - ts[0]))
+            .fold(0.0, f64::max)
+    }
+
+    /// Samples the trajectory every `dt` from start to end (inclusive of
+    /// the final time), returning `(time, position)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not positive.
+    pub fn sample_every(&self, dt: f64) -> Vec<(f64, Point2)> {
+        assert!(dt > 0.0, "sample interval must be positive, got {dt}");
+        let mut out = Vec::new();
+        let mut t = self.start_time();
+        let end = self.end_time();
+        while t < end {
+            out.push((t, self.position_at(t)));
+            t += dt;
+        }
+        out.push((end, self.position_at(end)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let t =
+            Trajectory::linear(0.0, Point2::new(0.0, 0.0), 10.0, Point2::new(10.0, 20.0)).unwrap();
+        assert_eq!(t.position_at(0.0), Point2::new(0.0, 0.0));
+        assert_eq!(t.position_at(5.0), Point2::new(5.0, 10.0));
+        assert_eq!(t.position_at(10.0), Point2::new(10.0, 20.0));
+        assert_eq!(t.position_at(-5.0), Point2::new(0.0, 0.0));
+        assert_eq!(t.position_at(99.0), Point2::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn multi_segment_metrics() {
+        let t = Trajectory::new(vec![
+            (0.0, Point2::new(0.0, 0.0)),
+            (1.0, Point2::new(3.0, 4.0)), // speed 5
+            (3.0, Point2::new(3.0, 6.0)), // speed 1
+        ])
+        .unwrap();
+        assert_eq!(t.path_length(), 7.0);
+        assert_eq!(t.max_speed(), 5.0);
+        assert_eq!(t.duration(), 3.0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn stationary_trajectory() {
+        let t = Trajectory::stationary(2.0, Point2::new(1.0, 1.0)).unwrap();
+        assert_eq!(t.position_at(0.0), Point2::new(1.0, 1.0));
+        assert_eq!(t.position_at(100.0), Point2::new(1.0, 1.0));
+        assert_eq!(t.max_speed(), 0.0);
+        assert_eq!(t.path_length(), 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            Trajectory::new(vec![]),
+            Err(MobilityError::EmptyTrajectory)
+        ));
+        assert!(matches!(
+            Trajectory::new(vec![(0.0, Point2::ORIGIN), (0.0, Point2::new(1.0, 1.0))]),
+            Err(MobilityError::NonMonotonicTime { index: 1 })
+        ));
+        assert!(matches!(
+            Trajectory::new(vec![(f64::NAN, Point2::ORIGIN)]),
+            Err(MobilityError::NonFinite { index: 0 })
+        ));
+        assert!(matches!(
+            Trajectory::new(vec![(0.0, Point2::new(f64::INFINITY, 0.0))]),
+            Err(MobilityError::NonFinite { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn sampling_covers_both_endpoints() {
+        let t = Trajectory::linear(0.0, Point2::ORIGIN, 1.0, Point2::new(1.0, 0.0)).unwrap();
+        let samples = t.sample_every(0.3);
+        assert_eq!(samples.first().unwrap().0, 0.0);
+        assert_eq!(samples.last().unwrap().0, 1.0);
+        assert!(samples.len() >= 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trajectory::linear(0.0, Point2::ORIGIN, 1.0, Point2::new(1.0, 2.0)).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trajectory = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

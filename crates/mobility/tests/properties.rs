@@ -1,0 +1,132 @@
+//! Property-based tests for trajectories, schedules, and trace generation.
+
+use fluxprint_geometry::{Boundary, Point2, Rect};
+use fluxprint_mobility::{
+    CampusTraceGenerator, CollectionSchedule, RandomWaypoint, ReflectingWalk, Trajectory,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn waypoints_strategy() -> impl Strategy<Value = Vec<(f64, Point2)>> {
+    proptest::collection::vec(((0.1..5.0f64), (0.0..30.0f64), (0.0..30.0f64)), 1..8).prop_map(
+        |steps| {
+            let mut t = 0.0;
+            steps
+                .into_iter()
+                .map(|(dt, x, y)| {
+                    t += dt;
+                    (t, Point2::new(x, y))
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// position_at is continuous-ish: nearby query times give nearby
+    /// positions bounded by max_speed × Δt.
+    #[test]
+    fn position_lipschitz_in_time(
+        wps in waypoints_strategy(),
+        t0 in 0.0..40.0f64,
+        dt in 0.0..1.0f64,
+    ) {
+        let traj = Trajectory::new(wps).unwrap();
+        let a = traj.position_at(t0);
+        let b = traj.position_at(t0 + dt);
+        let bound = traj.max_speed() * dt + 1e-9;
+        prop_assert!(a.distance(b) <= bound, "jumped {} > {bound}", a.distance(b));
+    }
+
+    /// position_at at waypoint times returns the waypoints exactly.
+    #[test]
+    fn waypoints_are_interpolation_fixed_points(wps in waypoints_strategy()) {
+        let traj = Trajectory::new(wps.clone()).unwrap();
+        for (t, p) in wps {
+            let q = traj.position_at(t);
+            prop_assert!(q.distance(p) < 1e-9);
+        }
+    }
+
+    /// Path length is at least the straight-line distance between the
+    /// endpoints.
+    #[test]
+    fn path_length_dominates_displacement(wps in waypoints_strategy()) {
+        let traj = Trajectory::new(wps).unwrap();
+        let (times, points) = traj.waypoints();
+        let displacement = points[0].distance(points[times.len() - 1]);
+        prop_assert!(traj.path_length() >= displacement - 1e-9);
+    }
+
+    /// next_in_window returns a time inside the window and never skips an
+    /// earlier eligible collection.
+    #[test]
+    fn window_query_sound(
+        times in proptest::collection::vec(0.0..100.0f64, 1..20),
+        w0 in 0.0..100.0f64,
+        len in 0.1..10.0f64,
+    ) {
+        let mut ts = times;
+        ts.sort_by(f64::total_cmp);
+        ts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let sched = CollectionSchedule::from_times(ts.clone()).unwrap();
+        let w1 = w0 + len;
+        match sched.next_in_window(w0, w1) {
+            Some(t) => {
+                prop_assert!(t >= w0 && t < w1);
+                // Nothing earlier in the window.
+                prop_assert!(!ts.iter().any(|&x| x >= w0 && x < t));
+            }
+            None => {
+                prop_assert!(!ts.iter().any(|&x| x >= w0 && x < w1));
+            }
+        }
+    }
+
+    /// Random-waypoint trajectories always respect v_max and the field.
+    #[test]
+    fn waypoint_model_invariants(seed in 0u64..5000, vmax in 1.0..10.0f64) {
+        let field = Rect::square(30.0).unwrap();
+        let model = RandomWaypoint::new(vmax, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traj = model.generate(&field, 0.0, 40.0, &mut rng).unwrap();
+        prop_assert!(traj.max_speed() <= vmax + 1e-9);
+        prop_assert!(traj.duration() >= 40.0);
+        for (_, p) in traj.sample_every(1.0) {
+            prop_assert!(field.contains(p));
+        }
+    }
+
+    /// Reflecting walks stay inside any rectangular field.
+    #[test]
+    fn walk_model_invariants(seed in 0u64..5000, speed in 0.5..6.0f64) {
+        let field = Rect::square(30.0).unwrap();
+        let model = ReflectingWalk::new(speed, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traj = model.generate(&field, 0.0, 30.0, &mut rng).unwrap();
+        prop_assert!(traj.max_speed() <= speed + 1e-6);
+        for (_, p) in traj.sample_every(0.5) {
+            prop_assert!(field.contains(p));
+        }
+    }
+
+    /// Campus traces: schedules strictly increase and collections happen
+    /// where the trajectory actually is.
+    #[test]
+    fn campus_trace_consistency(seed in 0u64..2000) {
+        let gen = CampusTraceGenerator::new(Rect::square(30.0).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = gen.generate(4, 80.0, &mut rng).unwrap();
+        for user in &trace.users {
+            let times = user.schedule.times();
+            for w in times.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+            // Max speed bounded by the generator's transit speed.
+            prop_assert!(user.trajectory.max_speed() <= gen.speed() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Randomized data-collection trees and the flux they induce.
+//!
+//! When a mobile user initiates a collection, "it builds a data collecting
+//! tree that roots at the sink and spans the network" (§3.A). Every node
+//! forwards its own datum plus everything generated in its subtree, so the
+//! flux a node carries is its subtree size scaled by the user's traffic
+//! stretch. Shortest-path trees are not unique; following the paper's
+//! observation about "the randomness of routing tree construction" (§3.B),
+//! each build picks a uniformly random parent among the neighbors one hop
+//! closer to the root.
+
+use rand::Rng;
+
+use crate::{NetsimError, Network, NodeId};
+
+/// A spanning shortest-path (BFS) collection tree rooted at a sink node.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::{Point2, Rect};
+/// use fluxprint_netsim::{CollectionTree, NetworkBuilder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let net = NetworkBuilder::new()
+///     .field(Rect::square(10.0)?)
+///     .perturbed_grid(10, 10, 0.2)
+///     .radius(1.8)
+///     .build(&mut rng)?;
+/// let root = net.nearest_node(Point2::new(5.0, 5.0));
+/// let tree = CollectionTree::build(&net, root, &mut rng)?;
+/// assert_eq!(tree.subtree_size(root), net.len() as u64);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollectionTree {
+    root: NodeId,
+    parent: Vec<Option<usize>>,
+    depth: Vec<u32>,
+    subtree_size: Vec<u64>,
+}
+
+impl CollectionTree {
+    /// Builds a randomized BFS tree rooted at `root`, spanning the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::NodeOutOfRange`] for an invalid root and
+    /// [`NetsimError::Disconnected`] when some node cannot reach the root.
+    pub fn build<R: Rng + ?Sized>(
+        network: &Network,
+        root: NodeId,
+        rng: &mut R,
+    ) -> Result<Self, NetsimError> {
+        let n = network.len();
+        if root.index() >= n {
+            return Err(NetsimError::NodeOutOfRange {
+                index: root.index(),
+                len: n,
+            });
+        }
+        let depth = network.hop_distances(root);
+        let reachable = depth.iter().filter(|&&d| d != u32::MAX).count();
+        if reachable != n {
+            return Err(NetsimError::Disconnected {
+                component: reachable,
+                total: n,
+            });
+        }
+
+        // Random parent among the neighbors one hop closer (reservoir pick
+        // so we never allocate the candidate list).
+        let mut parent = vec![None; n];
+        for v in 0..n {
+            if v == root.index() {
+                continue;
+            }
+            let dv = depth[v];
+            let mut chosen = None;
+            let mut seen = 0u32;
+            for &u in network.neighbors(NodeId::new(v)) {
+                if depth[u] + 1 == dv {
+                    seen += 1;
+                    if rng.gen_range(0..seen) == 0 {
+                        chosen = Some(u);
+                    }
+                }
+            }
+            parent[v] = Some(chosen.expect("BFS guarantees a closer neighbor"));
+        }
+
+        // Subtree sizes: accumulate counts from the deepest nodes upward.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(depth[v]));
+        let mut subtree_size = vec![1u64; n];
+        for &v in &order {
+            if let Some(p) = parent[v] {
+                subtree_size[p] += subtree_size[v];
+            }
+        }
+
+        Ok(CollectionTree {
+            root,
+            parent,
+            depth,
+            subtree_size,
+        })
+    }
+
+    /// The sink node the tree roots at.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes spanned (always the full network).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `false` for every built tree (construction requires ≥ 1 node).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()].map(NodeId::new)
+    }
+
+    /// Hop depth of `node` below the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depth[node.index()]
+    }
+
+    /// Per-node hop depths, indexed by node id.
+    pub fn depths(&self) -> &[u32] {
+        &self.depth
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (itself included).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn subtree_size(&self, node: NodeId) -> u64 {
+        self.subtree_size[node.index()]
+    }
+
+    /// The flux this collection induces at every node: each node relays its
+    /// whole subtree's data, so `flux[v] = stretch × subtree_size[v]`.
+    pub fn flux(&self, stretch: f64) -> Vec<f64> {
+        self.subtree_size
+            .iter()
+            .map(|&s| stretch * s as f64)
+            .collect()
+    }
+
+    /// Adds this collection's flux into an accumulator (superposition of
+    /// multiple users, `F = Σᵢ Fᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `accumulator.len()` differs from the network size.
+    pub fn accumulate_flux(&self, stretch: f64, accumulator: &mut [f64]) {
+        assert_eq!(
+            accumulator.len(),
+            self.subtree_size.len(),
+            "flux accumulator length mismatch"
+        );
+        for (acc, &s) in accumulator.iter_mut().zip(&self.subtree_size) {
+            *acc += stretch * s as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use fluxprint_geometry::{Point2, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(10);
+        NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(30, 30, 0.3)
+            .radius(2.4)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn tree_spans_all_nodes() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let root = net.nearest_node(Point2::new(15.0, 15.0));
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        assert_eq!(tree.len(), net.len());
+        assert_eq!(tree.root(), root);
+        assert!(!tree.is_empty());
+        assert_eq!(tree.subtree_size(root), net.len() as u64);
+        assert_eq!(tree.parent(root), None);
+    }
+
+    #[test]
+    fn parents_are_one_hop_closer_neighbors() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let root = net.nearest_node(Point2::new(3.0, 27.0));
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        for v in 0..net.len() {
+            let id = NodeId::new(v);
+            match tree.parent(id) {
+                None => assert_eq!(id, root),
+                Some(p) => {
+                    assert_eq!(tree.depth(p) + 1, tree.depth(id));
+                    assert!(net.neighbors(id).contains(&p.index()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum_along_paths() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(3);
+        let root = net.nearest_node(Point2::new(10.0, 10.0));
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        // Children's subtree sizes + 1 equal the parent's subtree size.
+        let mut child_sum = vec![0u64; net.len()];
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..net.len() {
+            if let Some(p) = tree.parent(NodeId::new(v)) {
+                child_sum[p.index()] += tree.subtree_size(NodeId::new(v));
+            }
+        }
+        for (v, &cs) in child_sum.iter().enumerate() {
+            assert_eq!(tree.subtree_size(NodeId::new(v)), cs + 1);
+        }
+    }
+
+    #[test]
+    fn flux_scales_with_stretch() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(4);
+        let root = net.nearest_node(Point2::new(20.0, 5.0));
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        let f1 = tree.flux(1.0);
+        let f3 = tree.flux(3.0);
+        for (a, b) in f1.iter().zip(&f3) {
+            assert!((b - 3.0 * a).abs() < 1e-9);
+        }
+        // Leaves carry exactly one unit.
+        assert!(f1.contains(&1.0));
+    }
+
+    #[test]
+    fn accumulate_matches_flux() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(5);
+        let root = net.nearest_node(Point2::new(29.0, 1.0));
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        let mut acc = vec![1.0; net.len()];
+        tree.accumulate_flux(2.0, &mut acc);
+        let f = tree.flux(2.0);
+        for (a, b) in acc.iter().zip(&f) {
+            assert!((a - (b + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_rng_streams_give_different_trees() {
+        let net = net();
+        let root = net.nearest_node(Point2::new(15.0, 15.0));
+        let t1 = CollectionTree::build(&net, root, &mut StdRng::seed_from_u64(100)).unwrap();
+        let t2 = CollectionTree::build(&net, root, &mut StdRng::seed_from_u64(200)).unwrap();
+        let differs =
+            (0..net.len()).any(|v| t1.parent(NodeId::new(v)) != t2.parent(NodeId::new(v)));
+        assert!(differs, "randomized trees should differ between seeds");
+        // But depths are tree-invariant (BFS distances).
+        for v in 0..net.len() {
+            assert_eq!(t1.depth(NodeId::new(v)), t2.depth(NodeId::new(v)));
+        }
+    }
+
+    #[test]
+    fn invalid_root_rejected() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            CollectionTree::build(&net, NodeId::new(10_000), &mut rng),
+            Err(NetsimError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_network_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .positions(vec![Point2::new(0.0, 0.0), Point2::new(20.0, 20.0)])
+            .radius(1.0)
+            .build(&mut rng)
+            .unwrap();
+        assert!(matches!(
+            CollectionTree::build(&net, NodeId::new(0), &mut rng),
+            Err(NetsimError::Disconnected {
+                component: 1,
+                total: 2
+            })
+        ));
+    }
+}

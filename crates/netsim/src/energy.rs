@@ -1,0 +1,186 @@
+//! Radio-energy accounting for collection traffic.
+//!
+//! Flux counts translate directly into radio work: a node that relays `F`
+//! data units performs `F` receptions (all but its own generation) and `F`
+//! transmissions. This module prices that work with a standard first-order
+//! radio model so defenses can be judged by their *energy overhead*, not
+//! just their effect on the attacker — dummy-sink decoys, in particular,
+//! cost the network real battery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Network;
+
+/// First-order radio energy model: fixed cost per unit sent and received.
+///
+/// Defaults follow the common first-order model's ballpark proportions
+/// (transmission ≈ reception electronics plus amplifier): 1.0 per unit
+/// transmitted, 0.8 per unit received, in arbitrary energy units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per data unit transmitted.
+    pub tx_cost: f64,
+    /// Energy per data unit received.
+    pub rx_cost: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            tx_cost: 1.0,
+            rx_cost: 0.8,
+        }
+    }
+}
+
+/// Energy accounting for one observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Per-node energy spent this window, indexed by node id.
+    pub per_node: Vec<f64>,
+    /// Sum over all nodes.
+    pub total: f64,
+    /// Maximum per-node energy — the bottleneck node that dies first.
+    pub peak: f64,
+}
+
+impl EnergyModel {
+    /// Prices a window's flux vector. `generated[v]` is the amount of
+    /// data node `v` *originated* this window (its stretch-scaled own
+    /// readings) — the part it transmits but never received.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors' lengths differ.
+    pub fn price(&self, flux: &[f64], generated: &[f64]) -> EnergyReport {
+        assert_eq!(
+            flux.len(),
+            generated.len(),
+            "flux/generated length mismatch"
+        );
+        let per_node: Vec<f64> = flux
+            .iter()
+            .zip(generated)
+            .map(|(&f, &g)| {
+                let received = (f - g).max(0.0);
+                self.tx_cost * f + self.rx_cost * received
+            })
+            .collect();
+        let total = per_node.iter().sum();
+        let peak = per_node.iter().cloned().fold(0.0, f64::max);
+        EnergyReport {
+            per_node,
+            total,
+            peak,
+        }
+    }
+
+    /// Convenience: prices a window in which every node originated
+    /// `stretch_sum` units (the usual case — each collecting user pulls
+    /// one unit per node, scaled by its stretch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flux.len()` differs from the network size.
+    pub fn price_uniform(&self, network: &Network, flux: &[f64], stretch_sum: f64) -> EnergyReport {
+        assert_eq!(flux.len(), network.len(), "flux length mismatch");
+        let generated = vec![stretch_sum; network.len()];
+        self.price(flux, &generated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use fluxprint_geometry::{Point2, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn leaf_pays_only_transmission() {
+        let model = EnergyModel::default();
+        // One node that generated everything it carries: zero receptions.
+        let report = model.price(&[3.0], &[3.0]);
+        assert_eq!(report.per_node, vec![3.0 * model.tx_cost]);
+        assert_eq!(report.total, report.peak);
+    }
+
+    #[test]
+    fn relay_pays_both_directions() {
+        let model = EnergyModel {
+            tx_cost: 2.0,
+            rx_cost: 1.0,
+        };
+        // Carries 10, generated 4 → received 6.
+        let report = model.price(&[10.0], &[4.0]);
+        assert_eq!(report.per_node, vec![2.0 * 10.0 + 1.0 * 6.0]);
+    }
+
+    #[test]
+    fn network_window_pricing_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(15, 15, 0.3)
+            .radius(4.0)
+            .build(&mut rng)
+            .unwrap();
+        let stretch = 2.0;
+        let flux = net
+            .simulate_flux(&[(Point2::new(15.0, 15.0), stretch)], &mut rng)
+            .unwrap();
+        let model = EnergyModel::default();
+        let report = model.price_uniform(&net, &flux, stretch);
+        // Every node transmits at least its own generation.
+        assert!(report
+            .per_node
+            .iter()
+            .all(|&e| e >= stretch * model.tx_cost - 1e-9));
+        // The root is the peak consumer: it receives everything but its own.
+        let n = net.len() as f64;
+        let expected_peak = model.tx_cost * stretch * n + model.rx_cost * stretch * (n - 1.0);
+        assert!((report.peak - expected_peak).abs() < 1e-6);
+        assert!(report.total > report.peak);
+    }
+
+    #[test]
+    fn dummy_sink_energy_overhead_visible() {
+        // A decoy collection costs as much as a real one: pricing the flux
+        // with and without a dummy shows the defense's energy bill.
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(15, 15, 0.3)
+            .radius(4.0)
+            .build(&mut rng)
+            .unwrap();
+        let model = EnergyModel::default();
+        let clean = net
+            .simulate_flux(&[(Point2::new(10.0, 10.0), 2.0)], &mut rng)
+            .unwrap();
+        let defended = net
+            .simulate_flux(
+                &[
+                    (Point2::new(10.0, 10.0), 2.0),
+                    (Point2::new(20.0, 20.0), 2.0),
+                ],
+                &mut rng,
+            )
+            .unwrap();
+        let e_clean = model.price_uniform(&net, &clean, 2.0);
+        let e_defended = model.price_uniform(&net, &defended, 4.0);
+        assert!(
+            e_defended.total > 1.8 * e_clean.total,
+            "decoy overhead invisible: {} vs {}",
+            e_defended.total,
+            e_clean.total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        EnergyModel::default().price(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Error type for the network simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use fluxprint_geometry::GeometryError;
+
+/// Errors produced while building or querying a simulated network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetsimError {
+    /// The builder was given no nodes.
+    EmptyNetwork,
+    /// The communication radius was not positive and finite.
+    BadRadius(f64),
+    /// No deployment (positions or generator) was configured.
+    MissingDeployment,
+    /// No field boundary was configured.
+    MissingField,
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// The network is disconnected, so a spanning collection tree cannot
+    /// reach every node.
+    Disconnected {
+        /// Size of the component containing the root.
+        component: usize,
+        /// Total number of nodes.
+        total: usize,
+    },
+    /// A sampling percentage was outside `(0, 100]`.
+    BadPercentage(f64),
+    /// A requested sniffer count exceeded the node count.
+    TooManySniffers {
+        /// Sniffers requested.
+        requested: usize,
+        /// Nodes available.
+        available: usize,
+    },
+    /// A user position or stretch was invalid (non-finite or negative
+    /// stretch).
+    BadUser {
+        /// Index of the user in the input slice.
+        index: usize,
+    },
+    /// A geometry error surfaced during deployment.
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::EmptyNetwork => write!(f, "network must contain at least one node"),
+            NetsimError::BadRadius(r) => {
+                write!(
+                    f,
+                    "communication radius must be positive and finite, got {r}"
+                )
+            }
+            NetsimError::MissingDeployment => write!(f, "no node deployment configured"),
+            NetsimError::MissingField => write!(f, "no field boundary configured"),
+            NetsimError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range for {len} nodes")
+            }
+            NetsimError::Disconnected { component, total } => write!(
+                f,
+                "network is disconnected: root component has {component} of {total} nodes"
+            ),
+            NetsimError::BadPercentage(p) => {
+                write!(f, "sampling percentage must be in (0, 100], got {p}")
+            }
+            NetsimError::TooManySniffers {
+                requested,
+                available,
+            } => {
+                write!(f, "requested {requested} sniffers from {available} nodes")
+            }
+            NetsimError::BadUser { index } => {
+                write!(
+                    f,
+                    "user {index} has a non-finite position or negative stretch"
+                )
+            }
+            NetsimError::Geometry(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl Error for NetsimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetsimError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for NetsimError {
+    fn from(e: GeometryError) -> Self {
+        NetsimError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            NetsimError::EmptyNetwork,
+            NetsimError::BadRadius(-1.0),
+            NetsimError::MissingDeployment,
+            NetsimError::MissingField,
+            NetsimError::NodeOutOfRange { index: 9, len: 3 },
+            NetsimError::Disconnected {
+                component: 1,
+                total: 2,
+            },
+            NetsimError::BadPercentage(0.0),
+            NetsimError::TooManySniffers {
+                requested: 10,
+                available: 5,
+            },
+            NetsimError::BadUser { index: 0 },
+            NetsimError::Geometry(GeometryError::EmptyDeployment),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn geometry_source_is_chained() {
+        let e = NetsimError::from(GeometryError::EmptyDeployment);
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&NetsimError::EmptyNetwork).is_none());
+    }
+}

@@ -1,0 +1,603 @@
+//! The simulated sensor network: deployment + unit-disk topology.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use fluxprint_geometry::{deployment, Boundary, Point2, Rect, SpatialGrid};
+
+use crate::{CollectionTree, NetsimError, NodeId};
+
+/// Degree statistics of a built topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyStats {
+    /// Mean node degree (the paper's "average network degree").
+    pub avg_degree: f64,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of edges (undirected).
+    pub edges: usize,
+    /// Mean Euclidean length of an edge — the `r` ("average distance of
+    /// each hop") folded into the fitted `s/r` factor by the solver.
+    pub mean_edge_length: f64,
+}
+
+/// An immutable deployed sensor network with unit-disk connectivity.
+///
+/// Construction goes through [`NetworkBuilder`]. The network owns the node
+/// positions, the field boundary, and a CSR adjacency structure; collection
+/// trees and flux simulations are derived per-query so that the routing
+/// randomness the paper relies on ("randomness of routing tree
+/// construction", §3.B) is fresh on every data collection.
+#[derive(Debug, Clone)]
+pub struct Network {
+    boundary: Arc<dyn Boundary>,
+    positions: Vec<Point2>,
+    radius: f64,
+    adj_starts: Vec<usize>,
+    adj: Vec<usize>,
+    grid: SpatialGrid,
+}
+
+impl Network {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when the network has no nodes (never, for built
+    /// networks — the builder rejects empty deployments).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn position(&self, id: NodeId) -> Point2 {
+        self.positions[id.index()]
+    }
+
+    /// All node positions, indexed by node id.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Communication radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The field boundary the network is deployed in.
+    pub fn boundary(&self) -> &dyn Boundary {
+        self.boundary.as_ref()
+    }
+
+    /// A clonable handle to the field boundary.
+    pub fn boundary_arc(&self) -> Arc<dyn Boundary> {
+        Arc::clone(&self.boundary)
+    }
+
+    /// Neighbor indices of node `id` (unit-disk, excluding itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn neighbors(&self, id: NodeId) -> &[usize] {
+        let i = id.index();
+        &self.adj[self.adj_starts[i]..self.adj_starts[i + 1]]
+    }
+
+    /// Degree of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.neighbors(id).len()
+    }
+
+    /// Topology statistics (degrees, edges, mean hop length).
+    pub fn topology_stats(&self) -> TopologyStats {
+        let n = self.len();
+        let mut min_degree = usize::MAX;
+        let mut max_degree = 0;
+        let mut total = 0usize;
+        let mut edge_len_sum = 0.0;
+        for i in 0..n {
+            let deg = self.adj_starts[i + 1] - self.adj_starts[i];
+            min_degree = min_degree.min(deg);
+            max_degree = max_degree.max(deg);
+            total += deg;
+            for &j in &self.adj[self.adj_starts[i]..self.adj_starts[i + 1]] {
+                if j > i {
+                    edge_len_sum += self.positions[i].distance(self.positions[j]);
+                }
+            }
+        }
+        let edges = total / 2;
+        TopologyStats {
+            avg_degree: total as f64 / n as f64,
+            min_degree: if n == 0 { 0 } else { min_degree },
+            max_degree,
+            edges,
+            mean_edge_length: if edges == 0 {
+                0.0
+            } else {
+                edge_len_sum / edges as f64
+            },
+        }
+    }
+
+    /// The node nearest to `p` — where a mobile user at `p` attaches its
+    /// data-collection tree.
+    pub fn nearest_node(&self, p: Point2) -> NodeId {
+        NodeId::new(self.grid.nearest(p).expect("built networks are non-empty"))
+    }
+
+    /// BFS hop distances from `root`; unreachable nodes get `u32::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` is out of range.
+    pub fn hop_distances(&self, root: NodeId) -> Vec<u32> {
+        let n = self.len();
+        assert!(root.index() < n, "root {root} out of range for {n} nodes");
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[root.index()] = 0;
+        queue.push_back(root.index());
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u];
+            for &v in &self.adj[self.adj_starts[u]..self.adj_starts[u + 1]] {
+                if dist[v] == u32::MAX {
+                    dist[v] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Returns `true` when every node is reachable from node 0.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.hop_distances(NodeId::new(0))
+            .iter()
+            .all(|&d| d != u32::MAX)
+    }
+
+    /// Simulates one observation window: every `(position, stretch)` user
+    /// builds a fresh randomized collection tree at its nearest node and
+    /// collects one data unit per node, scaled by its stretch. Returns the
+    /// summed per-node flux (`F = Σᵢ Fᵢ`, §3.A).
+    ///
+    /// Users with stretch `0` are inactive this window and contribute
+    /// nothing (the asynchronous-collection case of §4.E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::BadUser`] for non-finite positions or negative
+    /// stretches and [`NetsimError::Disconnected`] when a collection tree
+    /// cannot span the network.
+    pub fn simulate_flux<R: Rng + ?Sized>(
+        &self,
+        users: &[(Point2, f64)],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, NetsimError> {
+        let mut flux = vec![0.0; self.len()];
+        for (index, &(pos, stretch)) in users.iter().enumerate() {
+            if !pos.is_finite() || !stretch.is_finite() || stretch < 0.0 {
+                return Err(NetsimError::BadUser { index });
+            }
+            if stretch == 0.0 {
+                continue;
+            }
+            let root = self.nearest_node(pos);
+            let tree = CollectionTree::build(self, root, rng)?;
+            tree.accumulate_flux(stretch, &mut flux);
+        }
+        Ok(flux)
+    }
+}
+
+/// Deployment requested from the builder.
+#[derive(Debug, Clone)]
+enum Deployment {
+    Explicit(Vec<Point2>),
+    PerturbedGrid {
+        rows: usize,
+        cols: usize,
+        jitter: f64,
+    },
+    UniformRandom {
+        n: usize,
+    },
+}
+
+/// Builder for [`Network`].
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Rect;
+/// use fluxprint_netsim::NetworkBuilder;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let net = NetworkBuilder::new()
+///     .field(Rect::square(30.0)?)
+///     .uniform_random(900)
+///     .radius(2.4)
+///     .build(&mut rng)?;
+/// assert_eq!(net.len(), 900);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    boundary: Option<Arc<dyn Boundary>>,
+    deployment: Option<Deployment>,
+    radius: Option<f64>,
+    require_connected: bool,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder with nothing configured.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            boundary: None,
+            deployment: None,
+            radius: None,
+            require_connected: false,
+        }
+    }
+
+    /// Sets the field boundary.
+    pub fn field<B: Boundary + 'static>(mut self, boundary: B) -> Self {
+        self.boundary = Some(Arc::new(boundary));
+        self
+    }
+
+    /// Sets the field boundary from a shared handle (reuse across builds).
+    pub fn field_arc(mut self, boundary: Arc<dyn Boundary>) -> Self {
+        self.boundary = Some(boundary);
+        self
+    }
+
+    /// Uses explicit node positions.
+    pub fn positions(mut self, positions: Vec<Point2>) -> Self {
+        self.deployment = Some(Deployment::Explicit(positions));
+        self
+    }
+
+    /// Deploys `rows × cols` nodes on a perturbed grid (requires a [`Rect`]
+    /// field; see [`deployment::perturbed_grid`]).
+    pub fn perturbed_grid(mut self, rows: usize, cols: usize, jitter: f64) -> Self {
+        self.deployment = Some(Deployment::PerturbedGrid { rows, cols, jitter });
+        self
+    }
+
+    /// Deploys `n` nodes uniformly at random in the field.
+    pub fn uniform_random(mut self, n: usize) -> Self {
+        self.deployment = Some(Deployment::UniformRandom { n });
+        self
+    }
+
+    /// Sets the communication radius.
+    pub fn radius(mut self, radius: f64) -> Self {
+        self.radius = Some(radius);
+        self
+    }
+
+    /// Makes `build` fail with [`NetsimError::Disconnected`] when the
+    /// deployed topology is not connected (instead of deferring the error
+    /// to the first collection-tree build).
+    pub fn require_connected(mut self, yes: bool) -> Self {
+        self.require_connected = yes;
+        self
+    }
+
+    /// Builds the network, generating the deployment with `rng` when one of
+    /// the random layouts was requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::MissingField`] / [`NetsimError::MissingDeployment`]
+    /// for incomplete configuration, [`NetsimError::BadRadius`] or
+    /// [`NetsimError::EmptyNetwork`] for invalid parameters, and
+    /// [`NetsimError::Disconnected`] when connectivity was required but not
+    /// achieved.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> Result<Network, NetsimError> {
+        let boundary = self.boundary.ok_or(NetsimError::MissingField)?;
+        let radius = self.radius.ok_or(NetsimError::BadRadius(f64::NAN))?;
+        if !(radius.is_finite() && radius > 0.0) {
+            return Err(NetsimError::BadRadius(radius));
+        }
+        let positions = match self.deployment.ok_or(NetsimError::MissingDeployment)? {
+            Deployment::Explicit(p) => p,
+            Deployment::PerturbedGrid { rows, cols, jitter } => {
+                // A perturbed grid needs the rectangular bounding box; for a
+                // non-Rect boundary we grid its bounding box and clamp.
+                let (lo, hi) = boundary.bounding_box();
+                let rect = Rect::new(lo, hi)?;
+                deployment::perturbed_grid(&rect, rows, cols, jitter, rng)?
+                    .into_iter()
+                    .map(|p| boundary.clamp(p))
+                    .collect()
+            }
+            Deployment::UniformRandom { n } => {
+                deployment::uniform_random(boundary.as_ref(), n, rng)?
+            }
+        };
+        if positions.is_empty() {
+            return Err(NetsimError::EmptyNetwork);
+        }
+        if let Some(index) = positions.iter().position(|p| !p.is_finite()) {
+            return Err(NetsimError::BadUser { index });
+        }
+
+        // Build CSR adjacency with a spatial grid (expected O(n · degree)).
+        let grid = SpatialGrid::build(&positions, radius);
+        let n = positions.len();
+        let mut neighbor_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &p) in positions.iter().enumerate() {
+            grid.for_each_within(p, radius, |j| {
+                if j != i {
+                    neighbor_lists[i].push(j);
+                }
+            });
+        }
+        let mut adj_starts = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        adj_starts.push(0);
+        for list in &neighbor_lists {
+            adj.extend_from_slice(list);
+            adj_starts.push(adj.len());
+        }
+
+        let net = Network {
+            boundary,
+            positions,
+            radius,
+            adj_starts,
+            adj,
+            grid,
+        };
+        if self.require_connected && !net.is_connected() {
+            let reachable = net
+                .hop_distances(NodeId::new(0))
+                .iter()
+                .filter(|&&d| d != u32::MAX)
+                .count();
+            return Err(NetsimError::Disconnected {
+                component: reachable,
+                total: net.len(),
+            });
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    fn paper_network() -> Network {
+        NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(30, 30, 0.3)
+            .radius(2.4)
+            .build(&mut rng())
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_setup_has_expected_degree() {
+        let net = paper_network();
+        let stats = net.topology_stats();
+        // §5.A: radius 2.4 on a 30×30 field with 900 nodes → degree ≈ 18.
+        assert!(
+            (stats.avg_degree - 18.0).abs() < 3.0,
+            "average degree {} far from 18",
+            stats.avg_degree
+        );
+        assert!(stats.min_degree >= 1);
+        assert!(stats.mean_edge_length > 0.0 && stats.mean_edge_length <= 2.4);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let net = paper_network();
+        for i in 0..net.len() {
+            for &j in net.neighbors(NodeId::new(i)) {
+                assert!(
+                    net.neighbors(NodeId::new(j)).contains(&i),
+                    "edge {i}->{j} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_respects_radius() {
+        let net = paper_network();
+        for i in 0..net.len() {
+            let pi = net.position(NodeId::new(i));
+            for &j in net.neighbors(NodeId::new(i)) {
+                assert!(pi.distance(net.position(NodeId::new(j))) <= 2.4 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_setup_is_connected() {
+        assert!(paper_network().is_connected());
+    }
+
+    #[test]
+    fn hop_distances_bfs_invariants() {
+        let net = paper_network();
+        let dist = net.hop_distances(NodeId::new(0));
+        assert_eq!(dist[0], 0);
+        // Every non-root node has a neighbor one hop closer.
+        for i in 1..net.len() {
+            assert!(dist[i] != u32::MAX);
+            let has_parent = net
+                .neighbors(NodeId::new(i))
+                .iter()
+                .any(|&j| dist[j] + 1 == dist[i]);
+            assert!(has_parent, "node {i} at depth {} has no parent", dist[i]);
+        }
+    }
+
+    #[test]
+    fn nearest_node_matches_bruteforce() {
+        let net = paper_network();
+        let q = Point2::new(13.37, 4.2);
+        let got = net.nearest_node(q);
+        let want = net
+            .positions()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.distance(q).total_cmp(&b.1.distance(q)))
+            .unwrap()
+            .0;
+        assert!((net.position(got).distance(q) - net.positions()[want].distance(q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulate_flux_conserves_total_traffic() {
+        let net = paper_network();
+        let users = [(Point2::new(15.0, 15.0), 2.0)];
+        let flux = net.simulate_flux(&users, &mut rng()).unwrap();
+        // Root relays all n units × stretch; total flux equals the sum of
+        // subtree sizes = sum over nodes of (depth+1)... so just verify the
+        // peak equals stretch·n and every node carries at least its own unit.
+        let peak = flux.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(peak, 2.0 * net.len() as f64);
+        assert!(flux.iter().all(|&f| f >= 2.0 - 1e-9));
+    }
+
+    #[test]
+    fn simulate_flux_superposes_users() {
+        let net = paper_network();
+        let mut r = StdRng::seed_from_u64(5);
+        let u1 = [(Point2::new(5.0, 5.0), 1.0)];
+        let u2 = [(Point2::new(25.0, 25.0), 3.0)];
+        let both = [(Point2::new(5.0, 5.0), 1.0), (Point2::new(25.0, 25.0), 3.0)];
+        // With the same RNG stream the trees differ, so compare totals
+        // (which are tree-invariant: Σ subtree sizes = Σ (depth+1) varies...)
+        // Instead check the additive lower bound: the combined flux at every
+        // node is at least the sum of the two users' own-unit contributions.
+        let f = net.simulate_flux(&both, &mut r).unwrap();
+        assert!(f.iter().all(|&v| v >= 4.0 - 1e-9));
+        let f1 = net.simulate_flux(&u1, &mut r).unwrap();
+        let f2 = net.simulate_flux(&u2, &mut r).unwrap();
+        let peak1 = f1.iter().cloned().fold(0.0, f64::max);
+        let peak2 = f2.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(peak1, net.len() as f64);
+        assert_eq!(peak2, 3.0 * net.len() as f64);
+    }
+
+    #[test]
+    fn inactive_user_contributes_nothing() {
+        let net = paper_network();
+        let flux = net
+            .simulate_flux(&[(Point2::new(15.0, 15.0), 0.0)], &mut rng())
+            .unwrap();
+        assert!(flux.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn bad_users_rejected() {
+        let net = paper_network();
+        assert!(matches!(
+            net.simulate_flux(&[(Point2::new(f64::NAN, 0.0), 1.0)], &mut rng()),
+            Err(NetsimError::BadUser { index: 0 })
+        ));
+        assert!(matches!(
+            net.simulate_flux(&[(Point2::new(1.0, 1.0), -2.0)], &mut rng()),
+            Err(NetsimError::BadUser { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let mut r = rng();
+        assert!(matches!(
+            NetworkBuilder::new()
+                .radius(1.0)
+                .uniform_random(5)
+                .build(&mut r),
+            Err(NetsimError::MissingField)
+        ));
+        assert!(matches!(
+            NetworkBuilder::new()
+                .field(Rect::square(1.0).unwrap())
+                .radius(1.0)
+                .build(&mut r),
+            Err(NetsimError::MissingDeployment)
+        ));
+        assert!(matches!(
+            NetworkBuilder::new()
+                .field(Rect::square(1.0).unwrap())
+                .uniform_random(5)
+                .radius(0.0)
+                .build(&mut r),
+            Err(NetsimError::BadRadius(_))
+        ));
+        assert!(matches!(
+            NetworkBuilder::new()
+                .field(Rect::square(1.0).unwrap())
+                .positions(vec![])
+                .radius(1.0)
+                .build(&mut r),
+            Err(NetsimError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn require_connected_detects_disconnection() {
+        let mut r = rng();
+        let positions = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 10.0)];
+        let err = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .positions(positions)
+            .radius(1.0)
+            .require_connected(true)
+            .build(&mut r);
+        assert!(matches!(
+            err,
+            Err(NetsimError::Disconnected {
+                component: 1,
+                total: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn explicit_positions_are_preserved() {
+        let mut r = rng();
+        let positions = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)];
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .positions(positions.clone())
+            .radius(3.0)
+            .build(&mut r)
+            .unwrap();
+        assert_eq!(net.positions(), positions.as_slice());
+        assert_eq!(net.degree(NodeId::new(0)), 1);
+    }
+}

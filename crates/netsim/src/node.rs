@@ -1,0 +1,73 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a sensor node within its [`Network`](crate::Network).
+///
+/// A newtype rather than a bare `usize` so node indices cannot be confused
+/// with sniffer-slot indices or particle indices in the solver layers.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_netsim::NodeId;
+///
+/// let id = NodeId::new(42);
+/// assert_eq!(id.index(), 42);
+/// assert_eq!(id.to_string(), "n42");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a raw index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_ordering() {
+        let a = NodeId::new(1);
+        let b: NodeId = 2usize.into();
+        assert!(a < b);
+        assert_eq!(usize::from(b), 2);
+        assert_eq!(a.index(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+}

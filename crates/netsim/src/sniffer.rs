@@ -1,0 +1,372 @@
+//! The adversary's observation channel: sparse flux sniffing.
+//!
+//! "We only grasp the amount of traffic flux at each individual node instead
+//! of taking out the concrete flow information" (§1). A [`Sniffer`] is a
+//! fixed subset of nodes whose per-window flux totals the adversary can
+//! read; an optional [`NoiseModel`] perturbs the counts to model imperfect
+//! over-the-air measurement.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fluxprint_geometry::Point2;
+use fluxprint_stats::sample_indices_without_replacement;
+
+use crate::{NetsimError, Network, NodeId};
+
+/// Measurement noise applied to each sniffed flux count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum NoiseModel {
+    /// Exact counts (the paper's simulations).
+    #[default]
+    None,
+    /// Multiplicative Gaussian noise: `f ← f · (1 + σ·ε)`, `ε ~ N(0,1)`,
+    /// clamped at zero. Models partially overheard transmissions.
+    RelativeGaussian {
+        /// Relative standard deviation (e.g. `0.05` = 5 %).
+        sigma: f64,
+    },
+    /// Additive Gaussian noise: `f ← max(0, f + σ·ε)`. Models a constant
+    /// background of unrelated traffic.
+    AbsoluteGaussian {
+        /// Standard deviation in flux units.
+        sigma: f64,
+    },
+    /// Each reading is lost (reported as 0) with the given probability —
+    /// a sniffer that missed the observation window entirely.
+    Dropout {
+        /// Loss probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Applies the noise model to one flux value.
+    pub fn apply<R: Rng + ?Sized>(self, value: f64, rng: &mut R) -> f64 {
+        match self {
+            NoiseModel::None => value,
+            NoiseModel::RelativeGaussian { sigma } => {
+                (value * (1.0 + sigma * gaussian(rng))).max(0.0)
+            }
+            NoiseModel::AbsoluteGaussian { sigma } => (value + sigma * gaussian(rng)).max(0.0),
+            NoiseModel::Dropout { probability } => {
+                if rng.gen::<f64>() < probability {
+                    0.0
+                } else {
+                    value
+                }
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a crate dependency here).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A passive sniffer: the subset of nodes whose flux the adversary reads.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_geometry::Rect;
+/// use fluxprint_netsim::{NetworkBuilder, NoiseModel, Sniffer};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let net = NetworkBuilder::new()
+///     .field(Rect::square(30.0)?)
+///     .perturbed_grid(30, 30, 0.3)
+///     .radius(2.4)
+///     .build(&mut rng)?;
+/// // Sniff 10 % of the nodes, as in Figure 6(a)'s sparsest good setting.
+/// let sniffer = Sniffer::random_percentage(&net, 10.0, &mut rng)?;
+/// assert_eq!(sniffer.len(), 90);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sniffer {
+    ids: Vec<NodeId>,
+    positions: Vec<Point2>,
+}
+
+impl Sniffer {
+    /// Creates a sniffer over explicit node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::NodeOutOfRange`] for invalid ids and
+    /// [`NetsimError::EmptyNetwork`] for an empty id list.
+    pub fn from_ids(network: &Network, ids: Vec<NodeId>) -> Result<Self, NetsimError> {
+        if ids.is_empty() {
+            return Err(NetsimError::EmptyNetwork);
+        }
+        for id in &ids {
+            if id.index() >= network.len() {
+                return Err(NetsimError::NodeOutOfRange {
+                    index: id.index(),
+                    len: network.len(),
+                });
+            }
+        }
+        let positions = ids.iter().map(|&id| network.position(id)).collect();
+        Ok(Sniffer { ids, positions })
+    }
+
+    /// Sniffs a random `percentage` (in `(0, 100]`) of the network's nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::BadPercentage`] for an out-of-range percentage.
+    pub fn random_percentage<R: Rng + ?Sized>(
+        network: &Network,
+        percentage: f64,
+        rng: &mut R,
+    ) -> Result<Self, NetsimError> {
+        if !(percentage > 0.0 && percentage <= 100.0) {
+            return Err(NetsimError::BadPercentage(percentage));
+        }
+        let count = ((percentage / 100.0 * network.len() as f64).round() as usize).max(1);
+        Sniffer::random_count(network, count, rng)
+    }
+
+    /// Sniffs exactly `count` random distinct nodes (Figure 6(b)/8(b) fix
+    /// the report count at 90 while varying density).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::TooManySniffers`] when `count` exceeds the
+    /// node count and [`NetsimError::EmptyNetwork`] for `count == 0`.
+    pub fn random_count<R: Rng + ?Sized>(
+        network: &Network,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Self, NetsimError> {
+        if count == 0 {
+            return Err(NetsimError::EmptyNetwork);
+        }
+        let idx = sample_indices_without_replacement(network.len(), count, rng).map_err(|_| {
+            NetsimError::TooManySniffers {
+                requested: count,
+                available: network.len(),
+            }
+        })?;
+        Sniffer::from_ids(network, idx.into_iter().map(NodeId::new).collect())
+    }
+
+    /// Sniffs every node — the full-map view used by the recursive
+    /// flux-briefing method (§3.C) and Figure 1/4.
+    pub fn all(network: &Network) -> Self {
+        Sniffer::from_ids(network, (0..network.len()).map(NodeId::new).collect())
+            .expect("built networks are non-empty")
+    }
+
+    /// Number of sniffed nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Always `false` (construction rejects empty id sets).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sniffed node ids.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Positions of the sniffed nodes, parallel to [`ids`](Self::ids).
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Extracts this sniffer's view of a full per-node flux vector,
+    /// applying `noise` to each reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flux.len()` does not match the network the sniffer was
+    /// built over.
+    pub fn observe<R: Rng + ?Sized>(
+        &self,
+        flux: &[f64],
+        noise: NoiseModel,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        self.ids
+            .iter()
+            .map(|id| {
+                let v = flux[id.index()];
+                noise.apply(v, rng)
+            })
+            .collect()
+    }
+
+    /// Like [`observe`](Self::observe), but each reading is the mean flux
+    /// over the sniffed node's radio neighborhood (itself + neighbors).
+    ///
+    /// Physically, a passive sniffer overhears every transmission within
+    /// radio range — not only the co-located node's — so the neighborhood
+    /// total is what it actually measures. Statistically this implements
+    /// the smoothing of §3.B: per-node flux in a randomized collection
+    /// tree is extremely dispersed (one neighbor heads a heavy branch, the
+    /// next relays nothing), while the neighborhood mean tracks the
+    /// analytical model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flux.len()` differs from `network.len()` or the
+    /// sniffer was built over a different-sized network.
+    pub fn observe_smoothed<R: Rng + ?Sized>(
+        &self,
+        network: &Network,
+        flux: &[f64],
+        noise: NoiseModel,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert_eq!(
+            flux.len(),
+            network.len(),
+            "flux length must match network size"
+        );
+        self.ids
+            .iter()
+            .map(|&id| {
+                let neighbors = network.neighbors(id);
+                let sum: f64 = flux[id.index()] + neighbors.iter().map(|&j| flux[j]).sum::<f64>();
+                noise.apply(sum / (neighbors.len() + 1) as f64, rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use fluxprint_geometry::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(10);
+        NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(30, 30, 0.3)
+            .radius(2.4)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn percentage_selects_expected_count() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        for (pct, want) in [(40.0, 360), (20.0, 180), (10.0, 90), (5.0, 45)] {
+            let s = Sniffer::random_percentage(&net, pct, &mut rng).unwrap();
+            assert_eq!(s.len(), want);
+        }
+    }
+
+    #[test]
+    fn ids_are_distinct_and_positions_parallel() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Sniffer::random_count(&net, 90, &mut rng).unwrap();
+        let mut ids: Vec<usize> = s.ids().iter().map(|i| i.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 90);
+        for (id, &pos) in s.ids().iter().zip(s.positions()) {
+            assert_eq!(net.position(*id), pos);
+        }
+    }
+
+    #[test]
+    fn observe_without_noise_is_exact() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Sniffer::random_count(&net, 10, &mut rng).unwrap();
+        let flux: Vec<f64> = (0..net.len()).map(|i| i as f64).collect();
+        let obs = s.observe(&flux, NoiseModel::None, &mut rng);
+        for (id, &o) in s.ids().iter().zip(&obs) {
+            assert_eq!(o, id.index() as f64);
+        }
+    }
+
+    #[test]
+    fn relative_noise_scales_with_magnitude() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let noise = NoiseModel::RelativeGaussian { sigma: 0.1 };
+        let mut devs_small = 0.0;
+        let mut devs_large = 0.0;
+        for _ in 0..2000 {
+            devs_small += (noise.apply(10.0, &mut rng) - 10.0).abs();
+            devs_large += (noise.apply(1000.0, &mut rng) - 1000.0).abs();
+        }
+        assert!(devs_large / devs_small > 50.0, "relative noise must scale");
+    }
+
+    #[test]
+    fn noise_never_negative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let noise = NoiseModel::AbsoluteGaussian { sigma: 100.0 };
+        for _ in 0..1000 {
+            assert!(noise.apply(1.0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_loses_expected_fraction() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise = NoiseModel::Dropout { probability: 0.3 };
+        let lost = (0..10_000)
+            .filter(|_| noise.apply(5.0, &mut rng) == 0.0)
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "dropout rate {rate}");
+        // Survivors pass through unchanged.
+        let survived = (0..100)
+            .map(|_| noise.apply(7.0, &mut rng))
+            .find(|&v| v > 0.0);
+        assert_eq!(survived, Some(7.0));
+    }
+
+    #[test]
+    fn all_covers_every_node() {
+        let net = net();
+        let s = Sniffer::all(&net);
+        assert_eq!(s.len(), net.len());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn invalid_constructions_rejected() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            Sniffer::random_percentage(&net, 0.0, &mut rng),
+            Err(NetsimError::BadPercentage(_))
+        ));
+        assert!(matches!(
+            Sniffer::random_percentage(&net, 150.0, &mut rng),
+            Err(NetsimError::BadPercentage(_))
+        ));
+        assert!(matches!(
+            Sniffer::random_count(&net, 0, &mut rng),
+            Err(NetsimError::EmptyNetwork)
+        ));
+        assert!(matches!(
+            Sniffer::random_count(&net, 10_000, &mut rng),
+            Err(NetsimError::TooManySniffers { .. })
+        ));
+        assert!(matches!(
+            Sniffer::from_ids(&net, vec![NodeId::new(99_999)]),
+            Err(NetsimError::NodeOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the network simulator.
+
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_netsim::{CollectionTree, NetworkBuilder, NodeId, NoiseModel, Sniffer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(seed: u64, side: usize, radius: f64) -> fluxprint_netsim::Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new()
+        .field(Rect::square(30.0).unwrap())
+        .perturbed_grid(side, side, 0.3)
+        .radius(radius)
+        .build(&mut rng)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unit-disk adjacency is symmetric and respects the radius, for any
+    /// deployment seed.
+    #[test]
+    fn adjacency_symmetric_and_bounded(seed in 0u64..10_000) {
+        let net = build(seed, 12, 4.0);
+        for i in 0..net.len() {
+            let id = NodeId::new(i);
+            for &j in net.neighbors(id) {
+                prop_assert!(net.neighbors(NodeId::new(j)).contains(&i));
+                prop_assert!(
+                    net.position(id).distance(net.position(NodeId::new(j))) <= 4.0 + 1e-9
+                );
+            }
+        }
+    }
+
+    /// Hop distances satisfy the triangle property over edges:
+    /// |depth(u) − depth(v)| ≤ 1 for neighbors u, v.
+    #[test]
+    fn hop_distances_lipschitz_over_edges(seed in 0u64..10_000, rx in 0.0..30.0, ry in 0.0..30.0) {
+        let net = build(seed, 12, 4.0);
+        let root = net.nearest_node(Point2::new(rx, ry));
+        let dist = net.hop_distances(root);
+        for u in 0..net.len() {
+            for &v in net.neighbors(NodeId::new(u)) {
+                let du = dist[u] as i64;
+                let dv = dist[v] as i64;
+                prop_assert!((du - dv).abs() <= 1, "edge {u}-{v}: {du} vs {dv}");
+            }
+        }
+    }
+
+    /// Subtree sizes over any randomized tree form a valid partition:
+    /// the root's subtree is everything, each node ≥ 1, and the depth-1
+    /// subtrees partition the non-root nodes.
+    #[test]
+    fn tree_subtree_partition(seed in 0u64..10_000, rx in 0.0..30.0, ry in 0.0..30.0) {
+        let net = build(seed, 12, 4.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let root = net.nearest_node(Point2::new(rx, ry));
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        prop_assert_eq!(tree.subtree_size(root), net.len() as u64);
+        let depth1_sum: u64 = (0..net.len())
+            .filter(|&v| tree.parent(NodeId::new(v)) == Some(root))
+            .map(|v| tree.subtree_size(NodeId::new(v)))
+            .sum();
+        prop_assert_eq!(depth1_sum, net.len() as u64 - 1);
+    }
+
+    /// Flux is superposition-linear: simulating users together (with a
+    /// shared RNG replay) equals the sum of their tree fluxes.
+    #[test]
+    fn flux_linear_in_stretch(
+        seed in 0u64..10_000,
+        sx in 2.0..28.0,
+        sy in 2.0..28.0,
+        s1 in 0.5..3.0,
+        s2 in 0.5..3.0,
+    ) {
+        let net = build(seed, 12, 4.0);
+        let root = net.nearest_node(Point2::new(sx, sy));
+        // The same tree scaled by s1 and s2 equals the tree scaled by s1+s2.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = CollectionTree::build(&net, root, &mut rng).unwrap();
+        let mut acc = vec![0.0; net.len()];
+        tree.accumulate_flux(s1, &mut acc);
+        tree.accumulate_flux(s2, &mut acc);
+        let combined = tree.flux(s1 + s2);
+        for (a, b) in acc.iter().zip(&combined) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Sniffer percentage selection hits the rounded node count exactly
+    /// and never repeats a node.
+    #[test]
+    fn sniffer_counts_exact(seed in 0u64..10_000, pct in 1.0..100.0f64) {
+        let net = build(seed, 12, 4.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sniffer = Sniffer::random_percentage(&net, pct, &mut rng).unwrap();
+        let expected = ((pct / 100.0 * net.len() as f64).round() as usize).max(1);
+        prop_assert_eq!(sniffer.len(), expected);
+        let mut ids: Vec<usize> = sniffer.ids().iter().map(|i| i.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), expected);
+    }
+
+    /// Smoothed observations are convex combinations of true flux values:
+    /// bounded by the global min/max.
+    #[test]
+    fn smoothed_observation_bounded(seed in 0u64..10_000) {
+        let net = build(seed, 12, 4.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flux = net
+            .simulate_flux(&[(Point2::new(15.0, 15.0), 2.0)], &mut rng)
+            .unwrap();
+        let sniffer = Sniffer::random_count(&net, 20, &mut rng).unwrap();
+        let obs = sniffer.observe_smoothed(&net, &flux, NoiseModel::None, &mut rng);
+        let lo = flux.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = flux.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for o in obs {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+    }
+}
+
+/// The whole simulator also works on non-rectangular fields: a hexagonal
+/// deployment region with ray-exact boundary distances.
+#[test]
+fn hexagonal_field_end_to_end() {
+    use fluxprint_geometry::ConvexPolygon;
+    let hex: Vec<Point2> = (0..6)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::FRAC_PI_3;
+            Point2::new(15.0 + 12.0 * a.cos(), 15.0 + 12.0 * a.sin())
+        })
+        .collect();
+    let field = ConvexPolygon::new(hex).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let net = NetworkBuilder::new()
+        .field(field)
+        .uniform_random(400)
+        .radius(2.6)
+        .require_connected(true)
+        .build(&mut rng)
+        .unwrap();
+    let flux = net
+        .simulate_flux(&[(Point2::new(15.0, 15.0), 2.0)], &mut rng)
+        .unwrap();
+    let peak = flux.iter().cloned().fold(0.0, f64::max);
+    assert_eq!(peak, 2.0 * net.len() as f64);
+    // Sniffing and smoothing work unchanged.
+    let sniffer = Sniffer::random_percentage(&net, 10.0, &mut rng).unwrap();
+    let obs = sniffer.observe_smoothed(&net, &flux, NoiseModel::None, &mut rng);
+    assert_eq!(obs.len(), 40);
+    assert!(obs.iter().all(|&o| o.is_finite() && o >= 0.0));
+}

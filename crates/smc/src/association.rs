@@ -1,0 +1,381 @@
+//! Active-source detection and data association by forward selection.
+//!
+//! Each observation window, only the users that actually collected data
+//! leave a flux signature (§4.E). Rather than fitting all `K` hypotheses
+//! at once and reading the activity off small fitted stretches — which is
+//! fragile, because residual model error happily fits a small positive
+//! stretch onto idle users — the tracker selects sources *greedily*:
+//!
+//! 1. start from the empty model (residual `‖F′‖`);
+//! 2. let every unselected user bid its best candidate conditioned on the
+//!    sources selected so far — bids from motion-prior candidates are
+//!    preferred, exploration (uniform recovery) bids are penalized by
+//!    `1 / explore_accept_ratio`, so a tracked-but-idle user does not
+//!    hijack another user's peak it could only reach by teleporting;
+//! 3. accept the winning bid only if it improves the residual by at least
+//!    `activity_min_gain`; stop otherwise.
+//!
+//! The selected users are this round's active set; everyone else gets the
+//! paper's Null update (frozen samples, growing `Δt`).
+
+use fluxprint_geometry::Point2;
+use fluxprint_solver::{FluxObjective, SinkFit};
+
+use crate::{SmcConfig, SmcError};
+
+/// Result of [`associate`].
+#[derive(Debug, Clone)]
+pub struct Association {
+    /// Users detected as active this window, in selection order.
+    pub selected: Vec<usize>,
+    /// For each user: `Some(conditional residuals per candidate)` when the
+    /// user was selected (the top-M ranking key), `None` otherwise.
+    pub per_candidate_residual: Vec<Option<Vec<f64>>>,
+    /// For each user: the chosen candidate index when selected.
+    pub chosen: Vec<Option<usize>>,
+    /// Whether each selected user's winning bid was an exploration
+    /// candidate (admits exploration candidates into its top-M ranking).
+    pub used_explore: Vec<bool>,
+    /// Joint fit of the selected sources (positions in selection order).
+    /// `None` when no source passed the gain test.
+    pub fit: Option<SinkFit>,
+}
+
+/// One user's best bid this selection round.
+#[derive(Debug, Clone, Copy)]
+struct Bid {
+    candidate: usize,
+    residual: f64,
+    effective: f64,
+    explore: bool,
+}
+
+/// Detects active sources and associates them to users.
+///
+/// `candidates[i]` are user `i`'s predictions; `candidates[i][explore_from[i]..]`
+/// are its exploration (uniform) candidates.
+///
+/// # Errors
+///
+/// Returns [`SmcError::ZeroUsers`] for empty candidate sets; solver
+/// failures propagate.
+pub fn associate(
+    objective: &FluxObjective,
+    candidates: &[Vec<Point2>],
+    explore_from: &[usize],
+    config: &SmcConfig,
+) -> Result<Association, SmcError> {
+    if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
+        return Err(SmcError::ZeroUsers);
+    }
+    let k = candidates.len();
+    assert_eq!(
+        explore_from.len(),
+        k,
+        "explore_from must have one entry per user"
+    );
+
+    // Basis columns once per candidate.
+    let columns: Vec<Vec<Vec<f64>>> = candidates
+        .iter()
+        .map(|set| set.iter().map(|&p| objective.basis_column(p)).collect())
+        .collect();
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut chosen: Vec<Option<usize>> = vec![None; k];
+    let mut used_explore = vec![false; k];
+    let mut current_residual = objective.null_residual();
+    let explore_penalty = 1.0 / config.explore_accept_ratio;
+
+    while selected.len() < k {
+        // Every unselected user bids its best candidate conditioned on the
+        // already-selected sources.
+        let mut best: Option<(usize, Bid)> = None;
+        for i in 0..k {
+            if chosen[i].is_some() {
+                continue;
+            }
+            let bid = best_bid(
+                objective,
+                candidates,
+                &columns,
+                &selected,
+                &chosen,
+                i,
+                explore_from[i],
+                explore_penalty,
+                config.explore_accept_ratio,
+            )?;
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| bid.effective < b.effective)
+            {
+                best = Some((i, bid));
+            }
+        }
+        let Some((winner, bid)) = best else { break };
+        // Gain test: the new source must buy a real residual reduction —
+        // and there must be residual left to explain (an exactly-explained
+        // observation admits no further sources).
+        if current_residual <= 0.0 || current_residual < bid.residual * config.activity_min_gain {
+            break;
+        }
+        chosen[winner] = Some(bid.candidate);
+        used_explore[winner] = bid.explore;
+        selected.push(winner);
+        current_residual = bid.residual;
+    }
+
+    if selected.is_empty() {
+        return Ok(Association {
+            selected,
+            per_candidate_residual: vec![None; k],
+            chosen,
+            used_explore,
+            fit: None,
+        });
+    }
+
+    // Final conditional scan per selected user (ranking key for top-M),
+    // holding the other selected users at their chosen candidates.
+    let mut per_candidate_residual: Vec<Option<Vec<f64>>> = vec![None; k];
+    for &i in &selected {
+        let limit = if used_explore[i] {
+            candidates[i].len()
+        } else {
+            explore_from[i]
+        };
+        let mut residuals = vec![f64::INFINITY; candidates[i].len()];
+        let others: Vec<(Point2, &[f64])> = selected
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| {
+                let c = chosen[j].expect("selected users have chosen candidates");
+                (candidates[j][c], columns[j][c].as_slice())
+            })
+            .collect();
+        for c in 0..limit {
+            let mut sinks: Vec<Point2> = Vec::with_capacity(others.len() + 1);
+            let mut cols: Vec<&[f64]> = Vec::with_capacity(others.len() + 1);
+            sinks.push(candidates[i][c]);
+            cols.push(columns[i][c].as_slice());
+            for &(p, col) in &others {
+                sinks.push(p);
+                cols.push(col);
+            }
+            residuals[c] = objective.evaluate_columns(&sinks, &cols)?.residual;
+        }
+        // Refresh the chosen candidate from the final scan.
+        let best = (0..limit)
+            .min_by(|&a, &b| residuals[a].total_cmp(&residuals[b]))
+            .expect("limit >= 1");
+        chosen[i] = Some(best);
+        per_candidate_residual[i] = Some(residuals);
+    }
+
+    let positions: Vec<Point2> = selected
+        .iter()
+        .map(|&i| candidates[i][chosen[i].expect("selected")])
+        .collect();
+    let fit = objective.evaluate(&positions)?;
+    Ok(Association {
+        selected,
+        per_candidate_residual,
+        chosen,
+        used_explore,
+        fit: Some(fit),
+    })
+}
+
+/// Scans user `i`'s candidates conditioned on the selected sources and
+/// returns its admissible bid.
+#[allow(clippy::too_many_arguments)]
+fn best_bid(
+    objective: &FluxObjective,
+    candidates: &[Vec<Point2>],
+    columns: &[Vec<Vec<f64>>],
+    selected: &[usize],
+    chosen: &[Option<usize>],
+    i: usize,
+    explore_from: usize,
+    explore_penalty: f64,
+    explore_accept_ratio: f64,
+) -> Result<Bid, SmcError> {
+    let base: Vec<(Point2, &[f64])> = selected
+        .iter()
+        .map(|&j| {
+            let c = chosen[j].expect("selected users have chosen candidates");
+            (candidates[j][c], columns[j][c].as_slice())
+        })
+        .collect();
+    let mut best_prior: Option<(usize, f64)> = None;
+    let mut best_explore: Option<(usize, f64)> = None;
+    for c in 0..candidates[i].len() {
+        let mut sinks: Vec<Point2> = Vec::with_capacity(base.len() + 1);
+        let mut cols: Vec<&[f64]> = Vec::with_capacity(base.len() + 1);
+        sinks.push(candidates[i][c]);
+        cols.push(columns[i][c].as_slice());
+        for &(p, col) in &base {
+            sinks.push(p);
+            cols.push(col);
+        }
+        let r = objective.evaluate_columns(&sinks, &cols)?.residual;
+        let slot = if c < explore_from {
+            &mut best_prior
+        } else {
+            &mut best_explore
+        };
+        if slot.is_none_or(|(_, br)| r < br) {
+            *slot = Some((c, r));
+        }
+    }
+    // A fully-uniform (uninitialized) user has no prior candidates; its
+    // "explore" bid carries no penalty because there is no motion prior to
+    // violate.
+    Ok(match (best_prior, best_explore) {
+        (None, Some((c, r))) => Bid {
+            candidate: c,
+            residual: r,
+            effective: r,
+            explore: true,
+        },
+        (Some((c, r)), None) => Bid {
+            candidate: c,
+            residual: r,
+            effective: r,
+            explore: false,
+        },
+        (Some((cp, rp)), Some((ce, re))) => {
+            if re < explore_accept_ratio * rp {
+                Bid {
+                    candidate: ce,
+                    residual: re,
+                    effective: re * explore_penalty,
+                    explore: true,
+                }
+            } else {
+                Bid {
+                    candidate: cp,
+                    residual: rp,
+                    effective: rp,
+                    explore: false,
+                }
+            }
+        }
+        (None, None) => unreachable!("candidate sets are non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_fluxmodel::FluxModel;
+    use fluxprint_geometry::Rect;
+    use std::sync::Arc;
+
+    fn objective_for(truth: &[(Point2, f64)]) -> FluxObjective {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        let mut sniffers = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                sniffers.push(Point2::new(2.0 + i as f64 * 4.3, 2.0 + j as f64 * 4.3));
+            }
+        }
+        let measured: Vec<f64> = sniffers
+            .iter()
+            .map(|&p| model.predict_superposed(truth, p, &field))
+            .collect();
+        FluxObjective::new(Arc::new(field), model, sniffers, measured).unwrap()
+    }
+
+    #[test]
+    fn single_active_source_selected() {
+        let obj = objective_for(&[(Point2::new(8.0, 8.0), 2.0)]);
+        // User 0's prior covers the source; user 1's prior is far away.
+        let candidates = vec![
+            vec![Point2::new(8.0, 8.0), Point2::new(10.0, 9.0)],
+            vec![Point2::new(22.0, 21.0), Point2::new(20.0, 19.0)],
+        ];
+        let a = associate(&obj, &candidates, &[2, 2], &SmcConfig::default()).unwrap();
+        assert_eq!(a.selected, vec![0]);
+        assert!(a.chosen[0].is_some());
+        assert!(a.chosen[1].is_none());
+        assert!(a.per_candidate_residual[1].is_none());
+        assert!(a.fit.is_some());
+    }
+
+    #[test]
+    fn idle_user_does_not_steal_via_explore() {
+        // Flux comes from user 0's position. User 1's *explore* candidate
+        // sits right on it, but user 0's prior already explains the flux,
+        // so user 1 must not be selected.
+        let obj = objective_for(&[(Point2::new(8.0, 8.0), 2.0)]);
+        let candidates = vec![
+            vec![Point2::new(8.0, 8.0), Point2::new(9.0, 7.0)],
+            // First candidate is user 1's motion prior (far away), the
+            // second is an exploration candidate on top of the source.
+            vec![Point2::new(22.0, 21.0), Point2::new(8.0, 8.0)],
+        ];
+        let a = associate(&obj, &candidates, &[2, 1], &SmcConfig::default()).unwrap();
+        assert_eq!(a.selected, vec![0], "user 1 stole the source");
+    }
+
+    #[test]
+    fn lost_user_recovers_via_explore() {
+        // Flux comes from (22, 21); user 0's prior is mislocalized and no
+        // other user explains it — the exploration candidate must win.
+        let obj = objective_for(&[(Point2::new(22.0, 21.0), 2.0)]);
+        let candidates = vec![vec![
+            Point2::new(8.0, 8.0),
+            Point2::new(9.0, 9.0),
+            Point2::new(22.0, 21.0), // exploration
+        ]];
+        let a = associate(&obj, &candidates, &[2], &SmcConfig::default()).unwrap();
+        assert_eq!(a.selected, vec![0]);
+        assert_eq!(a.chosen[0], Some(2));
+        assert!(a.used_explore[0]);
+    }
+
+    #[test]
+    fn two_simultaneous_sources_both_selected() {
+        let obj = objective_for(&[(Point2::new(8.0, 8.0), 2.0), (Point2::new(22.0, 21.0), 2.5)]);
+        let candidates = vec![
+            vec![Point2::new(8.0, 8.0), Point2::new(12.0, 12.0)],
+            vec![Point2::new(22.0, 21.0), Point2::new(18.0, 18.0)],
+        ];
+        let a = associate(&obj, &candidates, &[2, 2], &SmcConfig::default()).unwrap();
+        let mut sel = a.selected.clone();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1]);
+        assert_eq!(a.chosen[0], Some(0));
+        assert_eq!(a.chosen[1], Some(0));
+        let fit = a.fit.unwrap();
+        assert!(fit.stretches.iter().all(|&q| q > 0.5));
+    }
+
+    #[test]
+    fn silence_selects_no_one() {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        let sniffers = vec![Point2::new(5.0, 5.0), Point2::new(25.0, 25.0)];
+        let obj = FluxObjective::new(Arc::new(field), model, sniffers, vec![0.0, 0.0]).unwrap();
+        let candidates = vec![vec![Point2::new(8.0, 8.0)]];
+        let a = associate(&obj, &candidates, &[1], &SmcConfig::default()).unwrap();
+        assert!(a.selected.is_empty());
+        assert!(a.fit.is_none());
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let obj = objective_for(&[(Point2::new(8.0, 8.0), 2.0)]);
+        assert!(matches!(
+            associate(&obj, &[], &[], &SmcConfig::default()),
+            Err(SmcError::ZeroUsers)
+        ));
+        assert!(matches!(
+            associate(&obj, &[vec![]], &[0], &SmcConfig::default()),
+            Err(SmcError::ZeroUsers)
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! Tracker configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SmcError;
+
+/// Parameters of the Sequential Monte Carlo tracker.
+///
+/// Defaults follow §5.B: `N = 1000` predictions, `M = 10` kept samples,
+/// maximum speed 5 per detection interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmcConfig {
+    /// `N`: candidate positions predicted per user per round.
+    pub n_predictions: usize,
+    /// `M`: samples kept per user after filtering.
+    pub keep_m: usize,
+    /// Maximum user speed `v_max` (field units per time unit).
+    pub vmax: f64,
+    /// Best-fit stretch below which a user is deemed inactive this window
+    /// (`s_j/r → 0`, §4.E).
+    pub activity_threshold: f64,
+    /// Exclusion-test margin for the activity gate: a user counts as
+    /// active only when refitting *without* it raises the residual by at
+    /// least this factor. Residual model error routinely fits a small
+    /// positive `q` onto idle users, but dropping an idle user barely
+    /// changes the fit, while dropping a genuinely collecting user leaves
+    /// its whole flux pattern unexplained.
+    pub activity_min_gain: f64,
+    /// Use exact `N^K` combination enumeration when `N^K` does not exceed
+    /// this cap; otherwise greedy coordinate descent (DESIGN.md §4).
+    pub exact_enumeration_cap: usize,
+    /// Coordinate-descent sweeps when the greedy strategy is active.
+    pub coordinate_sweeps: usize,
+    /// Fraction of each round's predictions drawn uniformly over the field
+    /// instead of from the motion prior — recovery candidates for a user
+    /// whose samples locked onto the wrong source early (the motion prior
+    /// alone can never escape a bad initialization).
+    pub explore_fraction: f64,
+    /// A user's recovery candidates are accepted only when their best
+    /// conditional residual beats its motion-prior candidates' by this
+    /// factor; otherwise they are discarded, so an already-tracked user
+    /// cannot "steal" another user's flux peak.
+    pub explore_accept_ratio: f64,
+    /// Use the recursive importance weights of Formula 4.3 (`w_t ∝
+    /// w_{t-1} / ‖F̂ − F′‖`). Disabled, the filter degenerates to the
+    /// plain top-M selection of §4.C — kept as an ablation of the §4.D
+    /// importance-sampling refinement.
+    pub use_importance_weights: bool,
+    /// Fraction of motion-prior candidates drawn from a forward cone along
+    /// the user's estimated heading instead of the full uniform disc — the
+    /// refinement §4.C sketches ("the heading of the mobile user"). `0`
+    /// (the default) is the paper's plain uniform-disc prior; the biased
+    /// draws still respect the `v_max·Δt` reachability constraint.
+    pub heading_bias: f64,
+}
+
+impl Default for SmcConfig {
+    fn default() -> Self {
+        SmcConfig {
+            n_predictions: 1000,
+            keep_m: 10,
+            vmax: 5.0,
+            activity_threshold: 0.05,
+            activity_min_gain: 1.15,
+            exact_enumeration_cap: 50_000,
+            coordinate_sweeps: 3,
+            explore_fraction: 0.1,
+            explore_accept_ratio: 0.5,
+            use_importance_weights: true,
+            heading_bias: 0.0,
+        }
+    }
+}
+
+impl SmcConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SmcError> {
+        if self.n_predictions == 0 {
+            return Err(SmcError::BadConfig {
+                field: "n_predictions",
+            });
+        }
+        if self.keep_m == 0 || self.keep_m > self.n_predictions {
+            return Err(SmcError::BadConfig { field: "keep_m" });
+        }
+        if !(self.vmax.is_finite() && self.vmax > 0.0) {
+            return Err(SmcError::BadConfig { field: "vmax" });
+        }
+        if !(self.activity_threshold.is_finite() && self.activity_threshold >= 0.0) {
+            return Err(SmcError::BadConfig {
+                field: "activity_threshold",
+            });
+        }
+        if !(self.activity_min_gain.is_finite() && self.activity_min_gain >= 1.0) {
+            return Err(SmcError::BadConfig {
+                field: "activity_min_gain",
+            });
+        }
+        if self.coordinate_sweeps == 0 {
+            return Err(SmcError::BadConfig {
+                field: "coordinate_sweeps",
+            });
+        }
+        if !(0.0..1.0).contains(&self.explore_fraction) {
+            return Err(SmcError::BadConfig {
+                field: "explore_fraction",
+            });
+        }
+        if !(self.explore_accept_ratio > 0.0 && self.explore_accept_ratio <= 1.0) {
+            return Err(SmcError::BadConfig {
+                field: "explore_accept_ratio",
+            });
+        }
+        if !(0.0..1.0).contains(&self.heading_bias) {
+            return Err(SmcError::BadConfig {
+                field: "heading_bias",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_matched() {
+        let c = SmcConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.n_predictions, 1000);
+        assert_eq!(c.keep_m, 10);
+        assert_eq!(c.vmax, 5.0);
+    }
+
+    #[test]
+    fn invalid_fields_detected() {
+        let base = SmcConfig::default();
+        for (cfg, field) in [
+            (
+                SmcConfig {
+                    n_predictions: 0,
+                    ..base
+                },
+                "n_predictions",
+            ),
+            (SmcConfig { keep_m: 0, ..base }, "keep_m"),
+            (
+                SmcConfig {
+                    keep_m: 2000,
+                    ..base
+                },
+                "keep_m",
+            ),
+            (SmcConfig { vmax: 0.0, ..base }, "vmax"),
+            (
+                SmcConfig {
+                    activity_threshold: -1.0,
+                    ..base
+                },
+                "activity_threshold",
+            ),
+            (
+                SmcConfig {
+                    activity_min_gain: 0.5,
+                    ..base
+                },
+                "activity_min_gain",
+            ),
+            (
+                SmcConfig {
+                    coordinate_sweeps: 0,
+                    ..base
+                },
+                "coordinate_sweeps",
+            ),
+            (
+                SmcConfig {
+                    explore_fraction: 1.0,
+                    ..base
+                },
+                "explore_fraction",
+            ),
+            (
+                SmcConfig {
+                    explore_accept_ratio: 0.0,
+                    ..base
+                },
+                "explore_accept_ratio",
+            ),
+            (
+                SmcConfig {
+                    heading_bias: 1.0,
+                    ..base
+                },
+                "heading_bias",
+            ),
+        ] {
+            match cfg.validate() {
+                Err(SmcError::BadConfig { field: f }) => assert_eq!(f, field),
+                other => panic!("expected BadConfig({field}), got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the tracker.
+
+use std::error::Error;
+use std::fmt;
+
+use fluxprint_solver::SolverError;
+
+/// Errors produced by the Sequential Monte Carlo tracker.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SmcError {
+    /// A configuration field was out of range.
+    BadConfig {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The tracker was created for zero users.
+    ZeroUsers,
+    /// `step` was called with a time not after the previous step.
+    TimeNotAdvancing {
+        /// Time of the previous step.
+        previous: f64,
+        /// Time passed to this step.
+        current: f64,
+    },
+    /// A user index was out of range.
+    UserOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of tracked users.
+        users: usize,
+    },
+    /// A solver failure during filtering.
+    Solver(SolverError),
+}
+
+impl fmt::Display for SmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcError::BadConfig { field } => write!(f, "invalid tracker config field {field}"),
+            SmcError::ZeroUsers => write!(f, "tracker needs at least one user"),
+            SmcError::TimeNotAdvancing { previous, current } => {
+                write!(f, "step time {current} does not advance past {previous}")
+            }
+            SmcError::UserOutOfRange { index, users } => {
+                write!(f, "user index {index} out of range for {users} users")
+            }
+            SmcError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for SmcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SmcError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for SmcError {
+    fn from(e: SolverError) -> Self {
+        SmcError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            SmcError::BadConfig { field: "vmax" },
+            SmcError::ZeroUsers,
+            SmcError::TimeNotAdvancing {
+                previous: 1.0,
+                current: 0.5,
+            },
+            SmcError::UserOutOfRange { index: 3, users: 2 },
+            SmcError::Solver(SolverError::ZeroSinks),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn solver_source_chained() {
+        let e = SmcError::from(SolverError::ZeroSinks);
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,100 @@
+//! Weighted position samples and point estimates.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_geometry::{Point2, Vec2};
+
+/// One `<P(i), w(i)>` duple of §4.D: a position sample with its importance
+/// weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSample {
+    /// The sampled position.
+    pub position: Point2,
+    /// The (normalized) importance weight.
+    pub weight: f64,
+}
+
+/// Weight-averaged position of a sample set — the tracker's point estimate
+/// for a user.
+///
+/// Falls back to the unweighted mean when weights sum to zero.
+///
+/// # Panics
+///
+/// Panics on an empty sample set.
+pub fn weighted_mean(samples: &[WeightedSample]) -> Point2 {
+    assert!(!samples.is_empty(), "weighted_mean of empty sample set");
+    let wsum: f64 = samples.iter().map(|s| s.weight).sum();
+    if wsum <= 0.0 {
+        let n = samples.len() as f64;
+        let v = samples
+            .iter()
+            .fold(Vec2::ZERO, |acc, s| acc + s.position.to_vec());
+        return (v / n).to_point();
+    }
+    let v = samples
+        .iter()
+        .fold(Vec2::ZERO, |acc, s| acc + s.position.to_vec() * s.weight);
+    (v / wsum).to_point()
+}
+
+/// Kish effective sample size `(Σw)² / Σw²` — a degeneracy diagnostic for
+/// the importance weights.
+///
+/// Returns `0` for empty input or all-zero weights.
+pub fn effective_sample_size(samples: &[WeightedSample]) -> f64 {
+    let wsum: f64 = samples.iter().map(|s| s.weight).sum();
+    let w2sum: f64 = samples.iter().map(|s| s.weight * s.weight).sum();
+    if w2sum <= 0.0 {
+        0.0
+    } else {
+        wsum * wsum / w2sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64, y: f64, w: f64) -> WeightedSample {
+        WeightedSample {
+            position: Point2::new(x, y),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn equal_weights_give_centroid() {
+        let samples = [s(0.0, 0.0, 0.5), s(2.0, 4.0, 0.5)];
+        assert_eq!(weighted_mean(&samples), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn heavier_sample_dominates() {
+        let samples = [s(0.0, 0.0, 0.9), s(10.0, 0.0, 0.1)];
+        let m = weighted_mean(&samples);
+        assert!((m.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_mean() {
+        let samples = [s(0.0, 0.0, 0.0), s(4.0, 0.0, 0.0)];
+        assert_eq!(weighted_mean(&samples), Point2::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn ess_bounds() {
+        // Uniform weights → ESS = n; degenerate → ESS = 1.
+        let uniform = [s(0.0, 0.0, 0.25); 4];
+        assert!((effective_sample_size(&uniform) - 4.0).abs() < 1e-12);
+        let degenerate = [s(0.0, 0.0, 1.0), s(1.0, 1.0, 0.0)];
+        assert!((effective_sample_size(&degenerate) - 1.0).abs() < 1e-12);
+        assert_eq!(effective_sample_size(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_mean_panics() {
+        weighted_mean(&[]);
+    }
+}

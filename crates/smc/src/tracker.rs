@@ -1,0 +1,550 @@
+//! The multi-target tracker of Algorithm 4.1.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{deployment, Boundary, Point2};
+use fluxprint_solver::FluxObjective;
+use fluxprint_stats::WeightedAlias;
+
+use crate::{associate, weighted_mean, FilterStrategy, SmcConfig, SmcError, WeightedSample};
+
+/// Per-round tracker output.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Observation time of this round.
+    pub time: f64,
+    /// Point estimate per user (weighted mean of its current samples;
+    /// for users inactive this round, the estimate from their last active
+    /// round).
+    pub estimates: Vec<Point2>,
+    /// Whether each user was detected as collecting this round
+    /// (best-fit `q_j` above the activity threshold).
+    pub active: Vec<bool>,
+    /// Best-fit integrated stretch factors from the winning combination.
+    pub stretches: Vec<f64>,
+    /// Objective value `‖F̂ − F′‖` of the winning combination.
+    pub residual: f64,
+    /// Which combination-search strategy ran.
+    pub strategy: FilterStrategy,
+}
+
+#[derive(Debug, Clone)]
+struct UserTrack {
+    samples: Vec<WeightedSample>,
+    t_last: f64,
+    initialized: bool,
+    /// The last two active-round estimates with their times, for the
+    /// heading-aware prediction refinement of §4.C.
+    history: Vec<(f64, Point2)>,
+}
+
+/// Sequential Monte Carlo tracker for `K` mobile users (Algorithm 4.1).
+///
+/// Feed it one [`FluxObjective`] per observation window via
+/// [`step`](Tracker::step); read per-user estimates from the returned
+/// [`StepOutcome`] or the [`samples`](Tracker::samples) accessor.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    config: SmcConfig,
+    boundary: Arc<dyn Boundary>,
+    model: FluxModel,
+    users: Vec<UserTrack>,
+    last_step_time: f64,
+}
+
+impl Tracker {
+    /// Creates a tracker for `k` users at start time `t0`, seeding each
+    /// user with `keep_m` uniform random samples of equal weight
+    /// (the uninformed prior of §4.C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::ZeroUsers`] for `k == 0` and
+    /// [`SmcError::BadConfig`] for an invalid configuration.
+    pub fn new<R: Rng + ?Sized>(
+        k: usize,
+        boundary: Arc<dyn Boundary>,
+        model: FluxModel,
+        config: SmcConfig,
+        t0: f64,
+        rng: &mut R,
+    ) -> Result<Self, SmcError> {
+        if k == 0 {
+            return Err(SmcError::ZeroUsers);
+        }
+        config.validate()?;
+        let users = (0..k)
+            .map(|_| UserTrack {
+                samples: (0..config.keep_m)
+                    .map(|_| WeightedSample {
+                        position: deployment::random_point(boundary.as_ref(), rng),
+                        weight: 1.0 / config.keep_m as f64,
+                    })
+                    .collect(),
+                t_last: t0,
+                initialized: false,
+                history: Vec::new(),
+            })
+            .collect();
+        Ok(Tracker {
+            config,
+            boundary,
+            model,
+            users,
+            last_step_time: t0,
+        })
+    }
+
+    /// Number of tracked users.
+    pub fn k(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &SmcConfig {
+        &self.config
+    }
+
+    /// The flux model the tracker was built with.
+    pub fn model(&self) -> &FluxModel {
+        &self.model
+    }
+
+    /// Time of the most recent step (or the start time).
+    pub fn time(&self) -> f64 {
+        self.last_step_time
+    }
+
+    /// The current weighted samples of user `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::UserOutOfRange`] for an invalid index.
+    pub fn samples(&self, index: usize) -> Result<&[WeightedSample], SmcError> {
+        self.users
+            .get(index)
+            .map(|u| u.samples.as_slice())
+            .ok_or(SmcError::UserOutOfRange {
+                index,
+                users: self.users.len(),
+            })
+    }
+
+    /// Point estimate (weighted sample mean) for user `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::UserOutOfRange`] for an invalid index.
+    pub fn estimate(&self, index: usize) -> Result<Point2, SmcError> {
+        Ok(weighted_mean(self.samples(index)?))
+    }
+
+    /// Runs one observation round at time `t` against the sniffed flux in
+    /// `objective`: prediction → filtering → importance update →
+    /// asynchronous gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::TimeNotAdvancing`] when `t` does not move past
+    /// the previous step; filtering failures are propagated.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        t: f64,
+        objective: &FluxObjective,
+        rng: &mut R,
+    ) -> Result<StepOutcome, SmcError> {
+        if t.is_nan() || t <= self.last_step_time {
+            return Err(SmcError::TimeNotAdvancing {
+                previous: self.last_step_time,
+                current: t,
+            });
+        }
+
+        // Prediction (Formula 4.2): per user, N candidates drawn uniformly
+        // from the discs of radius v_max·Δt around resampled parents.
+        // Users that have never matched an observation predict uniformly
+        // over the whole field instead (the uninformed prior).
+        let n = self.config.n_predictions;
+        // Exploration (recovery) candidates: drawn uniformly instead of
+        // from the motion prior, so a user locked onto the wrong source
+        // can still reach a distant flux peak. `explore_from[i]` marks the
+        // index where user i's exploration candidates begin (== n when the
+        // user is uninitialized and every candidate is already uniform).
+        let n_explore = ((n as f64 * self.config.explore_fraction).round() as usize).min(n - 1);
+        let mut candidates: Vec<Vec<Point2>> = Vec::with_capacity(self.users.len());
+        let mut parent_weights: Vec<Vec<f64>> = Vec::with_capacity(self.users.len());
+        let mut explore_from: Vec<usize> = Vec::with_capacity(self.users.len());
+        for user in &self.users {
+            let mut cands = Vec::with_capacity(n);
+            let mut weights = Vec::with_capacity(n);
+            if !user.initialized {
+                for _ in 0..n {
+                    cands.push(deployment::random_point(self.boundary.as_ref(), rng));
+                    weights.push(1.0);
+                }
+                explore_from.push(n);
+            } else {
+                let radius = self.config.vmax * (t - user.t_last);
+                let w: Vec<f64> = user.samples.iter().map(|s| s.weight).collect();
+                let alias = WeightedAlias::new(&w).unwrap_or_else(|_| {
+                    WeightedAlias::new(&vec![1.0; w.len()]).expect("uniform weights valid")
+                });
+                // Optional §4.C refinement: bias part of the prediction
+                // into a forward cone along the estimated heading. The
+                // biased draws stay inside the v_max·Δt disc.
+                let heading = if self.config.heading_bias > 0.0 && user.history.len() == 2 {
+                    let (t0, p0) = user.history[0];
+                    let (t1, p1) = user.history[1];
+                    let dt = t1 - t0;
+                    if dt > 0.0 {
+                        (p1 - p0).normalized()
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                let n_prior = n - n_explore;
+                let n_biased = heading
+                    .map(|_| (n_prior as f64 * self.config.heading_bias) as usize)
+                    .unwrap_or(0);
+                for i in 0..n_prior {
+                    let parent = &user.samples[alias.sample(rng)];
+                    let position = if i < n_biased {
+                        let dir = heading.expect("n_biased > 0 implies heading");
+                        // Forward cone: ±45° around the heading, distance
+                        // in [0.25, 1.0]·radius.
+                        let angle = dir.angle()
+                            + rng.gen_range(
+                                -std::f64::consts::FRAC_PI_4..std::f64::consts::FRAC_PI_4,
+                            );
+                        let dist = radius * rng.gen_range(0.25..1.0);
+                        self.boundary.clamp(
+                            parent.position + fluxprint_geometry::Vec2::from_angle(angle) * dist,
+                        )
+                    } else {
+                        deployment::random_point_in_disc(
+                            self.boundary.as_ref(),
+                            parent.position,
+                            radius,
+                            rng,
+                        )
+                    };
+                    cands.push(position);
+                    weights.push(parent.weight);
+                }
+                explore_from.push(cands.len());
+                let mean_w = 1.0 / user.samples.len() as f64;
+                for _ in 0..n_explore {
+                    cands.push(deployment::random_point(self.boundary.as_ref(), rng));
+                    weights.push(mean_w);
+                }
+            }
+            candidates.push(cands);
+            parent_weights.push(weights);
+        }
+
+        // Detection + association: forward selection of active sources
+        // with motion-consistency preference (see the `association`
+        // module). Unselected users receive the paper's Null update.
+        let assoc = associate(objective, &candidates, &explore_from, &self.config)?;
+
+        let k = self.users.len();
+        let mut active = vec![false; k];
+        let mut stretches = vec![0.0; k];
+        let mut residual = objective.null_residual();
+        if let Some(fit) = &assoc.fit {
+            residual = fit.residual;
+            for (slot, &i) in assoc.selected.iter().enumerate() {
+                stretches[i] = fit.stretches[slot];
+            }
+        }
+        for (i, user) in self.users.iter_mut().enumerate() {
+            if stretches[i] <= self.config.activity_threshold {
+                continue; // Null update: samples and t_last untouched.
+            }
+            let Some(res) = assoc.per_candidate_residual[i].as_ref() else {
+                continue;
+            };
+            active[i] = true;
+            // Rank this user's admissible candidates by conditional
+            // residual (exploration candidates only when its winning bid
+            // was one).
+            let limit = if assoc.used_explore[i] {
+                res.len()
+            } else {
+                explore_from[i].min(res.len())
+            };
+            let mut order: Vec<usize> = (0..limit).collect();
+            order.sort_by(|&a, &b| res[a].total_cmp(&res[b]));
+            order.truncate(self.config.keep_m);
+            let use_weights = self.config.use_importance_weights;
+            let mut kept: Vec<WeightedSample> = order
+                .into_iter()
+                .map(|c| WeightedSample {
+                    position: candidates[i][c],
+                    weight: if use_weights {
+                        parent_weights[i][c] / res[c].max(1e-9)
+                    } else {
+                        1.0
+                    },
+                })
+                .collect();
+            let wsum: f64 = kept.iter().map(|s| s.weight).sum();
+            if wsum > 0.0 {
+                for s in kept.iter_mut() {
+                    s.weight /= wsum;
+                }
+            } else {
+                let uniform = 1.0 / kept.len() as f64;
+                for s in kept.iter_mut() {
+                    s.weight = uniform;
+                }
+            }
+            user.samples = kept;
+            user.t_last = t;
+            user.initialized = true;
+            let estimate = weighted_mean(&user.samples);
+            user.history.push((t, estimate));
+            if user.history.len() > 2 {
+                user.history.remove(0);
+            }
+        }
+        self.last_step_time = t;
+
+        let estimates = self
+            .users
+            .iter()
+            .map(|u| weighted_mean(&u.samples))
+            .collect();
+        Ok(StepOutcome {
+            time: t,
+            estimates,
+            active,
+            stretches,
+            residual,
+            strategy: FilterStrategy::ForwardSelection,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn field() -> Arc<Rect> {
+        Arc::new(Rect::square(30.0).unwrap())
+    }
+
+    fn sniffer_grid() -> Vec<Point2> {
+        let mut v = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                v.push(Point2::new(2.0 + i as f64 * 4.3, 2.0 + j as f64 * 4.3));
+            }
+        }
+        v
+    }
+
+    fn observation(truth: &[(Point2, f64)]) -> FluxObjective {
+        let model = FluxModel::default();
+        let f = Rect::square(30.0).unwrap();
+        let sniffers = sniffer_grid();
+        let measured: Vec<f64> = sniffers
+            .iter()
+            .map(|&p| model.predict_superposed(truth, p, &f))
+            .collect();
+        FluxObjective::new(field(), model, sniffers, measured).unwrap()
+    }
+
+    fn small_config() -> SmcConfig {
+        SmcConfig {
+            n_predictions: 300,
+            keep_m: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn static_user_estimate_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tracker = Tracker::new(
+            1,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let truth = Point2::new(12.0, 17.0);
+        let obs = observation(&[(truth, 2.0)]);
+        let mut err = f64::INFINITY;
+        for round in 1..=5 {
+            let out = tracker.step(round as f64, &obs, &mut rng).unwrap();
+            assert!(out.active[0]);
+            err = out.estimates[0].distance(truth);
+        }
+        assert!(err < 2.0, "final error {err:.2}");
+    }
+
+    #[test]
+    fn moving_user_is_followed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tracker = Tracker::new(
+            1,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        // User moves east 2 units per round; v_max = 5 covers it.
+        let mut errors = Vec::new();
+        for round in 1..=8 {
+            let truth = Point2::new(5.0 + 2.0 * round as f64, 15.0);
+            let obs = observation(&[(truth, 2.0)]);
+            let out = tracker.step(round as f64, &obs, &mut rng).unwrap();
+            errors.push(out.estimates[0].distance(truth));
+        }
+        let late_avg = errors[4..].iter().sum::<f64>() / 4.0;
+        assert!(late_avg < 2.5, "late-round tracking error {late_avg:.2}");
+    }
+
+    #[test]
+    fn inactive_window_freezes_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tracker = Tracker::new(
+            1,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let truth = Point2::new(12.0, 17.0);
+        tracker
+            .step(1.0, &observation(&[(truth, 2.0)]), &mut rng)
+            .unwrap();
+        let before: Vec<WeightedSample> = tracker.samples(0).unwrap().to_vec();
+
+        // Silent window: zero flux everywhere → q fits to 0 → no update.
+        let silent = FluxObjective::new(
+            field(),
+            FluxModel::default(),
+            sniffer_grid(),
+            vec![0.0; sniffer_grid().len()],
+        )
+        .unwrap();
+        let out = tracker.step(2.0, &silent, &mut rng).unwrap();
+        assert!(!out.active[0]);
+        assert_eq!(tracker.samples(0).unwrap(), before.as_slice());
+
+        // Reactivation after the gap: Δt = 2 rounds, wider prediction disc.
+        let out = tracker
+            .step(3.0, &observation(&[(truth, 2.0)]), &mut rng)
+            .unwrap();
+        assert!(out.active[0]);
+        assert!(out.estimates[0].distance(truth) < 3.0);
+    }
+
+    #[test]
+    fn two_users_tracked_jointly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SmcConfig {
+            n_predictions: 200,
+            ..Default::default()
+        };
+        let mut tracker =
+            Tracker::new(2, field(), FluxModel::default(), cfg, 0.0, &mut rng).unwrap();
+        let t1 = Point2::new(8.0, 8.0);
+        let t2 = Point2::new(22.0, 21.0);
+        let obs = observation(&[(t1, 2.0), (t2, 2.5)]);
+        let mut out = None;
+        for round in 1..=6 {
+            out = Some(tracker.step(round as f64, &obs, &mut rng).unwrap());
+        }
+        let out = out.unwrap();
+        // Identity-free scoring: each truth matched by some estimate.
+        for truth in [t1, t2] {
+            let nearest = out
+                .estimates
+                .iter()
+                .map(|e| e.distance(truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 3.0, "user at {truth} missed ({nearest:.2})");
+        }
+    }
+
+    #[test]
+    fn time_must_advance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tracker = Tracker::new(
+            1,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let obs = observation(&[(Point2::new(10.0, 10.0), 1.0)]);
+        tracker.step(1.0, &obs, &mut rng).unwrap();
+        assert!(matches!(
+            tracker.step(1.0, &obs, &mut rng),
+            Err(SmcError::TimeNotAdvancing { .. })
+        ));
+        assert!(matches!(
+            tracker.step(0.5, &obs, &mut rng),
+            Err(SmcError::TimeNotAdvancing { .. })
+        ));
+    }
+
+    #[test]
+    fn constructor_validation_and_accessors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            Tracker::new(
+                0,
+                field(),
+                FluxModel::default(),
+                small_config(),
+                0.0,
+                &mut rng
+            ),
+            Err(SmcError::ZeroUsers)
+        ));
+        let bad = SmcConfig {
+            keep_m: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Tracker::new(1, field(), FluxModel::default(), bad, 0.0, &mut rng),
+            Err(SmcError::BadConfig { .. })
+        ));
+        let tracker = Tracker::new(
+            2,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(tracker.k(), 2);
+        assert_eq!(tracker.time(), 0.0);
+        assert_eq!(tracker.samples(0).unwrap().len(), 10);
+        assert!(tracker.samples(5).is_err());
+        assert!(tracker.estimate(0).is_ok());
+        assert_eq!(tracker.config().keep_m, 10);
+        assert_eq!(tracker.model().d_floor(), 1.0);
+    }
+}

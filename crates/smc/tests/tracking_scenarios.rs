@@ -1,0 +1,243 @@
+//! Scenario-level tests of the Sequential Monte Carlo tracker against
+//! synthetic observations generated straight from the flux model (no
+//! simulator noise — these isolate the *filter's* behavior).
+
+use std::sync::Arc;
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Boundary, Point2, Rect, Vec2};
+use fluxprint_smc::{SmcConfig, Tracker};
+use fluxprint_solver::FluxObjective;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn field() -> Arc<Rect> {
+    Arc::new(Rect::square(30.0).unwrap())
+}
+
+fn sniffer_grid() -> Vec<Point2> {
+    let mut v = Vec::new();
+    for i in 0..8 {
+        for j in 0..8 {
+            v.push(Point2::new(1.8 + i as f64 * 3.8, 1.8 + j as f64 * 3.8));
+        }
+    }
+    v
+}
+
+fn observation(truth: &[(Point2, f64)]) -> FluxObjective {
+    let model = FluxModel::default();
+    let f = Rect::square(30.0).unwrap();
+    let sniffers = sniffer_grid();
+    let measured: Vec<f64> = sniffers
+        .iter()
+        .map(|&p| model.predict_superposed(truth, p, &f))
+        .collect();
+    FluxObjective::new(field(), model, sniffers, measured).unwrap()
+}
+
+fn config() -> SmcConfig {
+    SmcConfig {
+        n_predictions: 300,
+        ..Default::default()
+    }
+}
+
+/// A user moving at exactly v_max is still followed: the reachable disc is
+/// tight but sufficient.
+#[test]
+fn tracks_at_maximum_speed() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut tracker =
+        Tracker::new(1, field(), FluxModel::default(), config(), 0.0, &mut rng).unwrap();
+    let mut errs = Vec::new();
+    for round in 1..=10 {
+        // Speed 5 = v_max exactly, moving diagonally.
+        let t = round as f64;
+        let truth = Rect::square(30.0)
+            .unwrap()
+            .clamp(Point2::new(2.0 + 3.5 * t, 2.0 + 3.5 * t));
+        let out = tracker
+            .step(t, &observation(&[(truth, 2.0)]), &mut rng)
+            .unwrap();
+        errs.push(out.estimates[0].distance(truth));
+    }
+    let late = errs[5..].iter().sum::<f64>() / 5.0;
+    assert!(late < 3.0, "late error {late:.2} at v_max motion");
+}
+
+/// Direction reversal: the uniform-disc prior carries no heading, so a
+/// sudden reversal must not break the track.
+#[test]
+fn survives_direction_reversal() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut tracker =
+        Tracker::new(1, field(), FluxModel::default(), config(), 0.0, &mut rng).unwrap();
+    let mut errs = Vec::new();
+    for round in 1..=12 {
+        let t = round as f64;
+        // Out for 6 rounds, back for 6.
+        let x = if round <= 6 {
+            5.0 + 3.0 * t
+        } else {
+            5.0 + 3.0 * 6.0 - 3.0 * (t - 6.0)
+        };
+        let truth = Point2::new(x, 15.0);
+        let out = tracker
+            .step(t, &observation(&[(truth, 2.0)]), &mut rng)
+            .unwrap();
+        errs.push(out.estimates[0].distance(truth));
+    }
+    let after_turn = errs[7..].iter().sum::<f64>() / 5.0;
+    assert!(after_turn < 3.0, "post-reversal error {after_turn:.2}");
+}
+
+/// Three simultaneous users, all static: every one is pinned down.
+#[test]
+fn three_simultaneous_users() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let truths = [
+        (Point2::new(7.0, 7.0), 2.0),
+        (Point2::new(23.0, 9.0), 1.5),
+        (Point2::new(14.0, 23.0), 2.5),
+    ];
+    let mut tracker =
+        Tracker::new(3, field(), FluxModel::default(), config(), 0.0, &mut rng).unwrap();
+    let obs = observation(&truths);
+    let mut last = None;
+    for round in 1..=8 {
+        last = Some(tracker.step(round as f64, &obs, &mut rng).unwrap());
+    }
+    let out = last.unwrap();
+    for &(tp, _) in &truths {
+        let nearest = out
+            .estimates
+            .iter()
+            .map(|e| e.distance(tp))
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest < 2.5, "user at {tp} missed by {nearest:.2}");
+    }
+}
+
+/// Long silence then reappearance far away: the asynchronous Δt growth
+/// plus exploration recovers the user.
+#[test]
+fn recovers_after_long_silence() {
+    let mut rng = StdRng::seed_from_u64(24);
+    let mut tracker =
+        Tracker::new(1, field(), FluxModel::default(), config(), 0.0, &mut rng).unwrap();
+    let a = Point2::new(6.0, 6.0);
+    let b = Point2::new(24.0, 23.0); // ~25 units away
+                                     // Lock onto position A.
+    for round in 1..=3 {
+        tracker
+            .step(round as f64, &observation(&[(a, 2.0)]), &mut rng)
+            .unwrap();
+    }
+    // Silence for 5 rounds (zero flux).
+    let silent = FluxObjective::new(
+        field(),
+        FluxModel::default(),
+        sniffer_grid(),
+        vec![0.0; sniffer_grid().len()],
+    )
+    .unwrap();
+    for round in 4..=8 {
+        let out = tracker.step(round as f64, &silent, &mut rng).unwrap();
+        assert!(!out.active[0], "phantom detection during silence");
+    }
+    // Reappears at B: Δt = 6 rounds ⇒ radius 30 covers the jump.
+    let mut err = f64::INFINITY;
+    for round in 9..=11 {
+        let out = tracker
+            .step(round as f64, &observation(&[(b, 2.0)]), &mut rng)
+            .unwrap();
+        err = out.estimates[0].distance(b);
+    }
+    assert!(err < 3.0, "failed to re-acquire after silence: {err:.2}");
+}
+
+/// Weight degeneracy guard: effective sample size stays positive and
+/// weights stay normalized across many rounds.
+#[test]
+fn weights_remain_normalized() {
+    let mut rng = StdRng::seed_from_u64(25);
+    let mut tracker =
+        Tracker::new(1, field(), FluxModel::default(), config(), 0.0, &mut rng).unwrap();
+    let truth = Point2::new(12.0, 18.0);
+    let obs = observation(&[(truth, 2.0)]);
+    for round in 1..=15 {
+        tracker.step(round as f64, &obs, &mut rng).unwrap();
+        let samples = tracker.samples(0).unwrap();
+        let wsum: f64 = samples.iter().map(|s| s.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9, "weights sum to {wsum}");
+        let ess = fluxprint_smc::effective_sample_size(samples);
+        assert!(ess >= 1.0 - 1e-9, "degenerate ESS {ess}");
+        // All samples on the field.
+        for s in samples {
+            assert!(field().contains(s.position));
+        }
+    }
+}
+
+/// A user whose stretch varies round to round (the paper lets stretches
+/// differ per user; here per round) is still tracked — the inner NNLS
+/// refits q each window.
+#[test]
+fn tracks_with_varying_stretch() {
+    let mut rng = StdRng::seed_from_u64(26);
+    let mut tracker =
+        Tracker::new(1, field(), FluxModel::default(), config(), 0.0, &mut rng).unwrap();
+    let mut err = f64::INFINITY;
+    for round in 1..=8 {
+        let t = round as f64;
+        let truth = Point2::new(8.0 + 1.5 * t, 12.0) + Vec2::new(0.0, 0.5 * t);
+        let stretch = 1.0 + (round % 3) as f64; // 2, 3, 1, 2, …
+        let out = tracker
+            .step(t, &observation(&[(truth, stretch)]), &mut rng)
+            .unwrap();
+        err = out.estimates[0].distance(truth);
+        assert!(out.active[0], "round {round} missed an active user");
+    }
+    assert!(err < 2.5, "varying-stretch tracking error {err:.2}");
+}
+
+/// The §4.C heading refinement: with a forward-cone bias the tracker
+/// tracks a straight mover at least as well as the plain uniform prior.
+#[test]
+fn heading_bias_does_not_hurt_straight_motion() {
+    let run = |bias: f64, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SmcConfig {
+            heading_bias: bias,
+            ..config()
+        };
+        let mut tracker =
+            Tracker::new(1, field(), FluxModel::default(), cfg, 0.0, &mut rng).unwrap();
+        let mut errs = Vec::new();
+        for round in 1..=10 {
+            let t = round as f64;
+            let truth = Point2::new(4.0 + 2.2 * t, 15.0);
+            let out = tracker
+                .step(t, &observation(&[(truth, 2.0)]), &mut rng)
+                .unwrap();
+            errs.push(out.estimates[0].distance(truth));
+        }
+        errs[5..].iter().sum::<f64>() / 5.0
+    };
+    let mut plain = 0.0;
+    let mut biased = 0.0;
+    for seed in 0..4 {
+        plain += run(0.0, 30 + seed);
+        biased += run(0.5, 30 + seed);
+    }
+    assert!(
+        biased <= plain + 1.0,
+        "heading bias hurt straight tracking: {biased:.2} vs {plain:.2}"
+    );
+    assert!(
+        biased / 4.0 < 3.0,
+        "biased tracking error {:.2}",
+        biased / 4.0
+    );
+}

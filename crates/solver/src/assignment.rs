@@ -1,0 +1,208 @@
+//! Minimum-cost assignment (Hungarian algorithm).
+//!
+//! Localization error for multiple users must be identity-free: the
+//! adversary's K estimates carry no labels (Figure 7(d) shows identities
+//! can swap at crossings while positions stay correct), so scoring matches
+//! each estimate to the nearest distinct ground-truth position — a
+//! minimum-cost bipartite assignment on the distance matrix.
+
+use fluxprint_linalg::Matrix;
+
+use crate::SolverError;
+
+/// Solves the min-cost assignment for a `rows × cols` cost matrix with
+/// `rows ≤ cols`; returns, for each row, its assigned column.
+///
+/// Uses the `O(rows²·cols)` shortest-augmenting-path formulation with dual
+/// potentials (the classical Hungarian algorithm).
+///
+/// # Errors
+///
+/// Returns [`SolverError::BadParameter`] when `rows > cols`.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_linalg::Matrix;
+/// use fluxprint_solver::min_cost_assignment;
+///
+/// let cost = Matrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]])?;
+/// let assignment = min_cost_assignment(&cost)?;
+/// assert_eq!(assignment, vec![1, 0, 2]); // total cost 1 + 2 + 2 = 5
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn min_cost_assignment(cost: &Matrix) -> Result<Vec<usize>, SolverError> {
+    let (n, m) = cost.shape();
+    if n > m {
+        return Err(SolverError::BadParameter {
+            name: "rows",
+            value: n as f64,
+        });
+    }
+    // 1-indexed arrays per the classical formulation; p[j] = row matched to
+    // column j (0 = none), u/v = dual potentials.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=m {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn total(cost: &Matrix, assignment: &[usize]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| cost[(r, c)])
+            .sum()
+    }
+
+    #[test]
+    fn known_square_instance() {
+        let cost =
+            Matrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]).unwrap();
+        let a = min_cost_assignment(&cost).unwrap();
+        assert_eq!(total(&cost, &a), 5.0);
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_dominance() {
+        let cost = Matrix::from_rows(&[&[0.0, 9.0], &[9.0, 0.0]]).unwrap();
+        assert_eq!(min_cost_assignment(&cost).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn rectangular_instance_picks_cheapest_columns() {
+        let cost = Matrix::from_rows(&[&[5.0, 1.0, 9.0, 3.0]]).unwrap();
+        assert_eq!(min_cost_assignment(&cost).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn assignment_is_a_valid_matching() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..6);
+            let m = rng.gen_range(n..8);
+            let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let cost = Matrix::from_vec(n, m, data).unwrap();
+            let a = min_cost_assignment(&cost).unwrap();
+            assert_eq!(a.len(), n);
+            let mut cols = a.clone();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), n, "columns must be distinct");
+            assert!(a.iter().all(|&c| c < m));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..5usize);
+            let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let cost = Matrix::from_vec(n, n, data).unwrap();
+            let a = min_cost_assignment(&cost).unwrap();
+            // Brute force over all permutations.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut best = f64::INFINITY;
+            permute(&mut perm, 0, &mut |p| {
+                let c = p
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &col)| cost[(r, col)])
+                    .sum::<f64>();
+                if c < best {
+                    best = c;
+                }
+            });
+            assert!(
+                (total(&cost, &a) - best).abs() < 1e-9,
+                "hungarian {} vs brute force {}",
+                total(&cost, &a),
+                best
+            );
+        }
+    }
+
+    fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut dyn FnMut(&[usize])) {
+        if k == perm.len() {
+            visit(perm);
+            return;
+        }
+        for i in k..perm.len() {
+            perm.swap(k, i);
+            permute(perm, k + 1, visit);
+            perm.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn more_rows_than_columns_rejected() {
+        let cost = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(matches!(
+            min_cost_assignment(&cost),
+            Err(SolverError::BadParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+//! Recursive flux briefing (§3.C): peak detection + model subtraction on a
+//! full network flux map.
+//!
+//! With flux known at *every* node, multiple users are separated greedily:
+//! detect the global traffic peak, read off that user's position, fit its
+//! stretch from the map, subtract its modeled flux, repeat. Figure 4 shows
+//! the map after one and after two subtraction rounds. The sparse-sampling
+//! pipeline (`random_search`, the particle filter) exists because this
+//! full-map method costs a sniffer per node; briefing is retained both as
+//! the paper's stepping stone and as a strong full-information baseline.
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Boundary, Point2};
+
+use crate::SolverError;
+
+/// One user recovered by a briefing round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BriefedSink {
+    /// Estimated position (the peak node's position).
+    pub position: Point2,
+    /// Fitted integrated stretch factor `q = s/r`.
+    pub stretch: f64,
+    /// Peak flux value that triggered the detection.
+    pub peak_flux: f64,
+}
+
+/// A briefing round's outputs: the sink recovered and the reduced map
+/// after subtracting its modeled flux (Figure 4 plots exactly these maps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BriefingRound {
+    /// The sink identified this round.
+    pub sink: BriefedSink,
+    /// The flux map after subtraction (clamped at zero).
+    pub reduced_map: Vec<f64>,
+}
+
+/// Configuration for [`brief_flux_map`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BriefingConfig {
+    /// Maximum number of sinks to extract.
+    pub max_sinks: usize,
+    /// Stop when the current peak falls below this fraction of the
+    /// original peak (remaining flux is residual noise, not a user).
+    pub peak_fraction_stop: f64,
+    /// Radius of the extracted sink's near field. The stretch is fitted on
+    /// nodes *outside* this radius (where the model is accurate, §3.B), and
+    /// after subtraction the disc inside it is zeroed: near-sink flux is
+    /// direction-sensitive and entirely attributable to the extracted user.
+    pub suppress_radius: f64,
+}
+
+impl Default for BriefingConfig {
+    fn default() -> Self {
+        BriefingConfig {
+            max_sinks: 8,
+            peak_fraction_stop: 0.12,
+            suppress_radius: 2.5,
+        }
+    }
+}
+
+/// Runs the recursive briefing on a full flux map.
+///
+/// `positions[i]` is the position of node `i` and `flux[i]` its measured
+/// flux. Returns one [`BriefingRound`] per extracted sink, in extraction
+/// (decreasing-dominance) order.
+///
+/// # Errors
+///
+/// Returns [`SolverError::LengthMismatch`] when inputs differ in length,
+/// [`SolverError::EmptyObservation`] for empty input,
+/// [`SolverError::BadParameter`] for a zero `max_sinks`, and
+/// [`SolverError::NoPeak`] when the initial map has no positive flux.
+pub fn brief_flux_map(
+    positions: &[Point2],
+    flux: &[f64],
+    boundary: &dyn Boundary,
+    model: &FluxModel,
+    config: &BriefingConfig,
+) -> Result<Vec<BriefingRound>, SolverError> {
+    if positions.len() != flux.len() {
+        return Err(SolverError::LengthMismatch {
+            positions: positions.len(),
+            measurements: flux.len(),
+        });
+    }
+    if positions.is_empty() {
+        return Err(SolverError::EmptyObservation);
+    }
+    if config.max_sinks == 0 {
+        return Err(SolverError::BadParameter {
+            name: "max_sinks",
+            value: 0.0,
+        });
+    }
+
+    let mut remaining = flux.to_vec();
+    let (first_peak_idx, first_peak) = argmax(&remaining);
+    if first_peak <= 0.0 {
+        return Err(SolverError::NoPeak);
+    }
+    let _ = first_peak_idx;
+
+    let mut rounds = Vec::new();
+    let mut basis = vec![0.0; positions.len()];
+    for _ in 0..config.max_sinks {
+        let (peak_idx, peak) = argmax(&remaining);
+        if peak <= 0.0 || peak < config.peak_fraction_stop * first_peak {
+            break;
+        }
+        let sink_pos = positions[peak_idx];
+        model.basis_column_into(positions, sink_pos, boundary, &mut basis);
+        // One-dimensional non-negative LS against the remaining map,
+        // restricted to the far field where the model is reliable.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for ((&a, &f), &p) in basis.iter().zip(&remaining).zip(positions) {
+            if p.distance(sink_pos) >= config.suppress_radius {
+                num += a * f;
+                den += a * a;
+            }
+        }
+        let q = if den > 0.0 { (num / den).max(0.0) } else { 0.0 };
+        if q <= 0.0 {
+            break;
+        }
+        for ((rem, &a), &p) in remaining.iter_mut().zip(&basis).zip(positions) {
+            *rem = if p.distance(sink_pos) < config.suppress_radius {
+                0.0
+            } else {
+                (*rem - q * a).max(0.0)
+            };
+        }
+        rounds.push(BriefingRound {
+            sink: BriefedSink {
+                position: sink_pos,
+                stretch: q,
+                peak_flux: peak,
+            },
+            reduced_map: remaining.clone(),
+        });
+    }
+    Ok(rounds)
+}
+
+fn argmax(values: &[f64]) -> (usize, f64) {
+    let mut idx = 0;
+    let mut best = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best {
+            best = v;
+            idx = i;
+        }
+    }
+    (idx, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::Rect;
+
+    fn grid_positions() -> Vec<Point2> {
+        let mut v = Vec::new();
+        for i in 0..30 {
+            for j in 0..30 {
+                v.push(Point2::new(0.5 + i as f64, 0.5 + j as f64));
+            }
+        }
+        v
+    }
+
+    fn model_map(positions: &[Point2], sinks: &[(Point2, f64)]) -> Vec<f64> {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        positions
+            .iter()
+            .map(|&p| model.predict_superposed(sinks, p, &field))
+            .collect()
+    }
+
+    #[test]
+    fn single_sink_extracted_at_peak() {
+        let field = Rect::square(30.0).unwrap();
+        let positions = grid_positions();
+        let truth = [(Point2::new(12.3, 17.8), 2.0)];
+        let flux = model_map(&positions, &truth);
+        let rounds = brief_flux_map(
+            &positions,
+            &flux,
+            &field,
+            &FluxModel::default(),
+            &BriefingConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rounds.len(), 1);
+        assert!(rounds[0].sink.position.distance(truth[0].0) < 1.5);
+        assert!((rounds[0].sink.stretch - 2.0).abs() < 0.5);
+        // The reduction removed most flux energy.
+        let before: f64 = flux.iter().sum();
+        let after: f64 = rounds[0].reduced_map.iter().sum();
+        assert!(
+            after < 0.25 * before,
+            "after {after:.1} vs before {before:.1}"
+        );
+    }
+
+    #[test]
+    fn three_sinks_extracted_in_dominance_order() {
+        let field = Rect::square(30.0).unwrap();
+        let positions = grid_positions();
+        let truth = [
+            (Point2::new(6.0, 6.0), 3.0),
+            (Point2::new(24.0, 8.0), 2.0),
+            (Point2::new(14.0, 24.0), 1.2),
+        ];
+        let flux = model_map(&positions, &truth);
+        let rounds = brief_flux_map(
+            &positions,
+            &flux,
+            &field,
+            &FluxModel::default(),
+            &BriefingConfig {
+                max_sinks: 3,
+                peak_fraction_stop: 0.05,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rounds.len(), 3);
+        // Every true sink matched by one extraction within 2.5 units.
+        for &(tp, _) in &truth {
+            let nearest = rounds
+                .iter()
+                .map(|r| r.sink.position.distance(tp))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 2.5, "sink {tp} missed (nearest {nearest:.2})");
+        }
+        // Peaks decrease round over round.
+        for w in rounds.windows(2) {
+            assert!(w[0].sink.peak_flux >= w[1].sink.peak_flux);
+        }
+    }
+
+    #[test]
+    fn stops_when_peak_becomes_noise() {
+        let field = Rect::square(30.0).unwrap();
+        let positions = grid_positions();
+        let truth = [(Point2::new(15.0, 15.0), 2.0)];
+        let flux = model_map(&positions, &truth);
+        let rounds = brief_flux_map(
+            &positions,
+            &flux,
+            &field,
+            &FluxModel::default(),
+            &BriefingConfig {
+                max_sinks: 8,
+                peak_fraction_stop: 0.12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            rounds.len() <= 2,
+            "extracted {} sinks from one user",
+            rounds.len()
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        let cfg = BriefingConfig::default();
+        assert!(matches!(
+            brief_flux_map(&[Point2::ORIGIN], &[1.0, 2.0], &field, &model, &cfg),
+            Err(SolverError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            brief_flux_map(&[], &[], &field, &model, &cfg),
+            Err(SolverError::EmptyObservation)
+        ));
+        assert!(matches!(
+            brief_flux_map(&[Point2::ORIGIN], &[0.0], &field, &model, &cfg),
+            Err(SolverError::NoPeak)
+        ));
+        let bad = BriefingConfig {
+            max_sinks: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            brief_flux_map(&[Point2::ORIGIN], &[1.0], &field, &model, &bad),
+            Err(SolverError::BadParameter { .. })
+        ));
+    }
+}

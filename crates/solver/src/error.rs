@@ -1,0 +1,113 @@
+//! Error type for the solver layer.
+
+use std::error::Error;
+use std::fmt;
+
+use fluxprint_linalg::LinalgError;
+
+/// Errors produced by objective construction and the fitting algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// Sniffer positions and measurements have different lengths.
+    LengthMismatch {
+        /// Number of sniffer positions.
+        positions: usize,
+        /// Number of measurements.
+        measurements: usize,
+    },
+    /// The objective needs at least one observation.
+    EmptyObservation,
+    /// A measurement was negative or non-finite.
+    BadMeasurement {
+        /// Index of the offending measurement.
+        index: usize,
+    },
+    /// The requested number of sinks was zero.
+    ZeroSinks,
+    /// A configuration parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A linear-algebra failure that could not be recovered internally.
+    Linalg(LinalgError),
+    /// The briefing loop could not find a positive flux peak.
+    NoPeak,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::LengthMismatch {
+                positions,
+                measurements,
+            } => write!(
+                f,
+                "sniffer positions ({positions}) and measurements ({measurements}) differ"
+            ),
+            SolverError::EmptyObservation => {
+                write!(f, "objective needs at least one observation")
+            }
+            SolverError::BadMeasurement { index } => {
+                write!(f, "measurement {index} is negative or non-finite")
+            }
+            SolverError::ZeroSinks => write!(f, "at least one sink must be hypothesized"),
+            SolverError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+            SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            SolverError::NoPeak => write!(f, "no positive flux peak found"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SolverError {
+    fn from(e: LinalgError) -> Self {
+        SolverError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            SolverError::LengthMismatch {
+                positions: 1,
+                measurements: 2,
+            },
+            SolverError::EmptyObservation,
+            SolverError::BadMeasurement { index: 0 },
+            SolverError::ZeroSinks,
+            SolverError::BadParameter {
+                name: "samples",
+                value: 0.0,
+            },
+            SolverError::Linalg(LinalgError::Empty),
+            SolverError::NoPeak,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn linalg_source_chained() {
+        let e = SolverError::from(LinalgError::Empty);
+        assert!(Error::source(&e).is_some());
+    }
+}

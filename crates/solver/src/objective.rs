@@ -1,0 +1,314 @@
+//! The NLS objective of Equation 4.1.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Boundary, Point2};
+use fluxprint_linalg::{nnls, Matrix};
+
+use crate::SolverError;
+
+/// A fitted sink hypothesis: positions, integrated stretch factors, and the
+/// residual `‖F̂ − F′‖` they achieve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkFit {
+    /// Hypothesized sink positions.
+    pub positions: Vec<Point2>,
+    /// Fitted integrated stretch factors `q_j = s_j / r` (non-negative;
+    /// `q_j ≈ 0` flags user `j` as inactive this window, §4.E).
+    pub stretches: Vec<f64>,
+    /// `‖F̂ − F′‖₂` at the fitted stretches.
+    pub residual: f64,
+}
+
+impl SinkFit {
+    /// Number of sinks in the hypothesis.
+    pub fn k(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Indices of sinks whose fitted stretch exceeds `threshold` — the
+    /// active users of this observation window.
+    pub fn active_sinks(&self, threshold: f64) -> Vec<usize> {
+        self.stretches
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The sparse-sampling NLS objective: sniffer positions, their measured
+/// flux, the field boundary, and the flux model.
+///
+/// Cheap to clone is *not* a goal — build once per observation window and
+/// evaluate many candidate position sets against it.
+#[derive(Debug, Clone)]
+pub struct FluxObjective {
+    boundary: Arc<dyn Boundary>,
+    model: FluxModel,
+    positions: Vec<Point2>,
+    measurements: Vec<f64>,
+}
+
+impl FluxObjective {
+    /// Creates the objective for one observation window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::LengthMismatch`] when positions and
+    /// measurements differ in length, [`SolverError::EmptyObservation`] for
+    /// empty input, and [`SolverError::BadMeasurement`] for negative or
+    /// non-finite flux values.
+    pub fn new(
+        boundary: Arc<dyn Boundary>,
+        model: FluxModel,
+        positions: Vec<Point2>,
+        measurements: Vec<f64>,
+    ) -> Result<Self, SolverError> {
+        if positions.len() != measurements.len() {
+            return Err(SolverError::LengthMismatch {
+                positions: positions.len(),
+                measurements: measurements.len(),
+            });
+        }
+        if positions.is_empty() {
+            return Err(SolverError::EmptyObservation);
+        }
+        if let Some(index) = measurements.iter().position(|&m| !m.is_finite() || m < 0.0) {
+            return Err(SolverError::BadMeasurement { index });
+        }
+        Ok(FluxObjective {
+            boundary,
+            model,
+            positions,
+            measurements,
+        })
+    }
+
+    /// Number of observations (sniffed nodes).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Always `false` (construction rejects empty observations).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The sniffer positions.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// The measured flux vector `F′`.
+    pub fn measurements(&self) -> &[f64] {
+        &self.measurements
+    }
+
+    /// The field boundary.
+    pub fn boundary(&self) -> &dyn Boundary {
+        self.boundary.as_ref()
+    }
+
+    /// The flux model in use.
+    pub fn model(&self) -> &FluxModel {
+        &self.model
+    }
+
+    /// `‖F′‖₂` — the residual of the empty hypothesis, an upper bound for
+    /// any fit (NNLS can always pick `q = 0`).
+    pub fn null_residual(&self) -> f64 {
+        self.measurements.iter().map(|m| m * m).sum::<f64>().sqrt()
+    }
+
+    /// The model basis column for one candidate sink position.
+    pub fn basis_column(&self, sink: Point2) -> Vec<f64> {
+        let mut col = vec![0.0; self.positions.len()];
+        self.model
+            .basis_column_into(&self.positions, sink, self.boundary.as_ref(), &mut col);
+        col
+    }
+
+    /// Evaluates a full hypothesis: inner-fits the stretch factors by NNLS
+    /// and returns the fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ZeroSinks`] for an empty position set; linear
+    /// algebra failures surface as [`SolverError::Linalg`].
+    pub fn evaluate(&self, sinks: &[Point2]) -> Result<SinkFit, SolverError> {
+        if sinks.is_empty() {
+            return Err(SolverError::ZeroSinks);
+        }
+        let a = self
+            .model
+            .design_matrix(&self.positions, sinks, self.boundary.as_ref());
+        self.fit_design(a, sinks.to_vec())
+    }
+
+    /// Evaluates a hypothesis whose basis columns are already computed
+    /// (the particle filter precomputes one column per candidate and reuses
+    /// them across thousands of combinations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ZeroSinks`] for no columns and
+    /// [`SolverError::LengthMismatch`] when a column's length differs from
+    /// the observation count.
+    pub fn evaluate_columns(
+        &self,
+        sinks: &[Point2],
+        columns: &[&[f64]],
+    ) -> Result<SinkFit, SolverError> {
+        if columns.is_empty() {
+            return Err(SolverError::ZeroSinks);
+        }
+        let n = self.positions.len();
+        for col in columns {
+            if col.len() != n {
+                return Err(SolverError::LengthMismatch {
+                    positions: n,
+                    measurements: col.len(),
+                });
+            }
+        }
+        let mut data = vec![0.0; n * columns.len()];
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                data[i * columns.len() + j] = v;
+            }
+        }
+        let a = Matrix::from_vec(n, columns.len(), data)?;
+        self.fit_design(a, sinks.to_vec())
+    }
+
+    fn fit_design(&self, a: Matrix, positions: Vec<Point2>) -> Result<SinkFit, SolverError> {
+        let sol = nnls(&a, &self.measurements)?;
+        Ok(SinkFit {
+            positions,
+            stretches: sol.x,
+            residual: sol.residual_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_geometry::Rect;
+
+    fn grid_sniffers() -> Vec<Point2> {
+        let mut v = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                v.push(Point2::new(2.5 + i as f64 * 5.0, 2.5 + j as f64 * 5.0));
+            }
+        }
+        v
+    }
+
+    fn objective_for(truth: &[(Point2, f64)]) -> FluxObjective {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        let sniffers = grid_sniffers();
+        let measured: Vec<f64> = sniffers
+            .iter()
+            .map(|&p| model.predict_superposed(truth, p, &field))
+            .collect();
+        FluxObjective::new(Arc::new(field), model, sniffers, measured).unwrap()
+    }
+
+    #[test]
+    fn exact_hypothesis_has_zero_residual() {
+        let truth = [(Point2::new(12.0, 17.0), 2.0)];
+        let obj = objective_for(&truth);
+        let fit = obj.evaluate(&[truth[0].0]).unwrap();
+        assert!(fit.residual < 1e-9, "residual {}", fit.residual);
+        assert!((fit.stretches[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_hypothesis_has_positive_residual() {
+        let truth = [(Point2::new(12.0, 17.0), 2.0)];
+        let obj = objective_for(&truth);
+        let wrong = obj.evaluate(&[Point2::new(25.0, 3.0)]).unwrap();
+        let right = obj.evaluate(&[Point2::new(12.0, 17.0)]).unwrap();
+        assert!(wrong.residual > right.residual * 10.0);
+        assert!(wrong.residual <= obj.null_residual() + 1e-12);
+    }
+
+    #[test]
+    fn two_sink_superposition_recovered() {
+        let truth = [(Point2::new(8.0, 8.0), 1.5), (Point2::new(22.0, 21.0), 3.0)];
+        let obj = objective_for(&truth);
+        let fit = obj.evaluate(&[truth[0].0, truth[1].0]).unwrap();
+        assert!(fit.residual < 1e-8);
+        assert!((fit.stretches[0] - 1.5).abs() < 1e-6);
+        assert!((fit.stretches[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inactive_sink_detected_by_zero_stretch() {
+        // Only one true sink, but hypothesize two: the spurious one should
+        // fit q ≈ 0 (the §4.E asynchronous-updating signal) — provided the
+        // spurious position doesn't alias the real flux.
+        let truth = [(Point2::new(12.0, 17.0), 2.0)];
+        let obj = objective_for(&truth);
+        let fit = obj
+            .evaluate(&[Point2::new(12.0, 17.0), Point2::new(27.0, 2.0)])
+            .unwrap();
+        assert!(fit.residual < 1e-6);
+        assert!((fit.stretches[0] - 2.0).abs() < 1e-4);
+        assert!(
+            fit.stretches[1] < 1e-4,
+            "spurious stretch {}",
+            fit.stretches[1]
+        );
+        assert_eq!(fit.active_sinks(1e-3), vec![0]);
+        assert_eq!(fit.k(), 2);
+    }
+
+    #[test]
+    fn evaluate_columns_matches_evaluate() {
+        let truth = [
+            (Point2::new(10.0, 10.0), 2.0),
+            (Point2::new(20.0, 20.0), 1.0),
+        ];
+        let obj = objective_for(&truth);
+        let sinks = [Point2::new(9.0, 11.0), Point2::new(21.0, 19.0)];
+        let direct = obj.evaluate(&sinks).unwrap();
+        let c0 = obj.basis_column(sinks[0]);
+        let c1 = obj.basis_column(sinks[1]);
+        let via_cols = obj.evaluate_columns(&sinks, &[&c0, &c1]).unwrap();
+        assert!((direct.residual - via_cols.residual).abs() < 1e-9);
+        for (a, b) in direct.stretches.iter().zip(&via_cols.stretches) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        let field: Arc<dyn Boundary> = Arc::new(Rect::square(30.0).unwrap());
+        let model = FluxModel::default();
+        assert!(matches!(
+            FluxObjective::new(field.clone(), model, vec![Point2::ORIGIN], vec![1.0, 2.0]),
+            Err(SolverError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            FluxObjective::new(field.clone(), model, vec![], vec![]),
+            Err(SolverError::EmptyObservation)
+        ));
+        assert!(matches!(
+            FluxObjective::new(field.clone(), model, vec![Point2::ORIGIN], vec![-1.0]),
+            Err(SolverError::BadMeasurement { index: 0 })
+        ));
+        let obj = FluxObjective::new(field, model, vec![Point2::new(1.0, 1.0)], vec![1.0]).unwrap();
+        assert!(matches!(obj.evaluate(&[]), Err(SolverError::ZeroSinks)));
+        assert_eq!(obj.len(), 1);
+        assert!(!obj.is_empty());
+    }
+}

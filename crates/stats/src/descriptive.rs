@@ -1,0 +1,187 @@
+//! Basic descriptive statistics over `f64` slices.
+
+use crate::StatsError;
+
+fn validate(samples: &[f64]) -> Result<(), StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if let Some(index) = samples.iter().position(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteSample { index });
+    }
+    Ok(())
+}
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] / [`StatsError::NonFiniteSample`] on
+/// invalid input.
+pub fn mean(samples: &[f64]) -> Result<f64, StatsError> {
+    validate(samples)?;
+    Ok(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Errors
+///
+/// Same as [`mean`].
+pub fn variance(samples: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(samples)?;
+    Ok(samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / samples.len() as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Same as [`mean`].
+pub fn std_dev(samples: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(samples)?.sqrt())
+}
+
+/// Minimum value.
+///
+/// # Errors
+///
+/// Same as [`mean`].
+pub fn min(samples: &[f64]) -> Result<f64, StatsError> {
+    validate(samples)?;
+    Ok(samples.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum value.
+///
+/// # Errors
+///
+/// Same as [`mean`].
+pub fn max(samples: &[f64]) -> Result<f64, StatsError> {
+    validate(samples)?;
+    Ok(samples.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Same as [`mean`].
+pub fn median(samples: &[f64]) -> Result<f64, StatsError> {
+    percentile(samples, 50.0)
+}
+
+/// Percentile by linear interpolation between order statistics
+/// (the "linear" / type-7 convention used by NumPy's default).
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadPercentile`] for `p` outside `[0, 100]`, plus
+/// the input errors of [`mean`].
+pub fn percentile(samples: &[f64], p: f64) -> Result<f64, StatsError> {
+    validate(samples)?;
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::BadPercentile(p));
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Root-mean-square error between paired prediction/truth slices.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty input; panics are avoided by
+/// treating length mismatch as a programming error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    assert_eq!(predicted.len(), actual.len(), "rmse needs paired samples");
+    validate(predicted)?;
+    validate(actual)?;
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    Ok((sum / predicted.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert_eq!(std_dev(&xs).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn min_max_median() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), 1.0);
+        assert_eq!(max(&xs).unwrap(), 3.0);
+        assert_eq!(median(&xs).unwrap(), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 0.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 25.0).unwrap(), 2.5);
+        assert_eq!(percentile(&[5.0], 73.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn percentile_range_checked() {
+        assert!(matches!(
+            percentile(&[1.0], -1.0),
+            Err(StatsError::BadPercentile(_))
+        ));
+        assert!(matches!(
+            percentile(&[1.0], 100.5),
+            Err(StatsError::BadPercentile(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rejected() {
+        assert!(matches!(mean(&[]), Err(StatsError::EmptyInput)));
+        assert!(matches!(
+            mean(&[1.0, f64::NAN]),
+            Err(StatsError::NonFiniteSample { index: 1 })
+        ));
+        assert!(matches!(
+            max(&[f64::INFINITY]),
+            Err(StatsError::NonFiniteSample { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 4.0]).unwrap(), 2.0f64.sqrt());
+        assert_eq!(rmse(&[1.0], &[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn rmse_length_mismatch_panics() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

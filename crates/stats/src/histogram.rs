@@ -1,0 +1,157 @@
+//! Fixed-width histograms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A histogram with equal-width bins over `[lo, hi)`; values outside the
+/// range are counted in saturating edge bins.
+///
+/// Used by the repro harness to bucket per-node flux by hop count
+/// (Figure 3b) and error distributions.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(1.0);
+/// h.add(1.5);
+/// h.add(9.9);
+/// assert_eq!(h.counts(), &[2, 0, 0, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadHistogramSpec`] when `bins == 0`, the range
+    /// is empty, or a bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::BadHistogramSpec);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Adds one observation. Non-finite values are ignored; out-of-range
+    /// values land in the first/last bin.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Per-bin fractions (each count divided by the total); all zeros when
+    /// the histogram is empty.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_half_open() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.add(0.0);
+        h.add(0.999);
+        h.add(1.0);
+        assert_eq!(h.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 1).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn bad_spec_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 3).is_err());
+        assert!(Histogram::new(2.0, 1.0, 3).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn centers_and_normalization() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+        assert_eq!(h.normalized(), vec![0.0; 5]);
+        h.extend([1.0, 1.0, 9.0, 9.0].iter().copied());
+        let n = h.normalized();
+        assert!((n[0] - 0.5).abs() < 1e-12);
+        assert!((n[4] - 0.5).abs() < 1e-12);
+        assert_eq!(h.bins(), 5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Online (single-pass) moment accumulation.
+//!
+//! The long trace-driven sweeps accumulate errors across hundreds of
+//! windows per trial; Welford's algorithm keeps running means and
+//! variances without storing the samples and without the catastrophic
+//! cancellation of the naive sum-of-squares formula.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online accumulator for mean and variance.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_stats::OnlineStats;
+///
+/// let mut acc = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 5.0);
+/// assert_eq!(acc.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (they would
+    /// poison every later statistic).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `NaN` for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation; `NaN` when empty.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mean, variance};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_batch_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - mean(&xs).unwrap()).abs() < 1e-9);
+        assert!((acc.population_variance() - variance(&xs).unwrap()).abs() < 1e-6);
+        assert_eq!(acc.count(), 500);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..200).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..77] {
+            left.push(x);
+        }
+        for &x in &xs[77..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let acc = OnlineStats::new();
+        assert!(acc.mean().is_nan());
+        assert!(acc.population_variance().is_nan());
+        assert!(acc.min().is_nan());
+        let mut one = OnlineStats::new();
+        one.push(3.0);
+        assert_eq!(one.mean(), 3.0);
+        assert_eq!(one.population_variance(), 0.0);
+        assert!(one.sample_variance().is_nan());
+        assert_eq!(one.min(), 3.0);
+        assert_eq!(one.max(), 3.0);
+    }
+
+    #[test]
+    fn nonfinite_ignored() {
+        let mut acc = OnlineStats::new();
+        acc.push(f64::NAN);
+        acc.push(f64::INFINITY);
+        acc.push(1.0);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc = OnlineStats::new();
+        acc.push(2.0);
+        acc.push(4.0);
+        let before = acc;
+        acc.merge(&OnlineStats::new());
+        assert_eq!(acc, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

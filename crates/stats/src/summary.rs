@@ -1,0 +1,114 @@
+//! Five-number-style summaries of sample sets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{descriptive, StatsError};
+
+/// A descriptive summary of a sample set, the unit in which every repro
+/// table reports localization and tracking error.
+///
+/// # Example
+///
+/// ```
+/// use fluxprint_stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] / [`StatsError::NonFiniteSample`]
+    /// on invalid input.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        Ok(Summary {
+            count: samples.len(),
+            mean: descriptive::mean(samples)?,
+            std_dev: descriptive::std_dev(samples)?,
+            min: descriptive::min(samples)?,
+            median: descriptive::median(samples)?,
+            p90: descriptive::percentile(samples, 90.0)?,
+            max: descriptive::max(samples)?,
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} med={:.3} p90={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p90, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_summary() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[3.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p90, 3.0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Summary::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = Summary::from_samples(&[1.0, 2.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("mean=1.500"));
+        assert!(text.contains("n=2"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

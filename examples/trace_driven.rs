@@ -1,0 +1,64 @@
+//! Trace-driven tracking with asynchronous users (the §5.C experiment).
+//!
+//! Run with: `cargo run --release --example trace_driven`
+//!
+//! Generates a synthetic campus trace (the Dartmouth-data substitute of
+//! DESIGN.md §4): 20 users hop between ~50 AP landmarks with heavy-tailed
+//! dwell times and collect network data at every association, each on its
+//! own schedule. The tracker follows all 20 from 10 % flux sniffing,
+//! exercising Algorithm 4.1's asynchronous-updating path — in most windows
+//! only a handful of users are active, which is exactly why the paper's
+//! 20-user experiment stays tractable.
+
+use fluxprint::geometry::Rect;
+use fluxprint::mobility::CampusTraceGenerator;
+use fluxprint::{run_tracking, AttackConfig, ScenarioBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(31);
+
+    let generator = CampusTraceGenerator::new(Rect::square(30.0)?)?;
+    let trace = generator.generate(20, 120.0, &mut rng)?;
+    println!(
+        "generated {} users over {} AP landmarks (transit speed {})",
+        trace.users.len(),
+        trace.aps.len(),
+        generator.speed()
+    );
+
+    let scenario = ScenarioBuilder::new()
+        .window(2.0) // ΔT = 2 time units per observation window
+        .users(trace.users)
+        .build(&mut rng)?;
+
+    let mut config = AttackConfig::default();
+    config.smc.vmax = generator.speed();
+    config.smc.n_predictions = 400; // 20 users → keep the per-round cost sane
+
+    let report = run_tracking(&scenario, &config, &mut rng)?;
+
+    let mut active_hist = [0usize; 8];
+    for round in &report.rounds {
+        let n = round.active.iter().filter(|&&a| a).count().min(7);
+        active_hist[n] += 1;
+    }
+    println!("\nactive users per window (the asynchrony the paper relies on):");
+    for (n, &count) in active_hist.iter().enumerate() {
+        if count > 0 {
+            println!("  {n} active: {count} windows");
+        }
+    }
+
+    let over_rounds = report.mean_error_over_rounds().unwrap_or(f64::NAN);
+    let converged = report.converged_mean_error().unwrap_or(f64::NAN);
+    let at_collections = report.mean_active_error().unwrap_or(f64::NAN);
+    println!("\nwindows simulated: {}", report.rounds.len());
+    println!("mean error over all users & rounds:   {over_rounds:.2} field units");
+    println!("mean error, second half:              {converged:.2} field units");
+    println!("mean error at collection events:      {at_collections:.2} field units");
+    println!("(the collection-event metric scores only users that actually touched");
+    println!(" the network this window — the paper reports < 3 at ≥ 10 % sniffing)");
+    Ok(())
+}

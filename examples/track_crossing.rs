@@ -1,0 +1,69 @@
+//! Tracking two users whose paths cross (Figure 7(d)).
+//!
+//! Run with: `cargo run --release --example track_crossing`
+//!
+//! Two users move perpendicular to each other and meet at the field
+//! center. The Sequential Monte Carlo tracker follows both from sparse
+//! flux sniffing; at the crossing the paper observes that *positions* stay
+//! accurate while *identities* may swap — the printed identity-free and
+//! identity-aware errors make that visible.
+
+use fluxprint::geometry::Point2;
+use fluxprint::mobility::{scenarios, CollectionSchedule, UserMotion};
+use fluxprint::{metrics, run_tracking, AttackConfig, ScenarioBuilder};
+use fluxprint_geometry::Rect;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let field = Rect::square(30.0)?;
+    let rounds = 10usize;
+
+    // Crossing trajectories over 10 rounds; both users collect every round.
+    let [a, b] = scenarios::crossing_pair(&field, 0.0, rounds as f64)?;
+    let schedule = CollectionSchedule::periodic(0.0, 1.0, rounds + 1)?;
+    let scenario = ScenarioBuilder::new()
+        .user(UserMotion::new(a, schedule.clone(), 2.0)?)
+        .user(UserMotion::new(b, schedule, 2.0)?)
+        .build(&mut rng)?;
+
+    let report = run_tracking(&scenario, &AttackConfig::default(), &mut rng)?;
+
+    println!("round | truth A          truth B          | est A            est B            | matched err | labeled err");
+    println!("------+------------------------------------+------------------------------------+-------------+------------");
+    for round in &report.rounds {
+        // Identity-aware error: estimate i scored against truth i.
+        let labeled: f64 = round
+            .estimates
+            .iter()
+            .zip(&round.truths)
+            .map(|(e, t)| e.distance(*t))
+            .sum::<f64>()
+            / round.truths.len() as f64;
+        println!(
+            "{:>5} | {} {} | {} {} | {:>11.2} | {:>10.2}",
+            round.time,
+            round.truths[0],
+            round.truths[1],
+            round.estimates[0],
+            round.estimates[1],
+            round.mean_error,
+            labeled,
+        );
+    }
+    let final_matched = report.final_mean_error().unwrap_or(f64::NAN);
+    println!("\nfinal identity-free error: {final_matched:.2} field units");
+    println!(
+        "(a labeled error much larger than the matched error after the\n\
+         crossing means the tracker swapped the users' identities — the\n\
+         paper's expected behavior at intersections)"
+    );
+
+    // Identity-free check with the Hungarian matcher directly:
+    let last = report.rounds.last().expect("at least one round");
+    let errs = metrics::matched_errors(&last.estimates, &last.truths)?;
+    println!("per-user matched errors in the final round: {errs:?}");
+    let _ = Point2::ORIGIN; // keep the geometry import exercised
+    Ok(())
+}

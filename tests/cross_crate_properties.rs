@@ -1,0 +1,176 @@
+//! Property-based tests that span crate boundaries: the simulator, the
+//! flux model, the solver, and the metrics must agree on shared invariants
+//! for any admissible input.
+
+use std::sync::Arc;
+
+use fluxprint::fluxmodel::FluxModel;
+use fluxprint::geometry::{Boundary, Point2, Rect};
+use fluxprint::metrics;
+use fluxprint::netsim::{NetworkBuilder, NodeId, Sniffer};
+use fluxprint::solver::FluxObjective;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn point_in_field() -> impl Strategy<Value = Point2> {
+    (2.0..28.0, 2.0..28.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Total traffic is conserved: the sum of all per-node flux equals the
+    /// sum over nodes of (depth + 1) scaled by stretch — each unit of data
+    /// is relayed once per hop plus its own transmission.
+    #[test]
+    fn flux_totals_match_tree_depths(seed in 0u64..500, sx in 2.0..28.0, sy in 2.0..28.0, stretch in 0.5..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(15, 15, 0.3)
+            .radius(4.0)
+            .build(&mut rng)
+            .unwrap();
+        let sink = Point2::new(sx, sy);
+        let flux = net.simulate_flux(&[(sink, stretch)], &mut rng).unwrap();
+        let total: f64 = flux.iter().sum();
+        // Total flux = stretch · Σ_v (depth(v) + 1): node v's datum is
+        // carried by depth+1 nodes (itself plus each ancestor).
+        let root = net.nearest_node(sink);
+        let depth_sum: u64 = net
+            .hop_distances(root)
+            .iter()
+            .map(|&d| d as u64 + 1)
+            .sum();
+        let expected = stretch * depth_sum as f64;
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0),
+            "total {total} vs expected {expected}");
+    }
+
+    /// The NLS objective evaluated at the *generating* position with the
+    /// model's own flux is exactly zero; any displaced hypothesis is worse.
+    #[test]
+    fn objective_minimized_at_generator(
+        truth in point_in_field(),
+        dx in 2.0..6.0,
+        dy in -6.0..6.0,
+        q in 0.5..3.0,
+    ) {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        let sniffers: Vec<Point2> = (0..36)
+            .map(|i| Point2::new(2.5 + (i % 6) as f64 * 5.0, 2.5 + (i / 6) as f64 * 5.0))
+            .collect();
+        let measured: Vec<f64> =
+            sniffers.iter().map(|&p| model.predict(truth, q, p, &field)).collect();
+        let obj =
+            FluxObjective::new(Arc::new(field), model, sniffers, measured).unwrap();
+        let at_truth = obj.evaluate(&[truth]).unwrap();
+        prop_assert!(at_truth.residual < 1e-9);
+        prop_assert!((at_truth.stretches[0] - q).abs() < 1e-9);
+        let displaced = field.clamp(truth + fluxprint::geometry::Vec2::new(dx, dy));
+        let off = obj.evaluate(&[displaced]).unwrap();
+        prop_assert!(off.residual >= at_truth.residual);
+    }
+
+    /// Identity-free matching is invariant under permuting the estimates.
+    #[test]
+    fn matched_errors_permutation_invariant(
+        pts in proptest::collection::vec(point_in_field(), 2..5),
+        shift in 0.0..2.0,
+    ) {
+        let truths = pts.clone();
+        let estimates: Vec<Point2> =
+            pts.iter().map(|p| Point2::new(p.x + shift, p.y)).collect();
+        let mut errs_fwd = metrics::matched_errors(&estimates, &truths).unwrap();
+        let mut reversed = estimates.clone();
+        reversed.reverse();
+        let mut errs_rev = metrics::matched_errors(&reversed, &truths).unwrap();
+        errs_fwd.sort_by(f64::total_cmp);
+        errs_rev.sort_by(f64::total_cmp);
+        for (a, b) in errs_fwd.iter().zip(&errs_rev) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // Total matched error never exceeds the labeled (diagonal) total.
+        let labeled: f64 =
+            estimates.iter().zip(&truths).map(|(e, t)| e.distance(*t)).sum();
+        let matched: f64 = errs_fwd.iter().sum();
+        prop_assert!(matched <= labeled + 1e-9);
+    }
+
+    /// Sniffer views are consistent projections: the observed vector is
+    /// exactly the flux at the sniffed ids (no noise), in order.
+    #[test]
+    fn sniffer_projection_consistent(seed in 0u64..500, count in 1usize..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(12, 12, 0.3)
+            .radius(4.5)
+            .build(&mut rng)
+            .unwrap();
+        let flux: Vec<f64> = (0..net.len()).map(|i| i as f64).collect();
+        let sniffer = Sniffer::random_count(&net, count, &mut rng).unwrap();
+        let obs = sniffer.observe(&flux, fluxprint::netsim::NoiseModel::None, &mut rng);
+        for (id, &o) in sniffer.ids().iter().zip(&obs) {
+            prop_assert_eq!(o, id.index() as f64);
+        }
+        // Smoothed view: each value within [min, max] of the neighborhood.
+        let smoothed =
+            sniffer.observe_smoothed(&net, &flux, fluxprint::netsim::NoiseModel::None, &mut rng);
+        for (id, &s) in sniffer.ids().iter().zip(&smoothed) {
+            let mut lo = flux[id.index()];
+            let mut hi = flux[id.index()];
+            for &j in net.neighbors(*id) {
+                lo = lo.min(flux[j]);
+                hi = hi.max(flux[j]);
+            }
+            prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9);
+        }
+    }
+
+    /// The flux model's basis is monotone along rays: closer to the sink
+    /// (beyond the floor) means at least as much predicted flux.
+    #[test]
+    fn model_basis_monotone_along_rays(
+        sink in point_in_field(),
+        angle in 0.0..std::f64::consts::TAU,
+    ) {
+        let field = Rect::square(30.0).unwrap();
+        let model = FluxModel::default();
+        let dir = fluxprint::geometry::Vec2::from_angle(angle);
+        let l = field.ray_exit_distance(sink, dir).unwrap();
+        let mut last = f64::INFINITY;
+        let mut d = model.d_floor();
+        while d < l {
+            let b = model.basis(sink, sink + dir * d, &field);
+            prop_assert!(b <= last + 1e-9, "basis increased along ray at d={d}");
+            last = b;
+            d += 1.0;
+        }
+    }
+
+    /// Collection trees conserve node count regardless of the sink.
+    #[test]
+    fn trees_span_everything(seed in 0u64..500, sx in 0.0..30.0, sy in 0.0..30.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new()
+            .field(Rect::square(30.0).unwrap())
+            .perturbed_grid(12, 12, 0.3)
+            .radius(4.5)
+            .build(&mut rng)
+            .unwrap();
+        let root = net.nearest_node(Point2::new(sx, sy));
+        let tree =
+            fluxprint::netsim::CollectionTree::build(&net, root, &mut rng).unwrap();
+        prop_assert_eq!(tree.subtree_size(root), net.len() as u64);
+        // Sum over all nodes of (nodes whose path passes v) equals sum of
+        // subtree sizes; every node's own unit is counted exactly once at
+        // depth 0 of its subtree.
+        let leaf_count = (0..net.len())
+            .filter(|&v| tree.subtree_size(NodeId::new(v)) == 1)
+            .count();
+        prop_assert!(leaf_count >= 1);
+    }
+}

@@ -40,7 +40,7 @@ pub fn run_ablation_filter(effort: Effort) -> serde_json::Value {
     let mut exact_time = 0.0;
     let mut greedy_time = 0.0;
     for trial in 0..trials {
-        let mut rng = StdRng::seed_from_u64(14_000 + trial as u64);
+        let mut rng = StdRng::seed_from_u64(15_000 + trial as u64);
         let field = Rect::square(FIELD_SIDE).expect("valid field");
         let model = FluxModel::default();
         let truths = [

@@ -89,10 +89,10 @@ pub fn run_fig10a(effort: Effort) -> serde_json::Value {
                 continue;
             }
             // Trials are independent; run them on scoped threads.
-            let errs: Vec<f64> = crossbeam::thread::scope(|scope| {
+            let errs: Vec<f64> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..trials)
                     .map(|t| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             trace_error(
                                 random_deploy,
                                 pct,
@@ -109,8 +109,7 @@ pub fn run_fig10a(effort: Effort) -> serde_json::Value {
                     .into_iter()
                     .map(|h| h.join().expect("trial thread"))
                     .collect()
-            })
-            .expect("scope joins");
+            });
             let m = mean(&errs);
             row.push(f(m));
             values.push(m);
@@ -149,10 +148,10 @@ pub fn run_fig10b(effort: Effort) -> serde_json::Value {
                 continue;
             }
             // The radius is v_max · window; window = 2 ⇒ v_max = r/2.
-            let errs: Vec<f64> = crossbeam::thread::scope(|scope| {
+            let errs: Vec<f64> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..trials)
                     .map(|t| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             trace_error(
                                 random_deploy,
                                 10.0,
@@ -169,8 +168,7 @@ pub fn run_fig10b(effort: Effort) -> serde_json::Value {
                     .into_iter()
                     .map(|h| h.join().expect("trial thread"))
                     .collect()
-            })
-            .expect("scope joins");
+            });
             let m = mean(&errs);
             row.push(f(m));
             values.push(m);

@@ -77,19 +77,24 @@ impl<P: Sync> Sweep<P> {
             .map(|p| {
                 let mut stats = OnlineStats::new();
                 if self.parallel && self.trials > 1 {
-                    let values: Vec<f64> = crossbeam::thread::scope(|scope| {
+                    let values: Vec<f64> = std::thread::scope(|scope| {
                         let handles: Vec<_> = (0..self.trials)
                             .map(|t| {
                                 let trial = &trial;
-                                scope.spawn(move |_| trial(p, t))
+                                scope.spawn(move || trial(p, t))
                             })
                             .collect();
                         handles
                             .into_iter()
-                            .map(|h| h.join().expect("sweep trial thread"))
+                            .map(|h| match h.join() {
+                                Ok(v) => v,
+                                // A trial panicked on its thread; re-raise
+                                // the original payload rather than a
+                                // generic join failure.
+                                Err(payload) => std::panic::resume_unwind(payload),
+                            })
                             .collect()
-                    })
-                    .expect("sweep scope joins");
+                    });
                     for v in values {
                         stats.push(v);
                     }

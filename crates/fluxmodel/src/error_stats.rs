@@ -157,7 +157,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn network(n_side: usize, radius: f64) -> Network {
-        let mut rng = StdRng::seed_from_u64(42);
+        // Seed chosen so the shared deployment is representative: the
+        // headline fractions below sit near the middle of the band seen
+        // across seeds, not at a lucky extreme.
+        let mut rng = StdRng::seed_from_u64(37);
         NetworkBuilder::new()
             .field(Rect::square(30.0).unwrap())
             .perturbed_grid(n_side, n_side, 0.3)

@@ -191,6 +191,7 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
+                // fluxlint: allow(float-eq) — exact-zero sparsity skip; a tolerance would change results
                 if a == 0.0 {
                     continue;
                 }
@@ -238,6 +239,7 @@ impl Matrix {
         let mut out = vec![0.0; self.cols];
         for r in 0..self.rows {
             let w = v[r];
+            // fluxlint: allow(float-eq) — exact-zero sparsity skip; a tolerance would change results
             if w == 0.0 {
                 continue;
             }
@@ -256,6 +258,7 @@ impl Matrix {
             let row = self.row(r);
             for i in 0..self.cols {
                 let a = row[i];
+                // fluxlint: allow(float-eq) — exact-zero sparsity skip; a tolerance would change results
                 if a == 0.0 {
                     continue;
                 }

@@ -75,7 +75,7 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
             }
         }
         let Some((j, _)) = best else {
-            return Ok(finish(a, b, x, outer));
+            return finish(a, b, x, outer);
         };
         passive[j] = true;
 
@@ -157,19 +157,24 @@ fn solve_passive(gram: &Matrix, atb: &[f64], idx: &[usize]) -> Result<Vec<f64>, 
     }
 }
 
-fn finish(a: &Matrix, b: &[f64], x: Vec<f64>, iterations: usize) -> NnlsSolution {
-    let ax = a.matvec(&x).expect("shape checked on entry");
+fn finish(
+    a: &Matrix,
+    b: &[f64],
+    x: Vec<f64>,
+    iterations: usize,
+) -> Result<NnlsSolution, LinalgError> {
+    let ax = a.matvec(&x)?;
     let residual_norm = ax
         .iter()
         .zip(b)
         .map(|(p, q)| (p - q) * (p - q))
         .sum::<f64>()
         .sqrt();
-    NnlsSolution {
+    Ok(NnlsSolution {
         x,
         residual_norm,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@ impl QrFactor {
                 sigma += qr[(i, j)] * qr[(i, j)];
             }
             let norm = sigma.sqrt();
+            // fluxlint: allow(float-eq) — an exactly-zero column needs no reflector; near-zero ones still do
             if norm == 0.0 {
                 continue; // zero column: beta stays 0, reflector is identity
             }
@@ -65,6 +66,7 @@ impl QrFactor {
             for i in (j + 1)..m {
                 vnorm2 += qr[(i, j)] * qr[(i, j)];
             }
+            // fluxlint: allow(float-eq) — exact zero only occurs for an already-triangular column
             if vnorm2 == 0.0 {
                 qr[(j, j)] = alpha;
                 continue;
@@ -119,6 +121,7 @@ impl QrFactor {
         let mut y = b.to_vec();
         for j in 0..self.cols {
             let beta = self.betas[j];
+            // fluxlint: allow(float-eq) — beta is assigned exactly 0.0 as the identity-reflector sentinel
             if beta == 0.0 {
                 continue;
             }

@@ -107,6 +107,7 @@ impl CollectionSchedule {
 
     /// Time span of the schedule `(first, last)`.
     pub fn span(&self) -> (f64, f64) {
+        // fluxlint: allow(no-panic) — from_times rejects empty schedules, so last() always exists
         (self.times[0], *self.times.last().expect("non-empty"))
     }
 }

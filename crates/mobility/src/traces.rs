@@ -186,8 +186,15 @@ impl CampusTraceGenerator {
         // gives a median well below the mean.
         let sigma = 1.0;
         let mu = self.mean_dwell.ln() - sigma * sigma / 2.0;
-        let dwell_dist = LogNormal::new(mu, sigma).expect("valid log-normal parameters");
-        let jitter = Exp::new(1.0 / (0.25 * self.mean_dwell)).expect("positive rate");
+        let dwell_dist = LogNormal::new(mu, sigma).map_err(|_| MobilityError::BadParameter {
+            name: "dwell sigma",
+            value: sigma,
+        })?;
+        let jitter_rate = 1.0 / (0.25 * self.mean_dwell);
+        let jitter = Exp::new(jitter_rate).map_err(|_| MobilityError::BadParameter {
+            name: "jitter rate",
+            value: jitter_rate,
+        })?;
 
         let mut users = Vec::with_capacity(n_users);
         for _ in 0..n_users {

@@ -88,6 +88,7 @@ impl Trajectory {
 
     /// Time of the last waypoint.
     pub fn end_time(&self) -> f64 {
+        // fluxlint: allow(no-panic) — Trajectory::new rejects empty waypoint lists
         *self.times.last().expect("non-empty")
     }
 

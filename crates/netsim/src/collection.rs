@@ -87,7 +87,13 @@ impl CollectionTree {
                     }
                 }
             }
-            parent[v] = Some(chosen.expect("BFS guarantees a closer neighbor"));
+            // Connectivity was verified above, so every non-root node has a
+            // neighbor one hop closer; a miss means the depth map is
+            // inconsistent and the tree cannot be trusted.
+            parent[v] = Some(chosen.ok_or(NetsimError::Disconnected {
+                component: v,
+                total: n,
+            })?);
         }
 
         // Subtree sizes: accumulate counts from the deepest nodes upward.

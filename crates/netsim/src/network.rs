@@ -136,6 +136,7 @@ impl Network {
     /// The node nearest to `p` — where a mobile user at `p` attaches its
     /// data-collection tree.
     pub fn nearest_node(&self, p: Point2) -> NodeId {
+        // fluxlint: allow(no-panic) — NetworkBuilder rejects empty deployments, so the grid has a nearest node
         NodeId::new(self.grid.nearest(p).expect("built networks are non-empty"))
     }
 
@@ -196,6 +197,7 @@ impl Network {
             if !pos.is_finite() || !stretch.is_finite() || stretch < 0.0 {
                 return Err(NetsimError::BadUser { index });
             }
+            // fluxlint: allow(float-eq) — exactly-zero stretch contributes no flux; near-zero still must
             if stretch == 0.0 {
                 continue;
             }

@@ -161,6 +161,7 @@ impl Sniffer {
     /// flux-briefing method (§3.C) and Figure 1/4.
     pub fn all(network: &Network) -> Self {
         Sniffer::from_ids(network, (0..network.len()).map(NodeId::new).collect())
+            // fluxlint: allow(no-panic) — ids are 0..len by construction, from_ids cannot reject them
             .expect("built networks are non-empty")
     }
 

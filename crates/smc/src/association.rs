@@ -150,6 +150,7 @@ pub fn associate(
             .iter()
             .filter(|&&j| j != i)
             .map(|&j| {
+                // fluxlint: allow(no-panic) — the auction sets chosen[j] before pushing j into selected
                 let c = chosen[j].expect("selected users have chosen candidates");
                 (candidates[j][c], columns[j][c].as_slice())
             })
@@ -168,6 +169,7 @@ pub fn associate(
         // Refresh the chosen candidate from the final scan.
         let best = (0..limit)
             .min_by(|&a, &b| residuals[a].total_cmp(&residuals[b]))
+            // fluxlint: allow(no-panic) — limit >= explore_from >= 1 for selected users, so the range is never empty
             .expect("limit >= 1");
         chosen[i] = Some(best);
         per_candidate_residual[i] = Some(residuals);
@@ -175,6 +177,7 @@ pub fn associate(
 
     let positions: Vec<Point2> = selected
         .iter()
+        // fluxlint: allow(no-panic) — every selected user has chosen set by the auction above
         .map(|&i| candidates[i][chosen[i].expect("selected")])
         .collect();
     let fit = objective.evaluate(&positions)?;
@@ -204,6 +207,7 @@ fn best_bid(
     let base: Vec<(Point2, &[f64])> = selected
         .iter()
         .map(|&j| {
+            // fluxlint: allow(no-panic) — the auction sets chosen[j] before pushing j into selected
             let c = chosen[j].expect("selected users have chosen candidates");
             (candidates[j][c], columns[j][c].as_slice())
         })
@@ -262,7 +266,9 @@ fn best_bid(
                 }
             }
         }
-        (None, None) => unreachable!("candidate sets are non-empty"),
+        // An empty candidate set would leave both branches unset; treat it
+        // as the invalid-input error it is rather than aborting.
+        (None, None) => return Err(SmcError::ZeroUsers),
     })
 }
 

@@ -143,7 +143,11 @@ fn exact_enumeration(
             combo[dim] = 0;
             dim += 1;
             if dim == k {
-                let (best_combination, best_fit) = best.expect("at least one combination");
+                // Candidate sets were validated non-empty on entry, so at
+                // least one combination was evaluated.
+                let Some((best_combination, best_fit)) = best else {
+                    return Err(SmcError::ZeroUsers);
+                };
                 return Ok(CandidateScores {
                     per_candidate_residual,
                     best_combination,

@@ -189,9 +189,14 @@ impl Tracker {
             } else {
                 let radius = self.config.vmax * (t - user.t_last);
                 let w: Vec<f64> = user.samples.iter().map(|s| s.weight).collect();
-                let alias = WeightedAlias::new(&w).unwrap_or_else(|_| {
-                    WeightedAlias::new(&vec![1.0; w.len()]).expect("uniform weights valid")
-                });
+                // Degenerate weights (all zero after a pathological round)
+                // fall back to uniform; that can only fail for an empty
+                // sample set, which `new` rules out via n_predictions >= 1.
+                let alias = WeightedAlias::new(&w)
+                    .or_else(|_| WeightedAlias::new(&vec![1.0; w.len()]))
+                    .map_err(|_| SmcError::BadConfig {
+                        field: "n_predictions",
+                    })?;
                 // Optional §4.C refinement: bias part of the prediction
                 // into a forward cone along the estimated heading. The
                 // biased draws stay inside the v_max·Δt disc.
@@ -213,8 +218,7 @@ impl Tracker {
                     .unwrap_or(0);
                 for i in 0..n_prior {
                     let parent = &user.samples[alias.sample(rng)];
-                    let position = if i < n_biased {
-                        let dir = heading.expect("n_biased > 0 implies heading");
+                    let position = if let (true, Some(dir)) = (i < n_biased, heading) {
                         // Forward cone: ±45° around the heading, distance
                         // in [0.25, 1.0]·radius.
                         let angle = dir.angle()

@@ -88,14 +88,24 @@ pub fn grid_search(
                     lo.x + (cx as f64 + 0.5) * cell_w,
                     lo.y + (cy as f64 + 0.5) * cell_h,
                 ));
-                *hypothesis.last_mut().expect("non-empty") = p;
+                if let Some(slot) = hypothesis.last_mut() {
+                    *slot = p;
+                }
                 let fit = objective.evaluate(&hypothesis)?;
                 if best.is_none_or(|(_, r)| fit.residual < r) {
                     best = Some((p, fit.residual));
                 }
             }
         }
-        placed.push(best.expect("lattice is non-empty").0);
+        // The lattice has coarse_cells^2 >= 1 points, so a best exists
+        // unless the config was invalid.
+        let Some((p, _)) = best else {
+            return Err(SolverError::BadParameter {
+                name: "coarse_cells",
+                value: config.coarse_cells as f64,
+            });
+        };
+        placed.push(p);
     }
 
     // Coordinate-wise halving refinement: scan a 3×3 stencil around each

@@ -160,13 +160,22 @@ fn sequential_greedy<R: Rng + ?Sized>(
         hypothesis.push(Point2::ORIGIN);
         for _ in 0..per_stage {
             let candidate = deployment::random_point(boundary, rng);
-            *hypothesis.last_mut().expect("non-empty") = candidate;
+            if let Some(slot) = hypothesis.last_mut() {
+                *slot = candidate;
+            }
             let fit = objective.evaluate(&hypothesis)?;
             if stage_best.is_none_or(|(_, r)| fit.residual < r) {
                 stage_best = Some((candidate, fit.residual));
             }
         }
-        placed.push(stage_best.expect("per_stage >= 1").0);
+        // per_stage >= 1 is enforced by the caller's config validation.
+        let Some((p, _)) = stage_best else {
+            return Err(SolverError::BadParameter {
+                name: "per_stage",
+                value: per_stage as f64,
+            });
+        };
+        placed.push(p);
     }
     objective.evaluate(&placed)
 }

@@ -61,9 +61,9 @@ impl WeightedAlias {
                 large.push(i);
             }
         }
-        while !small.is_empty() && !large.is_empty() {
-            let s = small.pop().expect("checked non-empty");
-            let l = large.pop().expect("checked non-empty");
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
             prob[s] = work[s];
             alias[s] = l;
             work[l] = (work[l] + work[s]) - 1.0;

@@ -1,0 +1,257 @@
+//! A lightweight, lossless masking lexer for Rust source.
+//!
+//! The lint rules operate on *source text*, not on an AST, so they must not
+//! be fooled by banned tokens appearing inside comments, string literals,
+//! or char literals. [`mask_source`] splits a file into two same-shaped
+//! views:
+//!
+//! * `code` — the original text with every comment and every literal
+//!   *content* replaced by spaces (string delimiters are kept, so
+//!   `.expect("boom")` still reads `.expect("    ")`). Rules scan this.
+//! * `comments` — the complement: only comment text survives, everything
+//!   else is spaces. Waiver parsing scans this, so a waiver-shaped string
+//!   literal can never suppress a finding.
+//!
+//! Newlines are preserved in both views, which keeps line numbers aligned
+//! with the original file. The lexer understands line comments, nested
+//! block comments, string/byte/C strings with escapes, raw strings with
+//! arbitrary `#` fences, char literals, and lifetimes.
+
+/// The two aligned views of one source file. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MaskedSource {
+    /// Code with comments and literal contents blanked.
+    pub code: String,
+    /// Comment text only; everything else blanked.
+    pub comments: String,
+}
+
+/// Masks `src` into its code and comment views.
+pub fn mask_source(src: &str) -> MaskedSource {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut code = chars.clone();
+    let mut comments: Vec<char> = chars
+        .iter()
+        .map(|&c| if c == '\n' { '\n' } else { ' ' })
+        .collect();
+
+    let mut i = 0;
+    while i < n {
+        match chars[i] {
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    comments[i] = chars[i];
+                    code[i] = ' ';
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let mut depth = 0usize;
+                while i < n {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        code[i] = ' ';
+                        code[i + 1] = ' ';
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth = depth.saturating_sub(1);
+                        code[i] = ' ';
+                        code[i + 1] = ' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if chars[i] != '\n' {
+                            comments[i] = chars[i];
+                            code[i] = ' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = mask_escaped_string(&chars, &mut code, i),
+            '\'' => {
+                let lifetime = i + 1 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && !(i + 2 < n && chars[i + 2] == '\'');
+                if lifetime {
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                    while i < n && chars[i] != '\'' {
+                        if chars[i] != '\n' {
+                            code[i] = ' ';
+                        }
+                        // An escape may itself be a quote: consume pairwise.
+                        if chars[i] == '\\' && i + 1 < n {
+                            if chars[i + 1] != '\n' {
+                                code[i + 1] = ' ';
+                            }
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    if i < n {
+                        i += 1; // closing quote
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = chars[start..j].iter().collect();
+                let raw_capable = matches!(ident.as_str(), "r" | "br" | "cr");
+                let str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+                if raw_capable {
+                    let mut k = j;
+                    let mut fence = 0usize;
+                    while k < n && chars[k] == '#' {
+                        fence += 1;
+                        k += 1;
+                    }
+                    if k < n && chars[k] == '"' {
+                        i = mask_raw_string(&chars, &mut code, k, fence);
+                        continue;
+                    }
+                } else if str_prefix && j < n && chars[j] == '"' {
+                    i = mask_escaped_string(&chars, &mut code, j);
+                    continue;
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+
+    MaskedSource {
+        code: code.into_iter().collect(),
+        comments: comments.into_iter().collect(),
+    }
+}
+
+/// Masks an escape-aware string starting at the opening quote `open`;
+/// returns the index just past the closing quote.
+fn mask_escaped_string(chars: &[char], code: &mut [char], open: usize) -> usize {
+    let n = chars.len();
+    let mut i = open + 1;
+    while i < n {
+        match chars[i] {
+            '\\' => {
+                code[i] = ' ';
+                if i + 1 < n {
+                    if chars[i + 1] != '\n' {
+                        code[i + 1] = ' ';
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '"' => return i + 1,
+            '\n' => i += 1,
+            _ => {
+                code[i] = ' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Masks a raw string whose opening quote sits at `open` behind `fence`
+/// `#` characters; returns the index just past the closing fence.
+fn mask_raw_string(chars: &[char], code: &mut [char], open: usize, fence: usize) -> usize {
+    let n = chars.len();
+    let mut i = open + 1;
+    while i < n {
+        if chars[i] == '"' {
+            let mut h = 0;
+            while h < fence && i + 1 + h < n && chars[i + 1 + h] == '#' {
+                h += 1;
+            }
+            if h == fence {
+                return i + 1 + h;
+            }
+        }
+        if chars[i] != '\n' {
+            code[i] = ' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_move_to_comment_view() {
+        let m = mask_source("let x = 1; // a.unwrap() here\nlet y = 2;\n");
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.comments.contains("a.unwrap() here"));
+        assert!(m.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let m = mask_source("a /* outer /* inner */ still */ b.unwrap()");
+        assert!(!m.code.contains("inner"));
+        assert!(!m.code.contains("still"));
+        assert!(m.code.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn string_contents_are_masked_but_delimiters_kept() {
+        let m = mask_source(r#"call(".unwrap()", x)"#);
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("call(\""));
+        assert!(m.comments.trim().is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let m = mask_source(r#"let s = "a\"b.unwrap()"; s.len()"#);
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let m = mask_source("let s = r#\"panic!(\"no\")\"#; after()");
+        assert!(!m.code.contains("panic"));
+        assert!(m.code.contains("after()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask_source("fn f<'a>(c: char) -> bool { c == '=' }");
+        assert!(m.code.contains("fn f<'a>"));
+        assert!(!m.code.contains("'='"));
+        let m = mask_source(r"let q = '\''; g()");
+        assert!(m.code.contains("g()"));
+    }
+
+    #[test]
+    fn line_numbers_stay_aligned() {
+        let src = "one\n/* two\nthree */\nfour // tail\n";
+        let m = mask_source(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.comments.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.code.lines().nth(3), Some("four        "));
+    }
+
+    #[test]
+    fn waiver_inside_string_stays_in_code_view() {
+        let m = mask_source(r#"let w = "// fluxlint: allow(no-panic) — x";"#);
+        assert!(!m.comments.contains("fluxlint"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Command-line entry for the workspace task driver.
+//!
+//! ```text
+//! cargo run -p fluxprint-xtask -- lint [--json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fluxprint_xtask::{report, run_lint};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("xtask: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("lint") => {}
+        Some(other) => return Err(format!("unknown command `{other}`; try `lint`")),
+        None => return Err("usage: cargo run -p fluxprint-xtask -- lint [--json]".to_string()),
+    }
+
+    let mut as_json = false;
+    // Default root: the workspace directory two levels above this crate,
+    // so the command works regardless of the caller's working directory.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .ok_or_else(|| "cannot locate workspace root".to_string())?;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--json" => as_json = true,
+            "--root" => {
+                root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let outcome = run_lint(&root).map_err(|e| format!("lint walk failed: {e}"))?;
+    if as_json {
+        println!("{}", report::json(&outcome));
+    } else {
+        print!("{}", report::human(&outcome));
+    }
+    Ok(if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,437 @@
+//! The fluxlint rule set.
+//!
+//! Four rules, each scanning the masked code view of a file (comments and
+//! literal contents already blanked) line by line:
+//!
+//! * `no-panic` — `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!` are banned in library code under
+//!   `crates/*/src` (the `bench` harness is exempt; test code is exempt).
+//! * `determinism` — `thread_rng`, `from_entropy`, `SystemTime::now`,
+//!   `Instant::now` are banned in simulation crates: every experiment must
+//!   be reproducible from an explicit seed, and wall-clock reads make
+//!   runs timing-dependent (`bench` is exempt — it times things).
+//! * `float-eq` — `==` / `!=` where either operand shows float evidence
+//!   (a float literal, an `f32`/`f64` token, or a float constant such as
+//!   `NAN`/`EPSILON`); exact float comparison is almost always a latent
+//!   tolerance bug. Test code is exempt.
+//! * `lint-hygiene` — every workspace crate manifest must opt into the
+//!   shared `[workspace.lints]` table via `[lints] workspace = true`
+//!   (checked in [`check_manifest`], not here).
+
+use crate::scope::test_line_flags;
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panicking constructs in library code.
+    NoPanic,
+    /// Nondeterministic randomness or wall-clock reads in simulation code.
+    Determinism,
+    /// Exact `==`/`!=` comparison of floating-point expressions.
+    FloatEq,
+    /// Crate manifest does not inherit the shared workspace lint table.
+    LintHygiene,
+}
+
+impl Rule {
+    /// The rule's name as used in reports and waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::Determinism => "determinism",
+            Rule::FloatEq => "float-eq",
+            Rule::LintHygiene => "lint-hygiene",
+        }
+    }
+
+    /// Parses a rule name as written in a waiver comment.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-panic" => Some(Rule::NoPanic),
+            "determinism" => Some(Rule::Determinism),
+            "float-eq" => Some(Rule::FloatEq),
+            "lint-hygiene" => Some(Rule::LintHygiene),
+            _ => None,
+        }
+    }
+
+    /// All rules, for reports and tests.
+    pub const ALL: [Rule; 4] = [
+        Rule::NoPanic,
+        Rule::Determinism,
+        Rule::FloatEq,
+        Rule::LintHygiene,
+    ];
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-oriented description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub source: String,
+}
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative display path (also used in findings).
+    pub path: String,
+    /// `Some(name)` for `crates/<name>/src/**`, `None` for the root
+    /// package's `src/**`.
+    pub crate_name: Option<String>,
+}
+
+impl FileContext {
+    /// Derives the context from a workspace-relative path, or `None` for
+    /// paths the source rules do not cover (tests, benches, vendor, …).
+    pub fn from_relative_path(rel: &str) -> Option<FileContext> {
+        let parts: Vec<&str> = rel.split('/').collect();
+        match parts.as_slice() {
+            ["crates", name, "src", ..] => Some(FileContext {
+                path: rel.to_string(),
+                crate_name: Some((*name).to_string()),
+            }),
+            ["src", ..] => Some(FileContext {
+                path: rel.to_string(),
+                crate_name: None,
+            }),
+            _ => None,
+        }
+    }
+
+    fn no_panic_applies(&self) -> bool {
+        // The ban covers library code under crates/*/src; the bench
+        // harness prototypes experiments and may fail fast, and the root
+        // package is CLI glue whose errors surface to the terminal anyway.
+        matches!(self.crate_name.as_deref(), Some(name) if name != "bench")
+    }
+
+    fn determinism_applies(&self) -> bool {
+        // Everything under crates/*/src participates in simulations
+        // except the bench harness, which legitimately times runs.
+        matches!(self.crate_name.as_deref(), Some(name) if name != "bench")
+    }
+}
+
+/// Scans one Rust source file and returns its raw (pre-waiver) findings.
+pub fn scan_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
+    let masked = crate::lexer::mask_source(src);
+    let in_test = test_line_flags(&masked.code);
+    let original_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    for (idx, line) in masked.code.lines().enumerate() {
+        let test_line = in_test.get(idx).copied().unwrap_or(false);
+        let mut push = |rule: Rule, message: String| {
+            findings.push(Finding {
+                file: ctx.path.clone(),
+                line: idx + 1,
+                rule,
+                message,
+                source: original_lines.get(idx).unwrap_or(&"").trim().to_string(),
+            });
+        };
+
+        if ctx.no_panic_applies() && !test_line {
+            for m in no_panic_matches(line) {
+                push(Rule::NoPanic, m);
+            }
+        }
+        if ctx.determinism_applies() && !test_line {
+            for m in determinism_matches(line) {
+                push(Rule::Determinism, m);
+            }
+        }
+        if !test_line {
+            for m in float_eq_matches(line) {
+                push(Rule::FloatEq, m);
+            }
+        }
+    }
+    findings
+}
+
+/// Checks one crate manifest for the `lint-hygiene` rule. `src` is the
+/// manifest text, `path` its workspace-relative path.
+pub fn check_manifest(path: &str, src: &str) -> Vec<Finding> {
+    let mut in_lints = false;
+    let mut opted_in = false;
+    for raw in src.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && line.replace(' ', "") == "workspace=true" {
+            opted_in = true;
+        }
+    }
+    if opted_in {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: path.to_string(),
+            line: 1,
+            rule: Rule::LintHygiene,
+            message: "crate does not inherit the shared lint table; add `[lints] workspace = true`"
+                .to_string(),
+            source: String::new(),
+        }]
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Positions where `needle` occurs in `line` as a whole identifier.
+fn ident_positions(line: &str, needle: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line.get(from..).and_then(|s| s.find(needle)) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+/// First non-space byte at or after `from`, with its position.
+fn next_non_space(bytes: &[u8], mut from: usize) -> Option<(usize, u8)> {
+    while from < bytes.len() {
+        if bytes[from] != b' ' && bytes[from] != b'\t' {
+            return Some((from, bytes[from]));
+        }
+        from += 1;
+    }
+    None
+}
+
+/// Last non-space byte strictly before `at`, with its position.
+fn prev_non_space(bytes: &[u8], at: usize) -> Option<(usize, u8)> {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        if bytes[i] != b' ' && bytes[i] != b'\t' {
+            return Some((i, bytes[i]));
+        }
+    }
+    None
+}
+
+fn no_panic_matches(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for method in ["unwrap", "expect"] {
+        for at in ident_positions(line, method) {
+            let preceded_by_dot = matches!(prev_non_space(bytes, at), Some((_, b'.')));
+            let followed_by_call =
+                matches!(next_non_space(bytes, at + method.len()), Some((_, b'(')));
+            if preceded_by_dot && followed_by_call {
+                out.push(format!("`.{method}(..)` panics on the error path"));
+            }
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for at in ident_positions(line, mac) {
+            if matches!(next_non_space(bytes, at + mac.len()), Some((_, b'!'))) {
+                out.push(format!("`{mac}!` in library code"));
+            }
+        }
+    }
+    out
+}
+
+fn determinism_matches(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for ident in ["thread_rng", "from_entropy"] {
+        for _ in ident_positions(line, ident) {
+            out.push(format!("`{ident}` breaks seeded reproducibility"));
+        }
+    }
+    for path in ["SystemTime::now", "Instant::now"] {
+        let mut from = 0;
+        while let Some(rel) = line.get(from..).and_then(|s| s.find(path)) {
+            let at = from + rel;
+            let bytes = line.as_bytes();
+            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+            let after = at + path.len();
+            let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+            if before_ok && after_ok {
+                out.push(format!("`{path}` makes simulation timing-dependent"));
+            }
+            from = at + path.len();
+        }
+    }
+    out
+}
+
+/// Float evidence in an operand window: a float literal (`1.0`), an
+/// `f32`/`f64` token, or a well-known float constant.
+fn has_float_evidence(window: &str) -> bool {
+    let bytes = window.as_bytes();
+    for i in 1..bytes.len().saturating_sub(1) {
+        if bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit() {
+            return true;
+        }
+    }
+    for ident in ["f32", "f64", "NAN", "INFINITY", "NEG_INFINITY", "EPSILON"] {
+        if !ident_positions(window, ident).is_empty() {
+            return true;
+        }
+    }
+    false
+}
+
+const OPERAND_BOUNDARIES: [&str; 5] = ["&&", "||", ";", "{", "}"];
+
+/// Keeps only the text after the last expression boundary.
+fn clip_left(window: &str) -> &str {
+    let mut start = 0;
+    for b in OPERAND_BOUNDARIES {
+        if let Some(at) = window.rfind(b) {
+            start = start.max(at + b.len());
+        }
+    }
+    window.get(start..).unwrap_or("")
+}
+
+/// Keeps only the text before the first expression boundary.
+fn clip_right(window: &str) -> &str {
+    let mut end = window.len();
+    for b in OPERAND_BOUNDARIES {
+        if let Some(at) = window.find(b) {
+            end = end.min(at);
+        }
+    }
+    window.get(..end).unwrap_or("")
+}
+
+fn float_eq_matches(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let (op, is_cmp) = match (bytes[i], bytes[i + 1]) {
+            (b'=', b'=') => {
+                let prev_op = i > 0 && b"=!<>+-*/%&|^".contains(&bytes[i - 1]);
+                let next_eq = i + 2 < bytes.len() && bytes[i + 2] == b'=';
+                ("==", !prev_op && !next_eq)
+            }
+            (b'!', b'=') => {
+                let next_eq = i + 2 < bytes.len() && bytes[i + 2] == b'=';
+                ("!=", !next_eq)
+            }
+            _ => ("", false),
+        };
+        if is_cmp {
+            // Operand windows stop at expression boundaries so a float
+            // elsewhere in a `&&`-joined condition cannot implicate an
+            // integer comparison.
+            let left_start = i.saturating_sub(64);
+            let left = clip_left(line.get(left_start..i).unwrap_or(""));
+            let right_end = (i + 2 + 64).min(line.len());
+            let right = clip_right(line.get(i + 2..right_end).unwrap_or(""));
+            if has_float_evidence(left) || has_float_evidence(right) {
+                out.push(format!(
+                    "`{op}` on a float-typed expression; compare with a tolerance"
+                ));
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> FileContext {
+        FileContext::from_relative_path(path).expect("covered path")
+    }
+
+    #[test]
+    fn context_classifies_paths() {
+        assert_eq!(
+            ctx("crates/core/src/attack.rs").crate_name.as_deref(),
+            Some("core")
+        );
+        assert_eq!(ctx("src/lib.rs").crate_name, None);
+        assert!(FileContext::from_relative_path("crates/core/tests/x.rs").is_none());
+        assert!(FileContext::from_relative_path("vendor/rand/src/lib.rs").is_none());
+    }
+
+    #[test]
+    fn no_panic_flags_methods_and_macros() {
+        let f = scan_source(&ctx("crates/core/src/a.rs"), "fn f() { x.unwrap(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoPanic);
+        let f = scan_source(&ctx("crates/core/src/a.rs"), "fn f() { panic!(\"x\"); }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn no_panic_skips_lookalikes() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_default(); expect(z); }\n";
+        assert!(scan_source(&ctx("crates/core/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn bench_is_exempt_from_no_panic_and_determinism() {
+        let src = "fn f() { x.unwrap(); let t = Instant::now(); }\n";
+        assert!(scan_source(&ctx("crates/bench/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_wall_clock_and_entropy() {
+        let src = "fn f() { let r = thread_rng(); let t = Instant::now(); }\n";
+        let f = scan_source(&ctx("crates/smc/src/a.rs"), src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn float_eq_needs_float_evidence() {
+        let f = scan_source(&ctx("crates/core/src/a.rs"), "fn f() { if x == 1.0 {} }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatEq);
+        // Integer comparison and pattern arrows are fine.
+        let src = "fn f() { if n == 1 {} let c = |a| a >= 2; }\n";
+        assert!(scan_source(&ctx("crates/core/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn float_elsewhere_in_condition_does_not_implicate_integer_compare() {
+        let src = "fn f() { if bias > 0.0 && len == 2 {} }\n";
+        assert!(scan_source(&ctx("crates/core/src/a.rs"), src).is_empty());
+        let src = "fn f() { if len == 2 && bias == 0.5 {} }\n";
+        assert_eq!(scan_source(&ctx("crates/core/src/a.rs"), src).len(), 1);
+    }
+
+    #[test]
+    fn manifest_check_requires_workspace_lints() {
+        let ok = "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n";
+        assert!(check_manifest("crates/x/Cargo.toml", ok).is_empty());
+        let missing = "[package]\nname = \"x\"\n";
+        let f = check_manifest("crates/x/Cargo.toml", missing);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::LintHygiene);
+    }
+}

@@ -1,0 +1,190 @@
+//! Test-scope detection: which lines of a file are test-only code.
+//!
+//! The no-panic and float-eq rules exempt test code — `unwrap` in a unit
+//! test is idiomatic. Working on the masked code view (comments and
+//! literals already blanked, see [`crate::lexer`]), this module finds
+//! `#[cfg(test)]` and `#[test]` attributes and marks every line of the
+//! item that follows (through its matching closing brace, or its
+//! terminating semicolon for `mod tests;` declarations).
+
+/// Returns one flag per line: `true` where the line belongs to a
+/// `#[cfg(test)]` / `#[test]` item, including the attribute lines.
+pub fn test_line_flags(masked_code: &str) -> Vec<bool> {
+    let bytes = masked_code.as_bytes();
+    let n = bytes.len();
+    if n == 0 {
+        return vec![false];
+    }
+
+    // Line index of every byte offset, so spans convert to line ranges.
+    let mut line_of = Vec::with_capacity(n);
+    let mut line = 0usize;
+    for &b in bytes {
+        line_of.push(line);
+        if b == b'\n' {
+            line += 1;
+        }
+    }
+    let line_count = line + 1;
+    let mut flags = vec![false; line_count];
+
+    let mut i = 0;
+    while i < n {
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let Some((attr_text, attr_end)) = read_attribute(bytes, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attribute(&attr_text) {
+            i = attr_end;
+            continue;
+        }
+        let start_line = line_of[i];
+        let end = skip_item_after(bytes, attr_end);
+        let end_line = line_of[end.min(n.saturating_sub(1))];
+        for flag in flags
+            .iter_mut()
+            .take((end_line + 1).min(line_count))
+            .skip(start_line)
+        {
+            *flag = true;
+        }
+        i = end;
+    }
+    flags
+}
+
+/// Reads an outer attribute starting at `#`; returns its
+/// whitespace-stripped content and the offset just past the closing `]`.
+fn read_attribute(bytes: &[u8], hash: usize) -> Option<(String, usize)> {
+    let n = bytes.len();
+    let mut i = hash + 1;
+    while i < n && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= n || bytes[i] != b'[' {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut content = String::new();
+    while i < n {
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((content, i + 1));
+                }
+            }
+            b if !b.is_ascii_whitespace() && depth > 0 => content.push(b as char),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether a (whitespace-stripped) attribute body gates test code.
+fn is_test_attribute(attr: &str) -> bool {
+    attr == "test"
+        || attr == "cfg(test)"
+        || attr.starts_with("cfg(all(test")
+        || attr.starts_with("cfg(any(test")
+}
+
+/// Skips past the item following an attribute: further attributes, then
+/// code up to either a `;` or a brace-balanced `{ ... }` block. Returns
+/// the offset just past the item.
+fn skip_item_after(bytes: &[u8], mut i: usize) -> usize {
+    let n = bytes.len();
+    loop {
+        while i < n && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < n && bytes[i] == b'#' {
+            match read_attribute(bytes, i) {
+                Some((_, end)) => i = end,
+                None => break,
+            }
+        } else {
+            break;
+        }
+    }
+    // Find the item's body opening or its semicolon terminator.
+    while i < n && bytes[i] != b'{' && bytes[i] != b';' {
+        i += 1;
+    }
+    if i >= n || bytes[i] == b';' {
+        return (i + 1).min(n);
+    }
+    let mut depth = 0usize;
+    while i < n {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+
+    fn flags(src: &str) -> Vec<bool> {
+        test_line_flags(&mask_source(src).code)
+    }
+
+    #[test]
+    fn cfg_test_module_is_flagged_to_closing_brace() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = flags(src);
+        assert_eq!(f, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn test_fn_is_flagged() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn u() {}\n";
+        let f = flags(src);
+        assert_eq!(&f[..5], &[true, true, true, true, false]);
+    }
+
+    #[test]
+    fn intervening_attributes_are_included() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n}\nfn f() {}\n";
+        let f = flags(src);
+        assert_eq!(&f[..5], &[true, true, true, true, false]);
+    }
+
+    #[test]
+    fn out_of_line_test_module_declaration() {
+        let src = "#[cfg(test)]\nmod tests;\nfn f() {}\n";
+        let f = flags(src);
+        assert_eq!(&f[..3], &[true, true, false]);
+    }
+
+    #[test]
+    fn braces_in_masked_strings_do_not_confuse_matching() {
+        let src = "#[cfg(test)]\nmod t {\n    let s = \"}\";\n    f();\n}\nfn g() {}\n";
+        let f = flags(src);
+        assert_eq!(&f[..6], &[true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn non_test_attributes_are_ignored() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() {}\n";
+        let f = flags(src);
+        assert!(f.iter().all(|&x| !x));
+    }
+}

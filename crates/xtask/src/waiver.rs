@@ -1,0 +1,202 @@
+//! Waiver comments: the only sanctioned way to silence a finding.
+//!
+//! Syntax, on the offending line or on a comment line directly above it:
+//!
+//! ```text
+//! // fluxlint: allow(no-panic) — length checked two lines up
+//! // fluxlint: allow(no-panic, float-eq) — exact sentinel comparison
+//! ```
+//!
+//! The reason is mandatory: a waiver without one does not suppress
+//! anything and is itself reported, so every surviving panic site in the
+//! tree carries a reviewable justification. Waivers are parsed from the
+//! comment view of the file (see [`crate::lexer`]), so a waiver-shaped
+//! string literal has no effect.
+
+use crate::rules::{Finding, Rule};
+
+/// A parsed `fluxlint: allow(..)` comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rules it names (parsed; unknown names surface as findings).
+    pub rules: Vec<Rule>,
+    /// The justification text after the separator.
+    pub reason: String,
+    /// Problems that make the waiver inert, reported to the user.
+    pub errors: Vec<String>,
+}
+
+impl Waiver {
+    /// Whether this waiver can suppress findings at all.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty() && !self.rules.is_empty()
+    }
+
+    /// Whether this waiver covers `rule` on `line` (1-based): the same
+    /// line, or the line directly below the comment.
+    pub fn covers(&self, rule: Rule, line: usize) -> bool {
+        self.is_valid()
+            && self.rules.contains(&rule)
+            && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extracts all waivers from the comment view of one file.
+pub fn collect_waivers(comment_view: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, line) in comment_view.lines().enumerate() {
+        // Waivers live in working comments only; doc comments (`///`,
+        // `//!`) merely *describe* the syntax and must not parse.
+        let comment = line.trim_start();
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = line.find("fluxlint") else {
+            continue;
+        };
+        let rest = line[at + "fluxlint".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        out.push(parse_waiver(idx + 1, rest.trim_start()));
+    }
+    out
+}
+
+/// Parses the text after `fluxlint:` into a [`Waiver`], recording errors
+/// instead of failing so problems reach the report.
+fn parse_waiver(line: usize, text: &str) -> Waiver {
+    let mut waiver = Waiver {
+        line,
+        rules: Vec::new(),
+        reason: String::new(),
+        errors: Vec::new(),
+    };
+    let Some(args) = text.strip_prefix("allow") else {
+        waiver
+            .errors
+            .push("expected `allow(<rule>, ..)` after `fluxlint:`".to_string());
+        return waiver;
+    };
+    let args = args.trim_start();
+    let inner = args.strip_prefix('(').and_then(|a| a.split_once(')'));
+    let Some((inner, tail)) = inner else {
+        waiver
+            .errors
+            .push("malformed rule list; expected `allow(<rule>, ..)`".to_string());
+        return waiver;
+    };
+    for name in inner.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match Rule::from_name(name) {
+            Some(rule) => waiver.rules.push(rule),
+            None => waiver.errors.push(format!("unknown rule `{name}`")),
+        }
+    }
+    if waiver.rules.is_empty() && waiver.errors.is_empty() {
+        waiver.errors.push("empty rule list".to_string());
+    }
+    // Reason: everything after the separator (em-dash, hyphen(s) or colon).
+    let reason = tail
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim();
+    if reason.is_empty() {
+        waiver
+            .errors
+            .push("missing reason; write `… — <why this is sound>`".to_string());
+    } else {
+        waiver.reason = reason.to_string();
+    }
+    waiver
+}
+
+/// Applies waivers to raw findings: returns the surviving findings plus
+/// the number waived, appending a finding for each defective waiver.
+pub fn apply_waivers(
+    file: &str,
+    source_lines: &[&str],
+    waivers: &[Waiver],
+    raw: Vec<Finding>,
+) -> (Vec<Finding>, usize) {
+    let mut waived = 0usize;
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let hit = waivers.iter().any(|w| w.covers(f.rule, f.line));
+            if hit {
+                waived += 1;
+            }
+            !hit
+        })
+        .collect();
+    for w in waivers.iter().filter(|w| !w.errors.is_empty()) {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: w.line,
+            rule: Rule::LintHygiene,
+            message: format!("defective fluxlint waiver ({})", w.errors.join("; ")),
+            source: source_lines
+                .get(w.line.saturating_sub(1))
+                .unwrap_or(&"")
+                .trim()
+                .to_string(),
+        });
+    }
+    (findings, waived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rule_list_and_reason() {
+        let ws = collect_waivers("  // fluxlint: allow(no-panic, float-eq) — sentinel compare\n");
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].is_valid());
+        assert_eq!(ws[0].rules, vec![Rule::NoPanic, Rule::FloatEq]);
+        assert_eq!(ws[0].reason, "sentinel compare");
+    }
+
+    #[test]
+    fn ascii_separators_work_too() {
+        for sep in ["-", "--", ":"] {
+            let text = format!("// fluxlint: allow(no-panic) {sep} checked above\n");
+            let ws = collect_waivers(&text);
+            assert!(ws[0].is_valid(), "separator {sep:?}");
+            assert_eq!(ws[0].reason, "checked above");
+        }
+    }
+
+    #[test]
+    fn missing_reason_invalidates() {
+        let ws = collect_waivers("// fluxlint: allow(no-panic)\n");
+        assert!(!ws[0].is_valid());
+        assert!(ws[0].errors.iter().any(|e| e.contains("reason")));
+    }
+
+    #[test]
+    fn unknown_rule_invalidates() {
+        let ws = collect_waivers("// fluxlint: allow(no-panics) — oops\n");
+        assert!(!ws[0].is_valid());
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_do_not_parse() {
+        let view = "/// `// fluxlint: allow(<rule>) — <reason>`\n//! fluxlint: allow(..)\n";
+        assert!(collect_waivers(view).is_empty());
+    }
+
+    #[test]
+    fn covers_same_and_next_line_only() {
+        let ws = collect_waivers("\n// fluxlint: allow(no-panic) — why\n");
+        let w = &ws[0];
+        assert_eq!(w.line, 2);
+        assert!(w.covers(Rule::NoPanic, 2));
+        assert!(w.covers(Rule::NoPanic, 3));
+        assert!(!w.covers(Rule::NoPanic, 4));
+        assert!(!w.covers(Rule::FloatEq, 3));
+    }
+}

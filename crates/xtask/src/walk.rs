@@ -1,0 +1,103 @@
+//! Workspace file discovery for the lint pass.
+//!
+//! The source rules cover first-party library code: `crates/*/src/**/*.rs`
+//! plus the root package's `src/**/*.rs`. Deliberately excluded:
+//!
+//! * `vendor/` — std-only stand-ins for third-party crates whose upstream
+//!   APIs have panicking contracts; linting them would force divergence
+//!   from the interfaces they emulate.
+//! * `tests/`, `benches/`, `examples/`, fixtures — test code is exempt
+//!   from the source rules by design.
+//! * `target/`, hidden directories.
+//!
+//! Manifests checked for `lint-hygiene` are the root `Cargo.toml` and
+//! every `crates/*/Cargo.toml`. Traversal is sorted so reports are stable.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rust sources covered by the source rules, workspace-relative, sorted.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in sorted_entries(&crates)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-member manifests covered by `lint-hygiene`, sorted.
+pub fn manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let top = root.join("Cargo.toml");
+    if top.is_file() {
+        out.push(top);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in sorted_entries(&crates)? {
+            let manifest = entry.join("Cargo.toml");
+            if manifest.is_file() {
+                out.push(manifest);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for path in sorted_entries(dir)? {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders `path` relative to `root` with `/` separators for reports.
+pub fn display_relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_relative_uses_forward_slashes() {
+        let root = Path::new("/w");
+        let p = Path::new("/w/crates/core/src/lib.rs");
+        assert_eq!(display_relative(root, p), "crates/core/src/lib.rs");
+    }
+}

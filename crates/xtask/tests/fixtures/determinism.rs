@@ -1,0 +1,25 @@
+//! Fixture: determinism violations and exemptions.
+
+pub fn bad_entropy() {
+    let mut rng = thread_rng(); // line 4: finding
+    let other = StdRng::from_entropy(); // line 5: finding
+}
+
+pub fn bad_clocks() {
+    let t0 = Instant::now(); // line 9: finding
+    let wall = SystemTime::now(); // line 10: finding
+}
+
+pub fn fine() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // thread_rng in a comment is fine
+    let _s = "Instant::now() in a string is fine";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let _t = Instant::now();
+    }
+}

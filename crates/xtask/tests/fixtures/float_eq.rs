@@ -1,0 +1,30 @@
+//! Fixture: float-eq violations and exemptions.
+
+pub fn bad_literal(x: f64) -> bool {
+    x == 1.0 // line 4: finding
+}
+
+pub fn bad_typed(a: f32, b: f32) -> bool {
+    a != b && (a as f32) == b // line 8: finding (f32 evidence)
+}
+
+pub fn bad_constant(x: f64) -> bool {
+    x == f64::EPSILON // line 12: finding
+}
+
+pub fn fine_integers(n: usize, m: usize) -> bool {
+    n == m && n != 3
+}
+
+pub fn clipped_condition(bias: f64, len: usize) -> bool {
+    // The float on the left of && must not implicate the integer compare.
+    bias > 0.0 && len == 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_compare_exactly() {
+        assert!(0.5 == 0.25 + 0.25);
+    }
+}

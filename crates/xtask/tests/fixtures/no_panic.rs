@@ -1,0 +1,45 @@
+//! Fixture: no-panic violations, lookalikes, and exempt test code.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 4: finding
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") // line 8: finding
+}
+
+pub fn bad_macros() {
+    panic!("line 12: finding");
+}
+
+pub fn bad_unreachable() -> u32 {
+    unreachable!() // line 16: finding
+}
+
+pub fn bad_todo() {
+    todo!() // line 20: finding
+}
+
+pub fn lookalikes(x: Option<u32>) -> u32 {
+    // None of these are findings.
+    let a = x.unwrap_or(1);
+    let b = x.unwrap_or_default();
+    let c = x.unwrap_or_else(|| 2);
+    a + b + c
+}
+
+pub fn masked() {
+    // a.unwrap() in a comment is fine
+    let _s = "b.unwrap() in a string is fine";
+    let _r = r#"panic!("in a raw string")"#;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        Some(2).expect("fine here");
+    }
+}

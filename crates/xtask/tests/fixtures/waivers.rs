@@ -1,0 +1,26 @@
+//! Fixture: waiver handling.
+
+pub fn waived_inline(x: Option<u32>) -> u32 {
+    x.unwrap() // fluxlint: allow(no-panic) — fixture-proven invariant
+}
+
+pub fn waived_line_above(x: Option<u32>) -> u32 {
+    // fluxlint: allow(no-panic) — fixture-proven invariant
+    x.unwrap()
+}
+
+pub fn waiver_without_reason(x: Option<u32>) -> u32 {
+    // fluxlint: allow(no-panic)
+    x.unwrap()
+}
+
+pub fn waiver_wrong_rule(x: Option<u32>) -> u32 {
+    // fluxlint: allow(float-eq) — wrong rule, does not cover unwrap
+    x.unwrap()
+}
+
+pub fn waiver_too_far(x: Option<u32>) -> u32 {
+    // fluxlint: allow(no-panic) — too far above to cover line 25
+
+    x.unwrap()
+}

@@ -1,0 +1,163 @@
+//! Fixture-driven tests for the fluxlint rules.
+//!
+//! Each fixture under `tests/fixtures/` is a standalone Rust source with
+//! violations at documented line numbers, lookalikes that must not flag,
+//! and test-scoped code that must be exempt. The fixtures live in a
+//! subdirectory so cargo does not compile them and the lint walker (which
+//! only visits `src/` trees) never scans them.
+
+use fluxprint_xtask::lint_source;
+use fluxprint_xtask::rules::{check_manifest, FileContext, Finding, Rule};
+
+const NO_PANIC: &str = include_str!("fixtures/no_panic.rs");
+const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
+const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
+const WAIVERS: &str = include_str!("fixtures/waivers.rs");
+
+fn lib_ctx() -> FileContext {
+    FileContext::from_relative_path("crates/core/src/fixture.rs").expect("library path is covered")
+}
+
+fn bench_ctx() -> FileContext {
+    FileContext::from_relative_path("crates/bench/src/fixture.rs").expect("bench path is covered")
+}
+
+/// Sorted `(line, rule)` pairs for compact assertions.
+fn line_rules(findings: &[Finding]) -> Vec<(usize, Rule)> {
+    let mut pairs: Vec<(usize, Rule)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+    pairs.sort_by_key(|&(line, rule)| (line, rule.name()));
+    pairs
+}
+
+#[test]
+fn no_panic_flags_each_construct_at_its_line() {
+    let (findings, waived) = lint_source(&lib_ctx(), NO_PANIC);
+    assert_eq!(waived, 0);
+    assert_eq!(
+        line_rules(&findings),
+        vec![
+            (4, Rule::NoPanic),  // .unwrap()
+            (8, Rule::NoPanic),  // .expect(..)
+            (12, Rule::NoPanic), // panic!
+            (16, Rule::NoPanic), // unreachable!
+            (20, Rule::NoPanic), // todo!
+        ],
+        "lookalikes (unwrap_or*), comments, strings, and #[cfg(test)] \
+         code must not flag; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn no_panic_does_not_apply_to_the_bench_harness() {
+    let (findings, waived) = lint_source(&bench_ctx(), NO_PANIC);
+    assert!(findings.is_empty(), "bench is exempt; got: {findings:#?}");
+    assert_eq!(waived, 0);
+}
+
+#[test]
+fn determinism_flags_entropy_and_wall_clock_reads() {
+    let (findings, waived) = lint_source(&lib_ctx(), DETERMINISM);
+    assert_eq!(waived, 0);
+    assert_eq!(
+        line_rules(&findings),
+        vec![
+            (4, Rule::Determinism),  // thread_rng()
+            (5, Rule::Determinism),  // from_entropy()
+            (9, Rule::Determinism),  // Instant::now()
+            (10, Rule::Determinism), // SystemTime::now()
+        ],
+        "seeded RNG construction, comments, strings, and test code must \
+         not flag; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn determinism_does_not_apply_to_the_bench_harness() {
+    let (findings, _) = lint_source(&bench_ctx(), DETERMINISM);
+    assert!(
+        findings.is_empty(),
+        "bench legitimately times runs; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn float_eq_needs_float_evidence_in_the_clipped_operands() {
+    let (findings, waived) = lint_source(&lib_ctx(), FLOAT_EQ);
+    assert_eq!(waived, 0);
+    assert_eq!(
+        line_rules(&findings),
+        vec![
+            (4, Rule::FloatEq),  // x == 1.0
+            (8, Rule::FloatEq),  // (a as f32) == b; the integer-free `!=` also on
+            (12, Rule::FloatEq), // x == f64::EPSILON
+        ],
+        "integer comparisons, &&-clipped conditions, and test code must \
+         not flag; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn valid_waivers_suppress_and_defective_ones_are_reported() {
+    let (findings, waived) = lint_source(&lib_ctx(), WAIVERS);
+    // The inline waiver (line 4) and the line-above waiver (covering
+    // line 9) suppress their findings.
+    assert_eq!(waived, 2);
+    assert_eq!(
+        line_rules(&findings),
+        vec![
+            (13, Rule::LintHygiene), // waiver without a reason is defective
+            (14, Rule::NoPanic),     // ...and suppresses nothing
+            (19, Rule::NoPanic),     // float-eq waiver does not cover no-panic
+            (25, Rule::NoPanic),     // waiver two lines up is out of range
+        ],
+        "got: {findings:#?}"
+    );
+}
+
+#[test]
+fn paths_outside_the_linted_trees_have_no_context() {
+    for rel in [
+        "crates/core/tests/integration.rs",
+        "vendor/rand/src/lib.rs",
+        "tests/end_to_end.rs",
+        "target/debug/build/out.rs",
+    ] {
+        assert!(
+            FileContext::from_relative_path(rel).is_none(),
+            "{rel} must be excluded from source rules"
+        );
+    }
+}
+
+#[test]
+fn manifest_hygiene_requires_the_workspace_lint_table() {
+    let opted_in = "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n";
+    assert!(check_manifest("crates/x/Cargo.toml", opted_in).is_empty());
+
+    let missing = "[package]\nname = \"x\"\n\n[dependencies]\n";
+    let findings = check_manifest("crates/x/Cargo.toml", missing);
+    assert_eq!(line_rules(&findings), vec![(1, Rule::LintHygiene)]);
+
+    // `workspace = true` under a different table does not count.
+    let wrong_table = "[package]\nname = \"x\"\n\n[lints.rust]\nworkspace = true\n";
+    assert_eq!(check_manifest("crates/x/Cargo.toml", wrong_table).len(), 1);
+}
+
+#[test]
+fn the_workspace_itself_is_lint_clean() {
+    // Self-hosting check: the tree this test runs in must pass its own
+    // lint gate, so a finding introduced anywhere fails the test suite
+    // even before CI runs the standalone `xtask lint` step.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels below the workspace root");
+    let outcome = fluxprint_xtask::run_lint(root).expect("workspace sources are readable");
+    assert!(
+        outcome.is_clean(),
+        "workspace has unwaived findings:\n{}",
+        fluxprint_xtask::report::human(&outcome)
+    );
+    assert!(outcome.files_scanned > 50, "walker found the source tree");
+    assert_eq!(outcome.manifests_checked, 12);
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the subset of `criterion 0.5` used by the
+//! fluxprint benches.
+//!
+//! Real criterion performs warm-up, sampling, and statistics; this
+//! stand-in just times a small fixed number of iterations per benchmark
+//! and prints one line each, so `cargo bench` compiles and produces
+//! directionally useful numbers without any crates.io dependency.
+//! Treat the output as smoke-test timing, not publishable measurements.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark after one untimed warm-up call.
+const ITERATIONS: u32 = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut routine);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Accepted for API compatibility; sampling is fixed here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` under `id` within this group.
+    pub fn bench_function<I: std::fmt::Display, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut routine);
+        self
+    }
+
+    /// Runs `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        bencher.report(&name);
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter label.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function/parameter`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to each benchmark routine; call [`Bencher::iter`].
+#[derive(Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.nanos_per_iter = Some(elapsed.as_nanos() as f64 / f64::from(ITERATIONS));
+    }
+
+    /// Times `routine` over a fixed number of iterations, running `setup`
+    /// before each untimed to produce the routine's input.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        let mut total_nanos = 0u128;
+        for _ in 0..ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_nanos += start.elapsed().as_nanos();
+        }
+        self.nanos_per_iter = Some(total_nanos as f64 / f64::from(ITERATIONS));
+    }
+
+    fn report(&self, name: &str) {
+        match self.nanos_per_iter {
+            Some(nanos) => println!("bench: {name:<40} {:>12.0} ns/iter", nanos),
+            None => println!("bench: {name:<40} (no iter() call)"),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, routine: &mut F) {
+    let mut bencher = Bencher::default();
+    routine(&mut bencher);
+    bencher.report(name);
+}
+
+/// Declares a benchmark group as a function running each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_smoke() {
+        benches();
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the subset of `rand_distr 0.4` used by the
+//! fluxprint workspace: [`Exp`], [`LogNormal`], [`Normal`], and the
+//! [`Distribution`] trait they implement.
+//!
+//! See `vendor/rand` for why this crate exists; the same caveats apply.
+
+use rand::{Rng, RngCore};
+
+/// Types that generate values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Draws a standard normal via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Reject u1 == 0 so the log stays finite.
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential distribution with rate `λ`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution; `lambda` must be positive
+    /// and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive or non-finite `lambda`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut u: f64 = rng.gen();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.gen();
+        }
+        -u.ln() / self.lambda
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be non-negative
+    /// and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative or non-finite `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal parameters must be finite, σ ≥ 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(μ, σ))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution over `exp(N(mu, sigma))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative or non-finite `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for the subset of `serde 1.x` that the fluxprint
+//! workspace uses.
+//!
+//! The real serde streams through `Serializer`/`Deserializer` visitors;
+//! this stand-in routes everything through an owned JSON [`Value`] tree
+//! instead, which is all `serde_json`-style usage needs. The derive
+//! macros (`serde_derive`, re-exported here under the `derive` feature)
+//! generate impls of these simplified traits.
+//!
+//! Supported shapes mirror the workspace: structs with named fields
+//! (with container-level `#[serde(default)]`), externally tagged enums
+//! (unit / tuple / struct variants), and internally tagged enums via
+//! `#[serde(tag = "...", rename_all = "snake_case")]`.
+
+mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch between the
+    /// value tree and `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for struct fields absent from the input map. The default
+    /// is an error; `Option<T>` overrides it to `None` (serde parity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" [`DeError`] unless overridden.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{field}`")))
+    }
+}
+
+/// Deserialization error: a human-readable mismatch description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::Number(Number::Int(wide as i64))
+                } else {
+                    Value::Number(Number::Float(wide as f64))
+                }
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // serde_json renders non-finite floats as null.
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::new(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| {
+                        DeError::new(format!("expected unsigned integer, got {}", v.kind()))
+                    })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+fn tuple_slot<'v>(items: &'v [Value], n: usize, i: usize) -> Result<&'v Value, DeError> {
+    if items.len() != n {
+        return Err(DeError::new(format!(
+            "expected array of {n} elements, got {}",
+            items.len()
+        )));
+    }
+    Ok(&items[i])
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {}", v.kind())))?;
+        Ok((
+            A::from_value(tuple_slot(items, 2, 0)?)?,
+            B::from_value(tuple_slot(items, 2, 1)?)?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {}", v.kind())))?;
+        Ok((
+            A::from_value(tuple_slot(items, 3, 0)?)?,
+            B::from_value(tuple_slot(items, 3, 1)?)?,
+            C::from_value(tuple_slot(items, 3, 2)?)?,
+        ))
+    }
+}
+
+/// Support glue for the derive macros; not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use super::{DeError, Deserialize, Serialize, Value};
+
+    /// Reads one struct field: present → parse, absent → type decides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the field's parse error or missing-field policy.
+    pub fn field<T: Deserialize>(
+        obj: &[(String, super::Value)],
+        name: &str,
+    ) -> Result<T, DeError> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| DeError::new(format!("field `{name}`: {}", e.message()))),
+            None => T::from_missing(name),
+        }
+    }
+
+    /// Looks a field up without deserializing it.
+    pub fn get<'v>(obj: &'v [(String, super::Value)], name: &str) -> Option<&'v super::Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Requires the value to be an object, with a type name for errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming `ty` when the value is not an object.
+    pub fn expect_object<'v>(
+        v: &'v super::Value,
+        ty: &str,
+    ) -> Result<&'v [(String, super::Value)], DeError> {
+        match v {
+            super::Value::Object(pairs) => Ok(pairs),
+            other => Err(DeError::new(format!(
+                "expected object for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The owned JSON value tree shared by the `serde`/`serde_json` stand-ins.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: integer or float.
+///
+/// Mirrors `serde_json::Number` closely enough for this workspace:
+/// integers keep exact 64-bit representation, floats print in shortest
+/// round-trip form with a `.0` suffix when integral.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An exact signed integer.
+    Int(i64),
+    /// A double-precision float (always finite).
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// An owned JSON document.
+///
+/// Objects preserve insertion order (derived structs serialize fields in
+/// declaration order, like streaming serde with `preserve_order`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Builds an object from ordered pairs (last write wins per key).
+    pub fn object(pairs: Vec<(String, Value)>) -> Value {
+        let mut out: Vec<(String, Value)> = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            if let Some(slot) = out.iter_mut().find(|(existing, _)| *existing == k) {
+                slot.1 = v;
+            } else {
+                out.push((k, v));
+            }
+        }
+        Value::Object(out)
+    }
+
+    /// `Some(bool)` for booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` for any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` for integers (floats qualify only when exact).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            Value::Number(Number::Float(f)) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` for non-negative integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// `Some(&str)` for strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Vec<Value>)` for arrays.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `Some(ordered pairs)` for objects.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty JSON text (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(Number::Int(i)) => out.push_str(&i.to_string()),
+            Value::Number(Number::Float(f)) => {
+                if f.is_finite() {
+                    let text = format!("{f}");
+                    out.push_str(&text);
+                    // Keep floats distinguishable from integers in the
+                    // output, as serde_json does (800.0 → "800.0").
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+// Comparisons against plain Rust values, mirroring serde_json's
+// `impl PartialEq<{str,int,...}> for Value`. Mixed int/float numbers
+// compare numerically.
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == <i64>::try_from(*other).ok()
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_text_keeps_decimal_point() {
+        let v = Value::Number(Number::Float(800.0));
+        assert_eq!(v.to_json(), "800.0");
+        let v = Value::Number(Number::Float(1.5e-7));
+        assert!(v.to_json().parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn object_last_write_wins() {
+        let v = Value::object(vec![
+            ("a".into(), Value::Bool(true)),
+            ("a".into(), Value::Bool(false)),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::Bool(false)));
+        assert_eq!(v.as_object().map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn indexing_missing_yields_null() {
+        let v = Value::object(vec![("x".into(), Value::Null)]);
+        assert!(v["y"].is_null());
+        assert!(v["x"]["deep"][3].is_null());
+    }
+
+    #[test]
+    fn scalar_comparisons() {
+        let v = Value::Number(Number::Int(400));
+        assert_eq!(v, 400);
+        assert_eq!(Value::String("square".into()), "square");
+        assert_eq!(Value::Number(Number::Float(2.5)), 2.5);
+        assert_eq!(Value::Number(Number::Int(2)), 2.0); // numeric cross-compare
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,632 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unreachable in this offline environment). Supports the
+//! shapes the fluxprint workspace derives on:
+//!
+//! - structs with named fields, plus container-level `#[serde(default)]`
+//! - enums with unit / tuple / struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`, with
+//!   `#[serde(rename_all = "snake_case")]`
+//!
+//! Anything else fails loudly at compile time rather than silently
+//! producing wrong serialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container-level `#[serde(...)]` attributes this derive understands.
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    snake_case: bool,
+    default: bool,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity. Newtypes (arity 1) serialize
+    /// transparently as their inner value, matching serde.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+
+    let attrs = parse_attrs(&tokens, &mut idx);
+    skip_visibility(&tokens, &mut idx);
+
+    let keyword = expect_ident(&tokens, &mut idx);
+    let name = expect_ident(&tokens, &mut idx);
+
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+
+    let shape = match (keyword.as_str(), tokens.get(idx)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_elems(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        (_, other) => {
+            panic!("serde_derive stand-in: unsupported body for `{keyword} {name}`, got {other:?}")
+        }
+    };
+
+    Input { name, attrs, shape }
+}
+
+/// Consumes leading `#[...]` groups, returning any serde settings found.
+fn parse_attrs(tokens: &[TokenTree], idx: &mut usize) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    while matches!(tokens.get(*idx), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *idx += 1;
+        let group = match tokens.get(*idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive stand-in: malformed attribute, got {other:?}"),
+        };
+        parse_one_attr(&group.stream(), &mut attrs);
+        *idx += 1;
+    }
+    attrs
+}
+
+/// Reads `serde(...)` settings out of one attribute body, ignoring
+/// every other attribute (`doc`, `default`, `derive`, ...).
+fn parse_one_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) {
+    let parts: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match parts.first() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = parts.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        let key = match &inner[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde_derive stand-in: unexpected serde attr token {other:?}"),
+        };
+        let value = match inner.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let lit = match inner.get(i + 2) {
+                    Some(TokenTree::Literal(lit)) => unquote(&lit.to_string()),
+                    other => {
+                        panic!("serde_derive stand-in: expected literal after `{key} =`, got {other:?}")
+                    }
+                };
+                i += 3;
+                Some(lit)
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(tag)) => attrs.tag = Some(tag),
+            ("rename_all", Some(style)) => {
+                if style != "snake_case" {
+                    panic!("serde_derive stand-in: only rename_all = \"snake_case\" is supported");
+                }
+                attrs.snake_case = true;
+            }
+            ("default", None) => attrs.default = true,
+            (other, _) => panic!("serde_derive stand-in: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    if matches!(tokens.get(*idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *idx += 1;
+        if matches!(tokens.get(*idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *idx += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], idx: &mut usize) -> String {
+    match tokens.get(*idx) {
+        Some(TokenTree::Ident(ident)) => {
+            *idx += 1;
+            ident.to_string()
+        }
+        other => panic!("serde_derive stand-in: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped, not kept).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut idx);
+        let name = expect_ident(&tokens, &mut idx);
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => panic!("serde_derive stand-in: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut idx);
+        fields.push(name);
+        if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            idx += 1;
+        }
+    }
+    fields
+}
+
+/// Skips one type, stopping at a comma outside angle brackets.
+fn skip_type(tokens: &[TokenTree], idx: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(token) = tokens.get(*idx) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *idx += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut idx);
+        let kind = match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                VariantKind::Tuple(count_tuple_elems(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            idx += 1;
+        }
+    }
+    variants
+}
+
+fn count_tuple_elems(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    for (i, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not start a new element.
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn wire_name(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.snake_case {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::object(::std::vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => gen_serialize_enum(input, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let mut arms = Vec::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = wire_name(&input.attrs, vname);
+        let arm = match (&input.attrs.tag, &variant.kind) {
+            // Externally tagged (serde default).
+            (None, VariantKind::Unit) => format!(
+                "{name}::{vname} => \
+                 ::serde::Value::String(::std::string::String::from(\"{wire}\")),"
+            ),
+            (None, VariantKind::Tuple(1)) => format!(
+                "{name}::{vname}(__f0) => ::serde::Value::object(::std::vec![\
+                 (::std::string::String::from(\"{wire}\"), \
+                 ::serde::Serialize::to_value(__f0))]),"
+            ),
+            (None, VariantKind::Tuple(n)) => {
+                let binds = binders(*n);
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::object(::std::vec![\
+                     (::std::string::String::from(\"{wire}\"), \
+                     ::serde::Value::Array(::std::vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            (None, VariantKind::Struct(fields)) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::object(::std::vec![\
+                     (::std::string::String::from(\"{wire}\"), \
+                     ::serde::Value::object(::std::vec![{}]))]),",
+                    fields.join(", "),
+                    pairs.join(", ")
+                )
+            }
+            // Internally tagged.
+            (Some(tag), VariantKind::Unit) => format!(
+                "{name}::{vname} => ::serde::Value::object(::std::vec![\
+                 (::std::string::String::from(\"{tag}\"), \
+                 ::serde::Value::String(::std::string::String::from(\"{wire}\")))]),"
+            ),
+            (Some(tag), VariantKind::Struct(fields)) => {
+                let mut pairs = vec![format!(
+                    "(::std::string::String::from(\"{tag}\"), \
+                     ::serde::Value::String(::std::string::String::from(\"{wire}\")))"
+                )];
+                pairs.extend(fields.iter().map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                }));
+                format!(
+                    "{name}::{vname} {{ {} }} => \
+                     ::serde::Value::object(::std::vec![{}]),",
+                    fields.join(", "),
+                    pairs.join(", ")
+                )
+            }
+            (Some(_), VariantKind::Tuple(_)) => panic!(
+                "serde_derive stand-in: tuple variant `{vname}` cannot be internally tagged"
+            ),
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => gen_deserialize_struct(input, fields),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))",
+            name = input.name
+        ),
+        Shape::TupleStruct(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                 \"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::new(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({reads}))",
+                name = input.name,
+                n = n,
+                reads = reads.join(", ")
+            )
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(input, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_struct(input: &Input, fields: &[String]) -> String {
+    let name = &input.name;
+    if input.attrs.default {
+        let updates: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "if let ::std::option::Option::Some(field) = \
+                     ::serde::__private::get(obj, \"{f}\") {{\n\
+                         out.{f} = ::serde::Deserialize::from_value(field).map_err(|e| \
+                         ::serde::DeError::new(::std::format!(\
+                         \"field `{f}`: {{}}\", e.message())))?;\n\
+                     }}"
+                )
+            })
+            .collect();
+        format!(
+            "let obj = ::serde::__private::expect_object(v, \"{name}\")?;\n\
+             let mut out = <{name} as ::core::default::Default>::default();\n\
+             {}\n\
+             ::std::result::Result::Ok(out)",
+            updates.join("\n")
+        )
+    } else {
+        let inits: Vec<String> = fields
+            .iter()
+            .map(|f| format!("{f}: ::serde::__private::field(obj, \"{f}\")?,"))
+            .collect();
+        format!(
+            "let obj = ::serde::__private::expect_object(v, \"{name}\")?;\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            inits.join("\n")
+        )
+    }
+}
+
+fn struct_variant_init(name: &str, vname: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::field(obj, \"{f}\")?,"))
+        .collect();
+    format!(
+        "::std::result::Result::Ok({name}::{vname} {{\n{}\n}})",
+        inits.join("\n")
+    )
+}
+
+fn gen_deserialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    match &input.attrs.tag {
+        Some(tag) => {
+            let mut arms = Vec::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let wire = wire_name(&input.attrs, vname);
+                let arm = match &variant.kind {
+                    VariantKind::Unit => format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    ),
+                    VariantKind::Struct(fields) => format!(
+                        "\"{wire}\" => {{ {} }}",
+                        struct_variant_init(name, vname, fields)
+                    ),
+                    VariantKind::Tuple(_) => panic!(
+                        "serde_derive stand-in: tuple variant `{vname}` cannot be internally tagged"
+                    ),
+                };
+                arms.push(arm);
+            }
+            format!(
+                "let obj = ::serde::__private::expect_object(v, \"{name}\")?;\n\
+                 let tag = ::serde::__private::get(obj, \"{tag}\")\
+                     .ok_or_else(|| ::serde::DeError::new(\
+                     \"missing `{tag}` tag for {name}\"))?;\n\
+                 let tag = tag.as_str().ok_or_else(|| ::serde::DeError::new(\
+                     \"`{tag}` tag for {name} must be a string\"))?;\n\
+                 match tag {{\n{}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}}",
+                arms.join("\n")
+            )
+        }
+        None => {
+            let mut unit_arms = Vec::new();
+            let mut keyed_arms = Vec::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let wire = wire_name(&input.attrs, vname);
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                        // serde also accepts {"Unit": null}.
+                        keyed_arms.push(format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => keyed_arms.push(format!(
+                        "\"{wire}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = binders(*n);
+                        let reads: Vec<String> = binds
+                            .iter()
+                            .enumerate()
+                            .map(|(i, b)| {
+                                format!(
+                                    "let {b} = ::serde::Deserialize::from_value(\
+                                     &items[{i}])?;"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push(format!(
+                            "\"{wire}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array for {name}::{vname}\"))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                             {}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}",
+                            reads.join("\n"),
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => keyed_arms.push(format!(
+                        "\"{wire}\" => {{\n\
+                         let obj = ::serde::__private::expect_object(inner, \
+                         \"{name}::{vname}\")?;\n{}\n}}",
+                        struct_variant_init(name, vname, fields)
+                    )),
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                     let (key, inner) = &pairs[0];\n\
+                     match key.as_str() {{\n{keyed}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"cannot deserialize {name} from {{}}\", other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                keyed = keyed_arms.join("\n"),
+            )
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the subset of `serde_json 1.x` used by the
+//! fluxprint workspace: [`Value`], [`json!`], [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`from_slice`].
+//!
+//! Shares the [`Value`] tree with the `serde` stand-in; this crate adds
+//! the text format (a strict recursive-descent parser and the printers)
+//! plus the `json!` construction macro.
+
+mod parse;
+
+pub use parse::parse_value;
+pub use serde::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Error from JSON parsing or value conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.message())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the value-tree model; the `Result` mirrors the real
+/// `serde_json` signature so call sites stay source-compatible.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes `value` to pretty-printed JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Never fails; see [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse::parse_value(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON bytes (UTF-8) into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = core::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] with JSON literal syntax.
+///
+/// Supports the workspace's usage: `null`, booleans, numbers, strings,
+/// arrays, string-keyed objects, and arbitrary serializable expressions
+/// in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::__json_array!(@el [] [] $($tt)+ ,) };
+    ({ $($tt:tt)+ }) => { $crate::__json_object!(@key [] $($tt)+ ,) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array muncher for [`json!`]: splits elements on top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    // End of input (a sentinel comma was appended by the caller).
+    (@el [$($out:tt)*] [] ) => {
+        $crate::Value::Array(::std::vec![ $($crate::json!$out),* ])
+    };
+    // Comma: close the current element.
+    (@el [$($out:tt)*] [$($cur:tt)+] , $($rest:tt)*) => {
+        $crate::__json_array!(@el [$($out)* ($($cur)+)] [] $($rest)*)
+    };
+    // Trailing comma produced an empty current element: skip.
+    (@el [$($out:tt)*] [] , $($rest:tt)*) => {
+        $crate::__json_array!(@el [$($out)*] [] $($rest)*)
+    };
+    // Accumulate one token into the current element.
+    (@el [$($out:tt)*] [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_array!(@el [$($out)*] [$($cur)* $next] $($rest)*)
+    };
+}
+
+/// Object muncher for [`json!`]: `"key": value` pairs, string keys only.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    // End of input (sentinel comma appended by the caller).
+    (@key [$($out:tt)*] ) => {
+        $crate::Value::object(::std::vec![ $($out)* ])
+    };
+    // Skip separating/trailing commas between pairs.
+    (@key [$($out:tt)*] , $($rest:tt)*) => {
+        $crate::__json_object!(@key [$($out)*] $($rest)*)
+    };
+    // A `"key":` prefix starts value accumulation.
+    (@key [$($out:tt)*] $key:literal : $($rest:tt)*) => {
+        $crate::__json_object!(@val [$($out)*] $key [] $($rest)*)
+    };
+    // Comma closes the current value.
+    (@val [$($out:tt)*] $key:literal [$($cur:tt)+] , $($rest:tt)*) => {
+        $crate::__json_object!(
+            @key [$($out)* (::std::string::String::from($key), $crate::json!($($cur)+)),]
+            $($rest)*
+        )
+    };
+    // Accumulate one token into the current value.
+    (@val [$($out:tt)*] $key:literal [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_object!(@val [$($out)*] $key [$($cur)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let xs = vec![1.0, 2.5];
+        let name = "grid";
+        let v = json!({
+            "figure": "3a",
+            "deployment": name,
+            "xs": xs,
+            "nested": { "kind": "grid", "rows": 20 },
+            "list": [1, 2.5, "three", null, [true, false], {"deep": 1}],
+            "sum": 1 + 2,
+        });
+        assert_eq!(v["figure"], "3a");
+        assert_eq!(v["deployment"], "grid");
+        assert_eq!(v["xs"][1], 2.5);
+        assert_eq!(v["nested"]["rows"], 20);
+        assert_eq!(v["list"].as_array().unwrap().len(), 6);
+        assert_eq!(v["list"][4][0], true);
+        assert_eq!(v["list"][5]["deep"], 1);
+        assert_eq!(v["sum"], 3);
+    }
+
+    #[test]
+    fn scalar_json_macro_forms() {
+        assert!(json!(null).is_null());
+        assert_eq!(json!(true), true);
+        assert_eq!(json!([]), Value::Array(vec![]));
+        assert_eq!(json!({}), Value::Object(vec![]));
+        assert_eq!(json!(7usize), 7);
+        let err = 1.25f64;
+        assert_eq!(json!(err), 1.25);
+    }
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = json!({
+            "a": [1, 2.5, "x"],
+            "b": { "c": null, "d": false },
+        });
+        let compact: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(compact, v);
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let text = to_string_pretty(&json!({"k": [1]})).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let v: Value = from_slice(b"{\"n\": 400}").unwrap();
+        assert_eq!(v["n"], 400);
+        assert!(from_slice::<Value>(&[0xff, 0xfe]).is_err());
+    }
+}

@@ -14,17 +14,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 
-use crate::common::{
-    f, mean, paper_builder, print_row, print_table_header, random_static_users, FIELD_SIDE,
-};
-use crate::Effort;
+use crate::common::{f, mean, paper_builder, random_static_users, Reporter, FIELD_SIDE};
+use crate::RunSpec;
 
 /// Exact `N^K` enumeration vs greedy coordinate descent on instances small
 /// enough to run both (DESIGN.md §4 substitution 2).
-pub fn run_ablation_filter(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(5, 20);
+pub fn run_ablation_filter(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(5, 20);
     let n_candidates = 40; // 40² = 1600 combinations: exact is affordable
-    print_table_header(
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: exact N^K enumeration vs greedy coordinate descent (K = 2)",
         &[
             "strategy",
@@ -40,7 +39,7 @@ pub fn run_ablation_filter(effort: Effort) -> serde_json::Value {
     let mut exact_time = 0.0;
     let mut greedy_time = 0.0;
     for trial in 0..trials {
-        let mut rng = StdRng::seed_from_u64(15_000 + trial as u64);
+        let mut rng = StdRng::seed_from_u64(spec.rng_seed(15_000 + trial as u64));
         let field = Rect::square(FIELD_SIDE).expect("valid field");
         let model = FluxModel::default();
         let truths = [
@@ -94,22 +93,23 @@ pub fn run_ablation_filter(effort: Effort) -> serde_json::Value {
             agree += 1;
         }
     }
-    print_row(&[
+    reporter.row(&[
         "exact".to_string(),
         f(mean(&exact_res)),
         "—".to_string(),
         format!("{:.1} ms", exact_time / trials as f64 * 1e3),
     ]);
-    print_row(&[
+    reporter.row(&[
         "greedy".to_string(),
         f(mean(&greedy_res)),
         format!("{agree}/{trials}"),
         format!("{:.1} ms", greedy_time / trials as f64 * 1e3),
     ]);
-    println!(
-        "\ngreedy reaches the exact optimum on almost every instance at a fraction of the cost,"
+    reporter.note(
+        "\ngreedy reaches the exact optimum on almost every instance at a fraction of the cost,",
     );
-    println!("justifying the substitution for the paper's infeasible N^K = 1000^K enumeration.");
+    reporter
+        .note("justifying the substitution for the paper's infeasible N^K = 1000^K enumeration.");
     json!({
         "ablation": "filter",
         "exact_mean_residual": mean(&exact_res),
@@ -120,9 +120,10 @@ pub fn run_ablation_filter(effort: Effort) -> serde_json::Value {
 }
 
 /// Importance weights (Formula 4.3) vs plain top-M (§4.C without §4.D).
-pub fn run_ablation_weights(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(3, 10);
-    print_table_header(
+pub fn run_ablation_weights(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(3, 10);
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: importance weights (§4.D) vs uniform top-M (§4.C)",
         &["variant", "converged error", "final error"],
     );
@@ -131,7 +132,7 @@ pub fn run_ablation_weights(effort: Effort) -> serde_json::Value {
         let mut converged = Vec::new();
         let mut finals = Vec::new();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(15_000 + trial as u64);
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(15_000 + trial as u64));
             let field = Rect::square(FIELD_SIDE).expect("valid field");
             let tracks = scenarios::parallel_tracks(&field, 2, 0.0, 10.0).expect("valid tracks");
             let schedule = CollectionSchedule::periodic(0.0, 1.0, 11).expect("valid schedule");
@@ -150,24 +151,25 @@ pub fn run_ablation_weights(effort: Effort) -> serde_json::Value {
             converged.push(report.converged_mean_error().expect("rounds exist"));
             finals.push(report.final_mean_error().expect("rounds exist"));
         }
-        print_row(&[name.to_string(), f(mean(&converged)), f(mean(&finals))]);
+        reporter.row(&[name.to_string(), f(mean(&converged)), f(mean(&finals))]);
         out.push(json!({
             "variant": name,
             "converged": mean(&converged),
             "final": mean(&finals),
         }));
     }
-    println!(
-        "\n§4.D's claim: weighted samples converge faster / more accurately than plain top-M."
+    reporter.note(
+        "\n§4.D's claim: weighted samples converge faster / more accurately than plain top-M.",
     );
     json!({ "ablation": "weights", "rows": out })
 }
 
 /// Neighborhood smoothing of sniffed flux (§3.B) on vs off — the single
 /// most important observation-model choice in this reproduction.
-pub fn run_ablation_smoothing(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(3, 10);
-    print_table_header(
+pub fn run_ablation_smoothing(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(3, 10);
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: neighborhood smoothing of sniffed flux (§3.B)",
         &["variant", "mean localization error"],
     );
@@ -175,7 +177,7 @@ pub fn run_ablation_smoothing(effort: Effort) -> serde_json::Value {
     for (name, smooth) in [("smoothed (default)", true), ("raw per-node flux", false)] {
         let mut errs = Vec::new();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(16_000 + trial as u64);
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(16_000 + trial as u64));
             let users = random_static_users(1, 5, &mut rng);
             let scenario = paper_builder()
                 .users(users)
@@ -190,22 +192,24 @@ pub fn run_ablation_smoothing(effort: Effort) -> serde_json::Value {
                     .mean_error,
             );
         }
-        print_row(&[name.to_string(), f(mean(&errs))]);
+        reporter.row(&[name.to_string(), f(mean(&errs))]);
         out.push(json!({ "variant": name, "mean_error": mean(&errs) }));
     }
-    println!("\nraw per-node flux in a randomized tree is so dispersed that the NLS fit degrades");
-    println!("severalfold — exactly why §3.B prescribes neighborhood averaging.");
+    reporter
+        .note("\nraw per-node flux in a randomized tree is so dispersed that the NLS fit degrades");
+    reporter.note("severalfold — exactly why §3.B prescribes neighborhood averaging.");
     json!({ "ablation": "smoothing", "rows": out })
 }
 
 /// Smooth NLS solvers (Levenberg–Marquardt) vs the derivative-free
 /// pipeline on the rectangular field (§4.A's applicability claim), fitted
 /// against *simulated* flux — the realistic, non-smooth objective.
-pub fn run_ablation_solvers(effort: Effort) -> serde_json::Value {
+pub fn run_ablation_solvers(spec: RunSpec) -> serde_json::Value {
     use fluxprint_netsim::{NetworkBuilder, Sniffer};
 
-    let trials = effort.trials(4, 12);
-    print_table_header(
+    let trials = spec.effort.trials(4, 12);
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: Levenberg–Marquardt vs derivative-free search (rectangular field, simulated flux)",
         &["method", "mean error", "success rate (err < 2)"],
     );
@@ -214,7 +218,7 @@ pub fn run_ablation_solvers(effort: Effort) -> serde_json::Value {
     let mut lm10_errs = Vec::new();
     let mut rs_errs = Vec::new();
     for trial in 0..trials {
-        let mut rng = StdRng::seed_from_u64(17_000 + trial as u64);
+        let mut rng = StdRng::seed_from_u64(spec.rng_seed(17_000 + trial as u64));
         let net = NetworkBuilder::new()
             .field(Rect::square(FIELD_SIDE).expect("valid field"))
             .perturbed_grid(30, 30, 0.3)
@@ -265,24 +269,24 @@ pub fn run_ablation_solvers(effort: Effort) -> serde_json::Value {
     }
     let success =
         |errs: &[f64]| errs.iter().filter(|&&e| e < 2.0).count() as f64 / errs.len() as f64;
-    print_row(&[
+    reporter.row(&[
         "LM, single start".to_string(),
         f(mean(&lm1_errs)),
         format!("{:.0} %", success(&lm1_errs) * 100.0),
     ]);
-    print_row(&[
+    reporter.row(&[
         "LM, best of 10 starts".to_string(),
         f(mean(&lm10_errs)),
         format!("{:.0} %", success(&lm10_errs) * 100.0),
     ]);
-    print_row(&[
+    reporter.row(&[
         "random search + Nelder–Mead".to_string(),
         f(mean(&rs_errs)),
         format!("{:.0} %", success(&rs_errs) * 100.0),
     ]);
-    println!("\n§4.A's claim, quantified: a single gradient descent is unreliable on the");
-    println!("kinked rectangular-boundary objective; heavy multistart repairs much of it,");
-    println!("but the derivative-free pipeline is uniformly dependable at similar cost.");
+    reporter.note("\n§4.A's claim, quantified: a single gradient descent is unreliable on the");
+    reporter.note("kinked rectangular-boundary objective; heavy multistart repairs much of it,");
+    reporter.note("but the derivative-free pipeline is uniformly dependable at similar cost.");
     json!({
         "ablation": "solvers",
         "lm1_mean": mean(&lm1_errs),
@@ -297,11 +301,12 @@ pub fn run_ablation_solvers(effort: Effort) -> serde_json::Value {
 /// Countermeasure effectiveness (§6 future work), including the energy
 /// bill each defense charges the network (netsim's first-order radio
 /// model) — defenses are only viable if the battery cost is bearable.
-pub fn run_ablation_countermeasures(effort: Effort) -> serde_json::Value {
+pub fn run_ablation_countermeasures(spec: RunSpec) -> serde_json::Value {
     use fluxprint_core::Countermeasure;
     use fluxprint_netsim::EnergyModel;
-    let trials = effort.trials(3, 10);
-    print_table_header(
+    let trials = spec.effort.trials(3, 10);
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: traffic-reshaping countermeasures (§6)",
         &[
             "defense",
@@ -340,7 +345,7 @@ pub fn run_ablation_countermeasures(effort: Effort) -> serde_json::Value {
         let mut errs = Vec::new();
         let mut energy = Vec::new();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(18_000 + trial as u64);
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(18_000 + trial as u64));
             let users = random_static_users(1, 5, &mut rng);
             let scenario = ScenarioBuilder::new()
                 .users(users)
@@ -381,7 +386,7 @@ pub fn run_ablation_countermeasures(effort: Effort) -> serde_json::Value {
             baseline = m;
             baseline_energy = e;
         }
-        print_row(&[
+        reporter.row(&[
             name.to_string(),
             f(m),
             format!("{:.1}×", m / baseline),
@@ -393,19 +398,20 @@ pub fn run_ablation_countermeasures(effort: Effort) -> serde_json::Value {
             "energy_ratio": e / baseline_energy,
         }));
     }
-    println!("\ndummy sinks (decoy peaks) dominate cost-effectiveness: the biggest error");
-    println!("inflation per unit of energy. Heavy padding also disrupts the fit but pays");
-    println!("more energy per unit of protection; jitter is free and useless against");
-    println!("neighborhood smoothing.");
+    reporter.note("\ndummy sinks (decoy peaks) dominate cost-effectiveness: the biggest error");
+    reporter.note("inflation per unit of energy. Heavy padding also disrupts the fit but pays");
+    reporter.note("more energy per unit of protection; jitter is free and useless against");
+    reporter.note("neighborhood smoothing.");
     json!({ "ablation": "countermeasures", "rows": out })
 }
 
 /// The §4.C heading refinement: forward-cone prediction bias vs the plain
 /// uniform-disc prior, on straight trajectories (where heading helps) and
 /// reversing trajectories (where a stale heading could hurt).
-pub fn run_ablation_heading(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(3, 10);
-    print_table_header(
+pub fn run_ablation_heading(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(3, 10);
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: heading-aware prediction (§4.C refinement)",
         &["variant", "straight-track error", "reversal-track error"],
     );
@@ -445,29 +451,30 @@ pub fn run_ablation_heading(effort: Effort) -> serde_json::Value {
     let mut out = Vec::new();
     for (name, bias) in [("uniform disc (paper)", 0.0), ("heading bias 0.5", 0.5)] {
         let straight: Vec<f64> = (0..trials)
-            .map(|t| run(bias, false, 19_000 + t as u64))
+            .map(|t| run(bias, false, spec.rng_seed(19_000 + t as u64)))
             .collect();
         let reversal: Vec<f64> = (0..trials)
-            .map(|t| run(bias, true, 19_500 + t as u64))
+            .map(|t| run(bias, true, spec.rng_seed(19_500 + t as u64)))
             .collect();
-        print_row(&[name.to_string(), f(mean(&straight)), f(mean(&reversal))]);
+        reporter.row(&[name.to_string(), f(mean(&straight)), f(mean(&reversal))]);
         out.push(json!({
             "variant": name,
             "straight": mean(&straight),
             "reversal": mean(&reversal),
         }));
     }
-    println!("\n§4.C suggests heading knowledge can refine the prior; the reversal column");
-    println!("shows the cost when the heading assumption breaks.");
+    reporter.note("\n§4.C suggests heading knowledge can refine the prior; the reversal column");
+    reporter.note("shows the cost when the heading assumption breaks.");
     json!({ "ablation": "heading", "rows": out })
 }
 
 /// Robustness to measurement imperfections: Gaussian noise and dropout on
 /// the sniffed readings.
-pub fn run_ablation_noise(effort: Effort) -> serde_json::Value {
+pub fn run_ablation_noise(spec: RunSpec) -> serde_json::Value {
     use fluxprint_netsim::NoiseModel;
-    let trials = effort.trials(3, 10);
-    print_table_header(
+    let trials = spec.effort.trials(3, 10);
+    let reporter = Reporter::new();
+    reporter.table(
         "Ablation: measurement noise on sniffed flux",
         &["channel", "mean localization error"],
     );
@@ -488,7 +495,7 @@ pub fn run_ablation_noise(effort: Effort) -> serde_json::Value {
     for (name, noise) in channels {
         let mut errs = Vec::new();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(20_000 + trial as u64);
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(20_000 + trial as u64));
             let users = random_static_users(1, 5, &mut rng);
             let scenario = ScenarioBuilder::new()
                 .users(users)
@@ -503,11 +510,12 @@ pub fn run_ablation_noise(effort: Effort) -> serde_json::Value {
                     .mean_error,
             );
         }
-        print_row(&[name.to_string(), f(mean(&errs))]);
+        reporter.row(&[name.to_string(), f(mean(&errs))]);
         out.push(json!({ "channel": name, "mean_error": mean(&errs) }));
     }
-    println!("\nmoderate Gaussian noise barely matters (the fit is over ~90 smoothed readings);");
-    println!("dropout hurts more because zeros are confidently wrong, not just fuzzy.");
+    reporter
+        .note("\nmoderate Gaussian noise barely matters (the fit is over ~90 smoothed readings);");
+    reporter.note("dropout hurts more because zeros are confidently wrong, not just fuzzy.");
     json!({ "ablation": "noise", "rows": out })
 }
 
@@ -517,7 +525,7 @@ mod tests {
 
     #[test]
     fn filter_ablation_agrees_mostly() {
-        let v = run_ablation_filter(Effort::Quick);
+        let v = run_ablation_filter(RunSpec::quick());
         assert!(v["agreement"].as_f64().unwrap() >= 0.6);
         // Greedy can never beat exact.
         assert!(
@@ -528,7 +536,7 @@ mod tests {
 
     #[test]
     fn smoothing_ablation_confirms_benefit() {
-        let v = run_ablation_smoothing(Effort::Quick);
+        let v = run_ablation_smoothing(RunSpec::quick());
         let rows = v["rows"].as_array().unwrap();
         let smoothed = rows[0]["mean_error"].as_f64().unwrap();
         let raw = rows[1]["mean_error"].as_f64().unwrap();

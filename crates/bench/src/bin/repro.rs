@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <target> [--quick] [--json <path>]
+//! repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]
 //!
 //! targets:
 //!   fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8a fig8b fig10a fig10b
@@ -16,14 +16,19 @@
 //! ```
 //!
 //! `--quick` shrinks trial counts to smoke-test sizes; the EXPERIMENTS.md
-//! numbers come from full runs. `--json` appends each result as a JSON
-//! line to the given file.
+//! numbers come from full runs. `--seed` perturbs every generator's RNG
+//! stream (default 0 — the streams the recorded numbers used). `--json`
+//! appends each result as a JSON line to the given file, headed by a
+//! `run_meta` record. `--telemetry` appends one NDJSON telemetry block
+//! per target (run metadata, counters, histograms, span timings) to the
+//! given file; the registry is reset before each target so each block
+//! covers exactly one experiment.
 
 use std::io::Write;
 
-use fluxprint_bench::{ablations, fig10, fig3, fig4, fig5, fig6, fig7, fig8, Effort};
+use fluxprint_bench::{ablations, fig10, fig3, fig4, fig5, fig6, fig7, fig8, trace, RunSpec};
 
-type Generator = (&'static str, fn(Effort) -> serde_json::Value);
+type Generator = (&'static str, fn(RunSpec) -> serde_json::Value);
 
 const GENERATORS: &[Generator] = &[
     ("fig3a", fig3::run_fig3a),
@@ -50,12 +55,25 @@ const GENERATORS: &[Generator] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <target> [--quick] [--json <path>]");
+    eprintln!(
+        "usage: repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]"
+    );
     eprintln!("targets: all figures ablations");
     for (name, _) in GENERATORS {
         eprintln!("         {name}");
     }
     std::process::exit(2);
+}
+
+fn open_append(path: &str) -> std::fs::File {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(2);
+        })
 }
 
 fn main() {
@@ -64,13 +82,19 @@ fn main() {
         usage();
     }
     let mut target = None;
-    let mut effort = Effort::Full;
+    let mut spec = RunSpec::full();
     let mut json_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => effort = Effort::Quick,
+            "--quick" => spec.effort = fluxprint_bench::Effort::Quick,
+            "--seed" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                spec.seed = raw.parse().unwrap_or_else(|_| usage());
+            }
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--telemetry" => telemetry_path = Some(it.next().unwrap_or_else(|| usage())),
             name if target.is_none() => target = Some(name.to_string()),
             _ => usage(),
         }
@@ -97,23 +121,31 @@ fn main() {
         }
     };
 
-    let mut sink = json_path.map(|p| {
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(p)
-            .expect("open json output")
-    });
+    let mut json_sink = json_path.as_deref().map(open_append);
+    let mut telemetry_sink = telemetry_path.as_deref().map(open_append);
     for (name, generator) in selected {
-        eprintln!("== running {name} ({effort:?}) ==");
+        eprintln!("== running {name} ({}) ==", spec.effort.name());
+        // One telemetry block per target: start from an empty registry.
+        fluxprint_telemetry::reset();
         let started = std::time::Instant::now();
-        let value = generator(effort);
+        let value = generator(spec);
         eprintln!(
             "== {name} done in {:.1}s ==",
             started.elapsed().as_secs_f64()
         );
-        if let Some(file) = sink.as_mut() {
+        if let Some(file) = json_sink.as_mut() {
+            writeln!(
+                file,
+                "{}",
+                trace::run_meta_line(name, spec.effort, spec.seed)
+            )
+            .expect("write json meta line");
             writeln!(file, "{value}").expect("write json line");
+        }
+        if let Some(file) = telemetry_sink.as_mut() {
+            // export_run's NDJSON lines are already newline-terminated.
+            write!(file, "{}", trace::export_run(name, spec.effort, spec.seed))
+                .expect("write telemetry block");
         }
     }
 }

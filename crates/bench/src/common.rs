@@ -52,19 +52,41 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
-/// Prints a Markdown-style table header.
-pub fn print_table_header(title: &str, columns: &[&str]) {
-    println!("\n### {title}\n");
-    println!("| {} |", columns.join(" | "));
-    println!(
-        "|{}|",
-        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
-}
+/// The single terminal sink for generator output.
+///
+/// Every table, row, and line of paper-shape commentary a figure
+/// generator emits goes through one `Reporter`, so the printing idiom
+/// lives in one place (this is also the only spot in the bench library
+/// that writes to stdout; library crates proper are kept print-free by
+/// the fluxlint `no-println` rule).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reporter;
 
-/// Prints one table row.
-pub fn print_row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
+impl Reporter {
+    /// Creates a reporter.
+    pub fn new() -> Self {
+        Reporter
+    }
+
+    /// Starts a Markdown-style table.
+    pub fn table(&self, title: &str, columns: &[&str]) {
+        println!("\n### {title}\n");
+        println!("| {} |", columns.join(" | "));
+        println!(
+            "|{}|",
+            columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+    }
+
+    /// Emits one table row.
+    pub fn row(&self, cells: &[String]) {
+        println!("| {} |", cells.join(" | "));
+    }
+
+    /// Emits one line of commentary (paper-shape expectations, caveats).
+    pub fn note(&self, text: &str) {
+        println!("{text}");
+    }
 }
 
 /// Formats a float cell.

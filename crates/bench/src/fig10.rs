@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-use crate::common::{f, mean, print_row, print_table_header, FIELD_SIDE};
-use crate::Effort;
+use crate::common::{f, mean, Reporter, FIELD_SIDE};
+use crate::{Effort, RunSpec};
 
 const N_USERS: usize = 20;
 
@@ -63,18 +63,19 @@ fn trace_error(
 
 /// Figure 10(a): trace-driven error vs sampling percentage for both
 /// deployments.
-pub fn run_fig10a(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(1, 4);
-    let duration = match effort {
+pub fn run_fig10a(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(1, 4);
+    let duration = match spec.effort {
         Effort::Quick => 60.0,
         Effort::Full => 120.0,
     };
-    let n_pred = effort.trials(300, 500);
-    let percentages = match effort {
+    let n_pred = spec.effort.trials(300, 500);
+    let percentages = match spec.effort {
         Effort::Quick => vec![20.0, 10.0],
         Effort::Full => vec![40.0, 20.0, 10.0, 5.0],
     };
-    print_table_header(
+    let report = Reporter::new();
+    report.table(
         "Figure 10(a): trace-driven tracking error vs sampling percentage (20 async users)",
         &["deployment", "40 %", "20 %", "10 %", "5 %"],
     );
@@ -93,15 +94,21 @@ pub fn run_fig10a(effort: Effort) -> serde_json::Value {
                 let handles: Vec<_> = (0..trials)
                     .map(|t| {
                         scope.spawn(move || {
-                            trace_error(
+                            let err = trace_error(
                                 random_deploy,
                                 pct,
                                 4.0 * 2.0, // transit speed × window
                                 duration,
                                 n_pred,
-                                (12_000 + pct as usize * 10 + t) as u64
-                                    + if random_deploy { 500 } else { 0 },
-                            )
+                                spec.rng_seed(
+                                    (12_000 + pct as usize * 10 + t) as u64
+                                        + if random_deploy { 500 } else { 0 },
+                                ),
+                            );
+                            // join() can return before this thread's TLS
+                            // destructors run; merge telemetry explicitly.
+                            fluxprint_telemetry::flush();
+                            err
                         })
                     })
                     .collect();
@@ -114,26 +121,27 @@ pub fn run_fig10a(effort: Effort) -> serde_json::Value {
             row.push(f(m));
             values.push(m);
         }
-        print_row(&row);
+        report.row(&row);
         out.push(json!({ "deployment": name, "errors": values }));
     }
-    println!("\npaper shape: grid error < 3 at ≥ 10 %; random ≈ 1.5× the grid error.");
+    report.note("\npaper shape: grid error < 3 at ≥ 10 %; random ≈ 1.5× the grid error.");
     json!({ "figure": "10a", "rows": out })
 }
 
 /// Figure 10(b): trace-driven error vs resampling radius (assumed v_max).
-pub fn run_fig10b(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(1, 4);
-    let duration = match effort {
+pub fn run_fig10b(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(1, 4);
+    let duration = match spec.effort {
         Effort::Quick => 60.0,
         Effort::Full => 120.0,
     };
-    let n_pred = effort.trials(300, 500);
-    let radii = match effort {
+    let n_pred = spec.effort.trials(300, 500);
+    let radii = match spec.effort {
         Effort::Quick => vec![4.0, 8.0],
         Effort::Full => vec![4.0, 6.0, 8.0, 10.0, 12.0],
     };
-    print_table_header(
+    let report = Reporter::new();
+    report.table(
         "Figure 10(b): trace-driven tracking error vs resampling radius (10 % sniffing)",
         &["deployment", "r=4", "r=6", "r=8", "r=10", "r=12"],
     );
@@ -152,15 +160,21 @@ pub fn run_fig10b(effort: Effort) -> serde_json::Value {
                 let handles: Vec<_> = (0..trials)
                     .map(|t| {
                         scope.spawn(move || {
-                            trace_error(
+                            let err = trace_error(
                                 random_deploy,
                                 10.0,
                                 r / 2.0,
                                 duration,
                                 n_pred,
-                                (13_000 + r as usize * 10 + t) as u64
-                                    + if random_deploy { 500 } else { 0 },
-                            )
+                                spec.rng_seed(
+                                    (13_000 + r as usize * 10 + t) as u64
+                                        + if random_deploy { 500 } else { 0 },
+                                ),
+                            );
+                            // join() can return before this thread's TLS
+                            // destructors run; merge telemetry explicitly.
+                            fluxprint_telemetry::flush();
+                            err
                         })
                     })
                     .collect();
@@ -173,10 +187,10 @@ pub fn run_fig10b(effort: Effort) -> serde_json::Value {
             row.push(f(m));
             values.push(m);
         }
-        print_row(&row);
+        report.row(&row);
         out.push(json!({ "deployment": name, "radii": [4.0,6.0,8.0,10.0,12.0], "errors": values }));
     }
-    println!("\npaper shape: roughly stable with a slight increase as the radius grows.");
+    report.note("\npaper shape: roughly stable with a slight increase as the radius grows.");
     json!({ "figure": "10b", "rows": out })
 }
 
@@ -186,7 +200,7 @@ mod tests {
 
     #[test]
     fn fig10a_quick_runs_and_orders_deployments() {
-        let v = run_fig10a(Effort::Quick);
+        let v = run_fig10a(RunSpec::quick());
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 2);
         // Grid at 10 % stays in a plausible band (paper < 3; generous cap).

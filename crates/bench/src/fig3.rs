@@ -19,8 +19,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 
-use crate::common::{f, mean, print_row, print_table_header, FIELD_SIDE};
-use crate::Effort;
+use crate::common::{f, mean, Reporter, FIELD_SIDE};
+use crate::RunSpec;
 
 /// Radius giving the target average degree for 2500 nodes on the 30×30
 /// field: `degree = ρ·π·R²` with `ρ = 2500 / 900`.
@@ -49,13 +49,14 @@ fn build_network(degree: f64, seed: u64) -> Network {
 }
 
 /// Figure 3(a): error-rate CDFs per density.
-pub fn run_fig3a(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(2, 8);
+pub fn run_fig3a(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(2, 8);
     let degrees = [12.0, 16.0, 27.0];
     let xs = [0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0];
     let model = FluxModel::default();
+    let report = Reporter::new();
 
-    print_table_header(
+    report.table(
         "Figure 3(a): CDF of model approximation error rate (2500 nodes, uniform random)",
         &[
             "degree",
@@ -71,8 +72,8 @@ pub fn run_fig3a(effort: Effort) -> serde_json::Value {
     for &degree in &degrees {
         let mut all_errors = Vec::new();
         for trial in 0..trials {
-            let net = build_network(degree, 1000 + trial as u64);
-            let mut rng = StdRng::seed_from_u64(2000 + trial as u64);
+            let net = build_network(degree, spec.rng_seed(1000 + trial as u64));
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(2000 + trial as u64));
             let sink = Point2::new(rng.gen_range(6.0..24.0), rng.gen_range(6.0..24.0));
             let errors = approximation_error_rates(&net, sink, 1.0, &model, true, &mut rng)
                 .expect("simulation succeeds");
@@ -80,7 +81,7 @@ pub fn run_fig3a(effort: Effort) -> serde_json::Value {
         }
         let cdf = Ecdf::from_samples(&all_errors).expect("non-empty errors");
         let row = xs.iter().map(|&x| cdf.eval(x)).collect::<Vec<_>>();
-        print_row(&[
+        report.row(&[
             format!("{degree}"),
             f(cdf.eval(0.1)),
             f(cdf.eval(0.2)),
@@ -96,14 +97,15 @@ pub fn run_fig3a(effort: Effort) -> serde_json::Value {
             "frac_below_0_4": cdf.eval(0.4),
         }));
     }
-    println!("\npaper: 80 %+ of nodes below 0.4 error rate; higher density → lower error.");
+    report.note("\npaper: 80 %+ of nodes below 0.4 error rate; higher density → lower error.");
     json!({ "figure": "3a", "series": series })
 }
 
 /// Figure 3(b): measured vs modeled flux per hop ring at degree 12.
-pub fn run_fig3b(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(2, 6);
+pub fn run_fig3b(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(2, 6);
     let model = FluxModel::default();
+    let report = Reporter::new();
     let max_hops = 16u32;
 
     let mut measured_by_hop = vec![Vec::new(); max_hops as usize + 1];
@@ -113,8 +115,8 @@ pub fn run_fig3b(effort: Effort) -> serde_json::Value {
     let mut mid_err = Vec::new();
     let mut outer_err = Vec::new();
     for trial in 0..trials {
-        let net = build_network(12.0, 3000 + trial as u64);
-        let mut rng = StdRng::seed_from_u64(4000 + trial as u64);
+        let net = build_network(12.0, spec.rng_seed(3000 + trial as u64));
+        let mut rng = StdRng::seed_from_u64(spec.rng_seed(4000 + trial as u64));
         let sink = Point2::new(rng.gen_range(10.0..20.0), rng.gen_range(10.0..20.0));
         let cmp =
             flux_by_hops(&net, sink, 1.0, &model, true, &mut rng).expect("simulation succeeds");
@@ -133,7 +135,7 @@ pub fn run_fig3b(effort: Effort) -> serde_json::Value {
         energy_fractions.push(near_field_energy_fraction(&cmp, 3));
     }
 
-    print_table_header(
+    report.table(
         "Figure 3(b): flux measurement vs model by hop count (degree 12)",
         &["hops", "measured (mean)", "model (mean)", "ratio"],
     );
@@ -144,22 +146,22 @@ pub fn run_fig3b(effort: Effort) -> serde_json::Value {
         }
         let m = mean(&measured_by_hop[h]);
         let p = mean(&predicted_by_hop[h]);
-        print_row(&[h.to_string(), f(m), f(p), f(p / m.max(1e-9))]);
+        report.row(&[h.to_string(), f(m), f(p), f(p / m.max(1e-9))]);
         rows.push(json!({ "hops": h, "measured": m, "model": p }));
     }
     let energy = mean(&energy_fractions);
-    println!(
+    report.note(&format!(
         "\n≥3-hop flux energy retained: {:.0} % (paper: > 70 %)",
         energy * 100.0
-    );
-    println!(
+    ));
+    report.note(&format!(
         "mean error rate by band — 1–2 hops: {:.2}; 3–8 hops: {:.2}; >8 hops: {:.2}",
         mean(&near_err),
         mean(&mid_err),
         mean(&outer_err)
-    );
-    println!("(the paper boxes the ≥3-hop band as well-approximated; beyond ~8 hops the");
-    println!(" *relative* error grows again because measured flux approaches one unit)");
+    ));
+    report.note("(the paper boxes the ≥3-hop band as well-approximated; beyond ~8 hops the");
+    report.note(" *relative* error grows again because measured flux approaches one unit)");
     json!({
         "figure": "3b",
         "rows": rows,
@@ -184,7 +186,7 @@ mod tests {
 
     #[test]
     fn fig3a_quick_runs() {
-        let v = run_fig3a(Effort::Quick);
+        let v = run_fig3a(RunSpec::quick());
         let series = v["series"].as_array().unwrap();
         assert_eq!(series.len(), 3);
         // A substantial share of nodes is well approximated at every
@@ -205,7 +207,7 @@ mod tests {
 
     #[test]
     fn fig3b_quick_runs() {
-        let v = run_fig3b(Effort::Quick);
+        let v = run_fig3b(RunSpec::quick());
         assert!(v["energy_fraction_beyond_3_hops"].as_f64().unwrap() > 0.4);
         // Figure 3(b)'s visual statement is about ring *means*: in the 3–8
         // hop band the model mean tracks the measured mean closely (the

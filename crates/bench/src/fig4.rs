@@ -11,14 +11,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 
-use crate::common::{f, mean, print_row, print_table_header, FIELD_SIDE};
-use crate::Effort;
+use crate::common::{f, mean, Reporter, FIELD_SIDE};
+use crate::RunSpec;
 
 /// Runs the briefing experiment: three users, full flux map, recursive
 /// extraction.
-pub fn run_fig4(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(2, 10);
-    print_table_header(
+pub fn run_fig4(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(2, 10);
+    let report = Reporter::new();
+    report.table(
         "Figure 4: recursive flux briefing, 3 users, full map",
         &[
             "trial",
@@ -31,7 +32,7 @@ pub fn run_fig4(effort: Effort) -> serde_json::Value {
     let mut all_errors = Vec::new();
     let mut rows = Vec::new();
     for trial in 0..trials {
-        let mut rng = StdRng::seed_from_u64(100 + trial as u64);
+        let mut rng = StdRng::seed_from_u64(spec.rng_seed(100 + trial as u64));
         let net = NetworkBuilder::new()
             .field(Rect::square(FIELD_SIDE).expect("valid field"))
             .perturbed_grid(30, 30, 0.3)
@@ -84,7 +85,7 @@ pub fn run_fig4(effort: Effort) -> serde_json::Value {
             .last()
             .map(|r| 1.0 - r.reduced_map.iter().sum::<f64>() / total_before)
             .unwrap_or(0.0);
-        print_row(&[
+        report.row(&[
             trial.to_string(),
             rounds.len().to_string(),
             errors.iter().map(|&e| f(e)).collect::<Vec<_>>().join(", "),
@@ -98,10 +99,10 @@ pub fn run_fig4(effort: Effort) -> serde_json::Value {
             "flux_removed": removed,
         }));
     }
-    println!(
+    report.note(&format!(
         "\nmean briefing position error: {:.2} (full-map view; the sparse pipeline exists because this costs a sniffer per node)",
         mean(&all_errors)
-    );
+    ));
     json!({ "figure": "4", "rows": rows, "mean_error": mean(&all_errors) })
 }
 
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn fig4_quick_extracts_users_accurately() {
-        let v = run_fig4(Effort::Quick);
+        let v = run_fig4(RunSpec::quick());
         let mean_err = v["mean_error"].as_f64().unwrap();
         assert!(mean_err < 3.5, "briefing mean error {mean_err}");
         for row in v["rows"].as_array().unwrap() {

@@ -9,17 +9,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-use crate::common::{f, mean, paper_builder, print_row, print_table_header, random_static_users};
-use crate::Effort;
+use crate::common::{f, mean, paper_builder, random_static_users, Reporter};
+use crate::RunSpec;
 
 /// Paper-reported averages for 1/2/3 users.
 pub const PAPER_MEAN: [f64; 3] = [0.97, 1.27, 1.63];
 
 /// Runs the Figure 5 cases.
-pub fn run_fig5(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(3, 10);
-    let samples = effort.trials(4000, 10_000);
-    print_table_header(
+pub fn run_fig5(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(3, 10);
+    let samples = spec.effort.trials(4000, 10_000);
+    let report = Reporter::new();
+    report.table(
         "Figure 5: instant localization (full-map flux, top-10 NLS fits)",
         &[
             "users",
@@ -34,7 +35,7 @@ pub fn run_fig5(effort: Effort) -> serde_json::Value {
         let mut means = Vec::new();
         let mut maxes: Vec<f64> = Vec::new();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(5000 + (k * 100 + trial) as u64);
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(5000 + (k * 100 + trial) as u64));
             let users = random_static_users(k, 5, &mut rng);
             let scenario = paper_builder()
                 .users(users)
@@ -43,14 +44,14 @@ pub fn run_fig5(effort: Effort) -> serde_json::Value {
             let mut config = AttackConfig::default();
             config.sniffer = SnifferSpec::All; // Figure 5 fits the full map
             config.search.samples = samples;
-            let report =
+            let attack =
                 run_instant_localization(&scenario, 0.0, &config, &mut rng).expect("attack runs");
-            means.push(report.mean_error);
-            maxes.push(report.max_error);
+            means.push(attack.mean_error);
+            maxes.push(attack.max_error);
         }
         let m = mean(&means);
         let mx = maxes.iter().cloned().fold(0.0, f64::max);
-        print_row(&[k.to_string(), f(m), f(mx), f(PAPER_MEAN[k - 1])]);
+        report.row(&[k.to_string(), f(m), f(mx), f(PAPER_MEAN[k - 1])]);
         out.push(json!({
             "users": k,
             "mean_error": m,
@@ -58,7 +59,7 @@ pub fn run_fig5(effort: Effort) -> serde_json::Value {
             "paper_mean": PAPER_MEAN[k - 1],
         }));
     }
-    println!("\npaper shape: error grows with simultaneous users; all below ~2.1.");
+    report.note("\npaper shape: error grows with simultaneous users; all below ~2.1.");
     json!({ "figure": "5", "rows": out })
 }
 
@@ -68,7 +69,7 @@ mod tests {
 
     #[test]
     fn fig5_quick_matches_paper_shape() {
-        let v = run_fig5(Effort::Quick);
+        let v = run_fig5(RunSpec::quick());
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 3);
         let errs: Vec<f64> = rows

@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-use crate::common::{f, mean, paper_builder, print_row, print_table_header, random_static_users};
-use crate::Effort;
+use crate::common::{f, mean, paper_builder, random_static_users, Reporter};
+use crate::RunSpec;
 
 /// Paper values at 10 % sampling for 1–4 users.
 pub const PAPER_AT_10PCT: [f64; 4] = [1.23, 1.52, 1.84, 2.01];
@@ -40,11 +40,12 @@ fn localization_error(
 }
 
 /// Figure 6(a): error vs sampling percentage.
-pub fn run_fig6a(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(3, 10);
-    let samples = effort.trials(4000, 8000);
+pub fn run_fig6a(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(3, 10);
+    let samples = spec.effort.trials(4000, 8000);
     let percentages = [40.0, 20.0, 10.0, 5.0];
-    print_table_header(
+    let report = Reporter::new();
+    report.table(
         "Figure 6(a): localization error vs sampling percentage",
         &["users", "40 %", "20 %", "10 %", "5 %", "paper @10 %"],
     );
@@ -60,7 +61,7 @@ pub fn run_fig6a(effort: Effort) -> serde_json::Value {
                         k,
                         SnifferSpec::Percentage(pct),
                         samples,
-                        (6000 + k * 1000 + pi * 100 + t) as u64,
+                        spec.rng_seed((6000 + k * 1000 + pi * 100 + t) as u64),
                     )
                 })
                 .collect();
@@ -69,7 +70,7 @@ pub fn run_fig6a(effort: Effort) -> serde_json::Value {
             values.push(m);
         }
         row.push(f(PAPER_AT_10PCT[k - 1]));
-        print_row(&row);
+        report.row(&row);
         out.push(json!({
             "users": k,
             "percentages": percentages,
@@ -77,16 +78,17 @@ pub fn run_fig6a(effort: Effort) -> serde_json::Value {
             "paper_at_10pct": PAPER_AT_10PCT[k - 1],
         }));
     }
-    println!("\npaper shape: flat from 40 % down to 10 %, degrading below 5 %.");
+    report.note("\npaper shape: flat from 40 % down to 10 %, degrading below 5 %.");
     json!({ "figure": "6a", "rows": out })
 }
 
 /// Figure 6(b): error vs node count at 90 fixed reports.
-pub fn run_fig6b(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(3, 10);
-    let samples = effort.trials(4000, 8000);
+pub fn run_fig6b(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(3, 10);
+    let samples = spec.effort.trials(4000, 8000);
     let node_counts = [900usize, 1200, 1500, 1800];
-    print_table_header(
+    let report = Reporter::new();
+    report.table(
         "Figure 6(b): localization error vs node count (90 reports fixed)",
         &["users", "900", "1200", "1500", "1800"],
     );
@@ -103,7 +105,7 @@ pub fn run_fig6b(effort: Effort) -> serde_json::Value {
                         k,
                         SnifferSpec::Count(90),
                         samples,
-                        (7000 + k * 1000 + ni * 100 + t) as u64,
+                        spec.rng_seed((7000 + k * 1000 + ni * 100 + t) as u64),
                     )
                 })
                 .collect();
@@ -111,10 +113,10 @@ pub fn run_fig6b(effort: Effort) -> serde_json::Value {
             row.push(f(m));
             values.push(m);
         }
-        print_row(&row);
+        report.row(&row);
         out.push(json!({ "users": k, "node_counts": node_counts, "errors": values }));
     }
-    println!("\npaper shape: slight improvement with density; overall impact limited.");
+    report.note("\npaper shape: slight improvement with density; overall impact limited.");
     json!({ "figure": "6b", "rows": out })
 }
 
@@ -124,7 +126,7 @@ mod tests {
 
     #[test]
     fn fig6a_quick_shape() {
-        let v = run_fig6a(Effort::Quick);
+        let v = run_fig6a(RunSpec::quick());
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 4);
         for r in rows {
@@ -144,7 +146,7 @@ mod tests {
 
     #[test]
     fn fig6b_quick_runs() {
-        let v = run_fig6b(Effort::Quick);
+        let v = run_fig6b(RunSpec::quick());
         assert_eq!(v["rows"].as_array().unwrap().len(), 4);
     }
 }

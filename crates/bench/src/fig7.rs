@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-use crate::common::{f, mean, print_row, print_table_header, FIELD_SIDE};
-use crate::Effort;
+use crate::common::{f, mean, Reporter, FIELD_SIDE};
+use crate::{Effort, RunSpec};
 
 const ROUNDS: usize = 10;
 
@@ -43,9 +43,10 @@ fn tracking_scenario(kind: &str, seed: u64) -> (fluxprint_core::Scenario, usize)
 }
 
 /// Runs the four Figure 7 cases.
-pub fn run_fig7(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(2, 6);
-    print_table_header(
+pub fn run_fig7(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(2, 6);
+    let report = Reporter::new();
+    report.table(
         "Figure 7: tracking cases over 10 rounds (v_max = 5, N = 1000, M = 10)",
         &[
             "case",
@@ -65,20 +66,20 @@ pub fn run_fig7(effort: Effort) -> serde_json::Value {
         let mut converged = Vec::new();
         let mut swaps = Vec::new();
         for trial in 0..trials {
-            let (scenario, _k) = tracking_scenario(kind, 8000 + trial as u64);
-            let mut rng = StdRng::seed_from_u64(9000 + trial as u64);
+            let (scenario, _k) = tracking_scenario(kind, spec.rng_seed(8000 + trial as u64));
+            let mut rng = StdRng::seed_from_u64(spec.rng_seed(9000 + trial as u64));
             let mut config = AttackConfig::default();
-            if matches!(effort, Effort::Quick) {
+            if matches!(spec.effort, Effort::Quick) {
                 config.smc.n_predictions = 400;
             }
-            let report = run_tracking(&scenario, &config, &mut rng).expect("tracking runs");
-            firsts.push(report.rounds[0].mean_error);
-            mids.push(report.rounds[report.rounds.len() / 2].mean_error);
-            finals.push(report.final_mean_error().expect("rounds exist"));
-            converged.push(report.converged_mean_error().expect("rounds exist"));
-            swaps.push(report.identity_swaps() as f64);
+            let tracked = run_tracking(&scenario, &config, &mut rng).expect("tracking runs");
+            firsts.push(tracked.rounds[0].mean_error);
+            mids.push(tracked.rounds[tracked.rounds.len() / 2].mean_error);
+            finals.push(tracked.final_mean_error().expect("rounds exist"));
+            converged.push(tracked.converged_mean_error().expect("rounds exist"));
+            swaps.push(tracked.identity_swaps() as f64);
         }
-        print_row(&[
+        report.row(&[
             kind.to_string(),
             f(mean(&firsts)),
             f(mean(&mids)),
@@ -95,9 +96,10 @@ pub fn run_fig7(effort: Effort) -> serde_json::Value {
             "identity_swaps": mean(&swaps),
         }));
     }
-    println!("\npaper shape: estimates converge toward the trajectories; 1-user final error < 2;");
-    println!("crossing keeps positions accurate (identity-free error) while the swap column");
-    println!("shows the label flips the paper describes at intersections.");
+    report
+        .note("\npaper shape: estimates converge toward the trajectories; 1-user final error < 2;");
+    report.note("crossing keeps positions accurate (identity-free error) while the swap column");
+    report.note("shows the label flips the paper describes at intersections.");
     json!({ "figure": "7", "rows": out })
 }
 
@@ -107,7 +109,7 @@ mod tests {
 
     #[test]
     fn fig7_quick_converges() {
-        let v = run_fig7(Effort::Quick);
+        let v = run_fig7(RunSpec::quick());
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 4);
         let single = &rows[0];

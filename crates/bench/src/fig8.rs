@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-use crate::common::{f, mean, print_row, print_table_header, FIELD_SIDE};
-use crate::Effort;
+use crate::common::{f, mean, Reporter, FIELD_SIDE};
+use crate::RunSpec;
 
 const ROUNDS: usize = 10;
 
@@ -47,11 +47,12 @@ fn tracking_error(
 }
 
 /// Figure 8(a): tracking error vs sampling percentage.
-pub fn run_fig8a(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(2, 8);
-    let n_pred = effort.trials(400, 1000);
+pub fn run_fig8a(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(2, 8);
+    let n_pred = spec.effort.trials(400, 1000);
     let percentages = [40.0, 20.0, 10.0, 5.0];
-    print_table_header(
+    let report = Reporter::new();
+    report.table(
         "Figure 8(a): final-round tracking error vs sampling percentage",
         &["users", "40 %", "20 %", "10 %", "5 %"],
     );
@@ -67,7 +68,7 @@ pub fn run_fig8a(effort: Effort) -> serde_json::Value {
                         ScenarioBuilder::new(),
                         SnifferSpec::Percentage(pct),
                         n_pred,
-                        (10_000 + k * 1000 + pi * 100 + t) as u64,
+                        spec.rng_seed((10_000 + k * 1000 + pi * 100 + t) as u64),
                     )
                 })
                 .collect();
@@ -75,19 +76,20 @@ pub fn run_fig8a(effort: Effort) -> serde_json::Value {
             row.push(f(m));
             values.push(m);
         }
-        print_row(&row);
+        report.row(&row);
         out.push(json!({ "users": k, "percentages": percentages, "errors": values }));
     }
-    println!("\npaper shape: roughly flat down to 10 %, degrading below 5 %.");
+    report.note("\npaper shape: roughly flat down to 10 %, degrading below 5 %.");
     json!({ "figure": "8a", "rows": out })
 }
 
 /// Figure 8(b): tracking error vs node count at 90 fixed reports.
-pub fn run_fig8b(effort: Effort) -> serde_json::Value {
-    let trials = effort.trials(2, 8);
-    let n_pred = effort.trials(400, 1000);
+pub fn run_fig8b(spec: RunSpec) -> serde_json::Value {
+    let trials = spec.effort.trials(2, 8);
+    let n_pred = spec.effort.trials(400, 1000);
     let node_counts = [900usize, 1200, 1500, 1800];
-    print_table_header(
+    let report = Reporter::new();
+    report.table(
         "Figure 8(b): final-round tracking error vs node count (90 reports)",
         &["users", "900", "1200", "1500", "1800"],
     );
@@ -104,7 +106,7 @@ pub fn run_fig8b(effort: Effort) -> serde_json::Value {
                         ScenarioBuilder::new().grid_nodes(side, side),
                         SnifferSpec::Count(90),
                         n_pred,
-                        (11_000 + k * 1000 + ni * 100 + t) as u64,
+                        spec.rng_seed((11_000 + k * 1000 + ni * 100 + t) as u64),
                     )
                 })
                 .collect();
@@ -112,10 +114,10 @@ pub fn run_fig8b(effort: Effort) -> serde_json::Value {
             row.push(f(m));
             values.push(m);
         }
-        print_row(&row);
+        report.row(&row);
         out.push(json!({ "users": k, "node_counts": node_counts, "errors": values }));
     }
-    println!("\npaper shape: density does not significantly change tracking accuracy.");
+    report.note("\npaper shape: density does not significantly change tracking accuracy.");
     json!({ "figure": "8b", "rows": out })
 }
 
@@ -125,7 +127,7 @@ mod tests {
 
     #[test]
     fn fig8a_quick_single_user_tracks_well() {
-        let v = run_fig8a(Effort::Quick);
+        let v = run_fig8a(RunSpec::quick());
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 4);
         let single: Vec<f64> = rows[0]["errors"]

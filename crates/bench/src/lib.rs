@@ -25,6 +25,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod trace;
 
 /// Effort level for a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,5 +43,51 @@ impl Effort {
             Effort::Quick => quick,
             Effort::Full => full,
         }
+    }
+
+    /// The effort level's name as printed in reports and run metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effort::Quick => "quick",
+            Effort::Full => "full",
+        }
+    }
+}
+
+/// Everything a generator needs to know about the requested run.
+///
+/// `seed` perturbs every generator's RNG stream (via
+/// [`rng_seed`](RunSpec::rng_seed)); seed 0 reproduces the streams the
+/// EXPERIMENTS.md numbers were recorded with, so the retuned stochastic
+/// test expectations stay valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Trial-count scaling.
+    pub effort: Effort,
+    /// User-chosen run seed (default 0), mixed into each generator's base
+    /// seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with the default seed.
+    pub fn new(effort: Effort) -> Self {
+        RunSpec { effort, seed: 0 }
+    }
+
+    /// Quick effort, default seed — what `--quick` smoke runs use.
+    pub fn quick() -> Self {
+        RunSpec::new(Effort::Quick)
+    }
+
+    /// Full effort, default seed.
+    pub fn full() -> Self {
+        RunSpec::new(Effort::Full)
+    }
+
+    /// Derives the RNG seed for a generator from its fixed base seed.
+    /// With the default run seed this is the base itself.
+    pub fn rng_seed(self, base: u64) -> u64 {
+        base.wrapping_add(self.seed)
     }
 }

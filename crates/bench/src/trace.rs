@@ -1,0 +1,81 @@
+//! NDJSON telemetry export for the repro harness.
+//!
+//! The `repro` binary resets the global telemetry registry before each
+//! figure target and calls [`export_run`] after it, producing one
+//! self-describing NDJSON block per target: a `run_meta` record (target,
+//! effort, seed, git version) followed by the full metric-catalog
+//! snapshot. The integration tests share these functions with the binary
+//! so the schema they pin is exactly the schema the binary writes.
+
+use std::process::Command;
+
+use fluxprint_telemetry::{json_string, snapshot};
+
+use crate::Effort;
+
+/// `git describe --always --dirty` of the enclosing working tree, when a
+/// usable `git` is on PATH and the tree is a repository.
+pub fn git_describe() -> Option<String> {
+    let out = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let trimmed = text.trim();
+    (!trimmed.is_empty()).then(|| trimmed.to_string())
+}
+
+/// The run-metadata NDJSON record that heads every exported block (and
+/// every `--json` results file): target name, effort, run seed, and the
+/// git describe string (`null` when unavailable).
+pub fn run_meta_line(target: &str, effort: Effort, seed: u64) -> String {
+    let git = git_describe().map_or_else(|| "null".to_string(), |d| json_string(&d));
+    format!(
+        "{{\"type\":\"run_meta\",\"target\":{},\"effort\":{},\"seed\":{seed},\"git\":{git}}}",
+        json_string(target),
+        json_string(effort.name()),
+    )
+}
+
+/// One target's telemetry block: the `run_meta` line followed by the
+/// current global snapshot as NDJSON (full catalog, zero-padded). Callers
+/// reset the registry before the target runs so the block covers exactly
+/// one experiment.
+pub fn export_run(target: &str, effort: Effort, seed: u64) -> String {
+    let mut out = run_meta_line(target, effort, seed);
+    out.push('\n');
+    out.push_str(&snapshot().to_ndjson());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_meta_line_is_one_valid_json_object() {
+        let line = run_meta_line("fig4", Effort::Quick, 7);
+        let value: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+        assert_eq!(value["type"], serde_json::json!("run_meta"));
+        assert_eq!(value["target"], serde_json::json!("fig4"));
+        assert_eq!(value["effort"], serde_json::json!("quick"));
+        assert_eq!(value["seed"], serde_json::json!(7));
+        // `git` is either a string or null depending on the environment.
+        assert!(value["git"].as_str().is_some() || value["git"].is_null());
+    }
+
+    #[test]
+    fn export_run_heads_the_snapshot_with_metadata() {
+        let block = export_run("fig5", Effort::Full, 0);
+        let mut lines = block.lines();
+        let head = lines.next().expect("meta line");
+        assert!(head.contains("\"type\":\"run_meta\""));
+        assert!(head.contains("\"effort\":\"full\""));
+        // The catalog padding guarantees records follow even if nothing
+        // was recorded.
+        assert!(lines.count() > 20);
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end check of the telemetry export: a quick fig4 run must
+//! produce a schema-valid NDJSON block containing solver span timings and
+//! the full metric catalog, exactly as the `repro --telemetry` path
+//! writes it.
+
+use fluxprint_bench::{fig4, trace, Effort, RunSpec};
+use fluxprint_telemetry::names;
+
+#[test]
+fn quick_fig4_emits_schema_valid_telemetry() {
+    fluxprint_telemetry::reset();
+    fig4::run_fig4(RunSpec::quick());
+    let block = trace::export_run("fig4", Effort::Quick, 0);
+
+    let mut counters = std::collections::BTreeMap::new();
+    let mut span_paths = Vec::new();
+    let mut histogram_names = Vec::new();
+    for (i, line) in block.lines().enumerate() {
+        let value: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i} unparseable: {e}"));
+        let kind = value["type"].as_str().expect("record has a type");
+        match kind {
+            "run_meta" => {
+                assert_eq!(i, 0, "run_meta must head the block");
+                assert_eq!(value["target"].as_str(), Some("fig4"));
+                assert_eq!(value["effort"].as_str(), Some("quick"));
+            }
+            "counter" => {
+                let name = value["name"].as_str().expect("counter name").to_string();
+                let count = value["value"].as_f64().expect("counter value") as u64;
+                counters.insert(name, count);
+            }
+            "histogram" => {
+                histogram_names.push(value["name"].as_str().expect("name").to_string());
+                assert!(
+                    value["buckets"].as_array().is_some(),
+                    "histogram carries buckets"
+                );
+            }
+            "span" => {
+                let path = value["path"].as_str().expect("span path").to_string();
+                if value["count"].as_f64().unwrap_or(0.0) > 0.0 {
+                    assert!(
+                        value["total_ns"].as_f64().expect("total_ns") >= 0.0,
+                        "span timing present for {path}"
+                    );
+                }
+                span_paths.push(path);
+            }
+            other => panic!("unknown record type {other:?} at line {i}"),
+        }
+    }
+
+    // The full catalog is present even for metrics fig4 never touches.
+    for name in names::COUNTERS {
+        assert!(counters.contains_key(*name), "counter {name} missing");
+    }
+    for name in names::HISTOGRAMS {
+        assert!(
+            histogram_names.iter().any(|n| n == name),
+            "histogram {name} missing"
+        );
+    }
+    for name in names::SPANS {
+        assert!(span_paths.iter().any(|p| p == name), "span {name} missing");
+    }
+
+    // fig4 actually drives the briefing solver, so its hot-path metrics
+    // must be non-zero: per-round NNLS fits, rounds, collection trees.
+    // (The sparse-pipeline objective counter is catalog-padded but zero:
+    // briefing works on the full map, never through FluxObjective.)
+    assert!(counters.contains_key(names::SOLVER_OBJECTIVE_EVALS));
+    assert!(counters[names::SOLVER_NNLS_SOLVES] > 0);
+    assert!(counters[names::SOLVER_BRIEFING_ROUNDS] > 0);
+    assert!(counters[names::NETSIM_COLLECTION_TREES] > 0);
+    // SMC per-round sample counters exist (zero-valued: fig4 is
+    // briefing-only) so every export shares one diffable schema.
+    assert!(counters.contains_key(names::SMC_SAMPLES_PREDICTED));
+    assert!(counters.contains_key(names::SMC_SAMPLES_KEPT));
+}

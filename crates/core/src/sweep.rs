@@ -20,6 +20,7 @@
 //! ```
 
 use fluxprint_stats::OnlineStats;
+use fluxprint_telemetry::{self as telemetry, names};
 
 /// One sweep point's accumulated outcome.
 #[derive(Debug, Clone)]
@@ -75,13 +76,22 @@ impl<P: Sync> Sweep<P> {
         self.points
             .iter()
             .map(|p| {
+                let _span = telemetry::span(names::SPAN_SWEEP_POINT);
                 let mut stats = OnlineStats::new();
                 if self.parallel && self.trials > 1 {
                     let values: Vec<f64> = std::thread::scope(|scope| {
                         let handles: Vec<_> = (0..self.trials)
                             .map(|t| {
                                 let trial = &trial;
-                                scope.spawn(move || trial(p, t))
+                                scope.spawn(move || {
+                                    let v = trial(p, t);
+                                    telemetry::counter(names::SWEEP_TRIALS, 1);
+                                    // Scope exit does not wait for TLS
+                                    // destructors, so merge the worker's
+                                    // telemetry before the closure returns.
+                                    telemetry::flush();
+                                    v
+                                })
                             })
                             .collect();
                         handles
@@ -100,6 +110,7 @@ impl<P: Sync> Sweep<P> {
                     }
                 } else {
                     for t in 0..self.trials {
+                        telemetry::counter(names::SWEEP_TRIALS, 1);
                         stats.push(trial(p, t));
                     }
                 }

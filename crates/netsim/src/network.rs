@@ -5,6 +5,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use fluxprint_geometry::{deployment, Boundary, Point2, Rect, SpatialGrid};
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{CollectionTree, NetsimError, NodeId};
 
@@ -192,6 +193,7 @@ impl Network {
         users: &[(Point2, f64)],
         rng: &mut R,
     ) -> Result<Vec<f64>, NetsimError> {
+        let _span = telemetry::span(names::SPAN_SIMULATE_FLUX);
         let mut flux = vec![0.0; self.len()];
         for (index, &(pos, stretch)) in users.iter().enumerate() {
             if !pos.is_finite() || !stretch.is_finite() || stretch < 0.0 {
@@ -203,6 +205,7 @@ impl Network {
             }
             let root = self.nearest_node(pos);
             let tree = CollectionTree::build(self, root, rng)?;
+            telemetry::counter(names::NETSIM_COLLECTION_TREES, 1);
             tree.accumulate_flux(stretch, &mut flux);
         }
         Ok(flux)

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use fluxprint_geometry::Point2;
 use fluxprint_stats::sample_indices_without_replacement;
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{NetsimError, Network, NodeId};
 
@@ -198,6 +199,7 @@ impl Sniffer {
         noise: NoiseModel,
         rng: &mut R,
     ) -> Vec<f64> {
+        telemetry::counter(names::NETSIM_SNIFFER_OBSERVATIONS, self.ids.len() as u64);
         self.ids
             .iter()
             .map(|id| {
@@ -234,6 +236,7 @@ impl Sniffer {
             network.len(),
             "flux length must match network size"
         );
+        telemetry::counter(names::NETSIM_SNIFFER_OBSERVATIONS, self.ids.len() as u64);
         self.ids
             .iter()
             .map(|&id| {

@@ -8,6 +8,7 @@ use fluxprint_fluxmodel::FluxModel;
 use fluxprint_geometry::{deployment, Boundary, Point2};
 use fluxprint_solver::FluxObjective;
 use fluxprint_stats::WeightedAlias;
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{associate, weighted_mean, FilterStrategy, SmcConfig, SmcError, WeightedSample};
 
@@ -162,6 +163,8 @@ impl Tracker {
                 current: t,
             });
         }
+        let _span = telemetry::span(names::SPAN_SMC_STEP);
+        telemetry::counter(names::SMC_STEPS, 1);
 
         // Prediction (Formula 4.2): per user, N candidates drawn uniformly
         // from the discs of radius v_max·Δt around resampled parents.
@@ -193,7 +196,10 @@ impl Tracker {
                 // fall back to uniform; that can only fail for an empty
                 // sample set, which `new` rules out via n_predictions >= 1.
                 let alias = WeightedAlias::new(&w)
-                    .or_else(|_| WeightedAlias::new(&vec![1.0; w.len()]))
+                    .or_else(|_| {
+                        telemetry::counter(names::SMC_WEIGHT_DEGENERATE, 1);
+                        WeightedAlias::new(&vec![1.0; w.len()])
+                    })
                     .map_err(|_| SmcError::BadConfig {
                         field: "n_predictions",
                     })?;
@@ -250,6 +256,15 @@ impl Tracker {
             candidates.push(cands);
             parent_weights.push(weights);
         }
+        let predicted: usize = candidates.iter().map(Vec::len).sum();
+        let explored: usize = candidates
+            .iter()
+            .zip(&explore_from)
+            .map(|(c, &from)| c.len().saturating_sub(from))
+            .sum();
+        telemetry::counter(names::SMC_SAMPLES_PREDICTED, predicted as u64);
+        telemetry::counter(names::SMC_SAMPLES_EXPLORE, explored as u64);
+        telemetry::record(names::HIST_SMC_ROUND_SAMPLES, predicted as f64);
 
         // Detection + association: forward selection of active sources
         // with motion-consistency preference (see the `association`
@@ -297,12 +312,15 @@ impl Tracker {
                     },
                 })
                 .collect();
+            telemetry::counter(names::SMC_SAMPLES_KEPT, kept.len() as u64);
             let wsum: f64 = kept.iter().map(|s| s.weight).sum();
             if wsum > 0.0 {
+                telemetry::counter(names::SMC_WEIGHT_RENORMALIZATIONS, 1);
                 for s in kept.iter_mut() {
                     s.weight /= wsum;
                 }
             } else {
+                telemetry::counter(names::SMC_WEIGHT_DEGENERATE, 1);
                 let uniform = 1.0 / kept.len() as f64;
                 for s in kept.iter_mut() {
                     s.weight = uniform;
@@ -318,6 +336,12 @@ impl Tracker {
             }
         }
         self.last_step_time = t;
+
+        let n_active = active.iter().filter(|&&a| a).count();
+        telemetry::counter(names::SMC_USERS_ACTIVE, n_active as u64);
+        telemetry::counter(names::SMC_USERS_FROZEN, (k - n_active) as u64);
+        telemetry::record(names::HIST_SMC_ROUND_ACTIVE, n_active as f64);
+        telemetry::record(names::HIST_SMC_ROUND_RESIDUAL, residual);
 
         let estimates = self
             .users

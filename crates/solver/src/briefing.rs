@@ -11,6 +11,7 @@
 
 use fluxprint_fluxmodel::FluxModel;
 use fluxprint_geometry::{Boundary, Point2};
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::SolverError;
 
@@ -95,6 +96,7 @@ pub fn brief_flux_map(
         });
     }
 
+    let _span = telemetry::span(names::SPAN_BRIEFING);
     let mut remaining = flux.to_vec();
     let (first_peak_idx, first_peak) = argmax(&remaining);
     if first_peak <= 0.0 {
@@ -122,6 +124,7 @@ pub fn brief_flux_map(
             }
         }
         let q = if den > 0.0 { (num / den).max(0.0) } else { 0.0 };
+        telemetry::counter(names::SOLVER_NNLS_SOLVES, 1);
         if q <= 0.0 {
             break;
         }
@@ -132,6 +135,7 @@ pub fn brief_flux_map(
                 (*rem - q * a).max(0.0)
             };
         }
+        telemetry::counter(names::SOLVER_BRIEFING_ROUNDS, 1);
         rounds.push(BriefingRound {
             sink: BriefedSink {
                 position: sink_pos,

@@ -8,6 +8,7 @@
 //! stochastic search is regression-tested against.
 
 use fluxprint_geometry::Point2;
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{FluxObjective, SinkFit, SolverError};
 
@@ -72,6 +73,7 @@ pub fn grid_search(
             value: config.coarse_cells as f64,
         });
     }
+    let _span = telemetry::span(names::SPAN_GRID_SEARCH);
     let (lo, hi) = objective.boundary().bounding_box();
     let cell_w = (hi.x - lo.x) / config.coarse_cells as f64;
     let cell_h = (hi.y - lo.y) / config.coarse_cells as f64;
@@ -91,6 +93,7 @@ pub fn grid_search(
                 if let Some(slot) = hypothesis.last_mut() {
                     *slot = p;
                 }
+                telemetry::counter(names::SOLVER_GRID_CELLS, 1);
                 let fit = objective.evaluate(&hypothesis)?;
                 if best.is_none_or(|(_, r)| fit.residual < r) {
                     best = Some((p, fit.residual));
@@ -126,6 +129,7 @@ pub fn grid_search(
                     ));
                     let saved = placed[j];
                     placed[j] = candidate;
+                    telemetry::counter(names::SOLVER_GRID_CELLS, 1);
                     let fit = objective.evaluate(&placed)?;
                     if fit.residual < best {
                         best = fit.residual;

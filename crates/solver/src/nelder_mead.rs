@@ -5,6 +5,8 @@
 //! (§4.A), so gradient-based refinement is unreliable exactly where the
 //! paper says it is. Nelder–Mead only compares objective values.
 
+use fluxprint_telemetry::{self as telemetry, names};
+
 use crate::SolverError;
 
 /// Configuration for [`nelder_mead`].
@@ -82,6 +84,8 @@ where
         });
     }
 
+    let _span = telemetry::span(names::SPAN_NELDER_MEAD);
+
     // Standard coefficients.
     const ALPHA: f64 = 1.0; // reflection
     const GAMMA: f64 = 2.0; // expansion
@@ -110,6 +114,7 @@ where
         simplex.push((x, fx));
     }
 
+    let mut converged = false;
     while evals < config.max_evals {
         simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let f_spread = simplex[n].1 - simplex[0].1;
@@ -124,6 +129,7 @@ where
             })
             .fold(0.0f64, f64::max);
         if f_spread.abs() < config.f_tol && x_spread < config.x_tol {
+            converged = true;
             break;
         }
         // Centroid of all but the worst vertex.
@@ -180,6 +186,14 @@ where
             }
         }
     }
+    telemetry::counter(
+        if converged {
+            names::SOLVER_NM_CONVERGED
+        } else {
+            names::SOLVER_NM_BUDGET_EXHAUSTED
+        },
+        1,
+    );
     simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     let (x, fx) = simplex.swap_remove(0);
     Ok((x, fx))

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use fluxprint_fluxmodel::FluxModel;
 use fluxprint_geometry::{Boundary, Point2};
 use fluxprint_linalg::{nnls, Matrix};
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::SolverError;
 
@@ -144,6 +145,7 @@ impl FluxObjective {
         if sinks.is_empty() {
             return Err(SolverError::ZeroSinks);
         }
+        telemetry::counter(names::SOLVER_OBJECTIVE_EVALS, 1);
         let a = self
             .model
             .design_matrix(&self.positions, sinks, self.boundary.as_ref());
@@ -167,6 +169,7 @@ impl FluxObjective {
         if columns.is_empty() {
             return Err(SolverError::ZeroSinks);
         }
+        telemetry::counter(names::SOLVER_OBJECTIVE_EVALS, 1);
         let n = self.positions.len();
         for col in columns {
             if col.len() != n {
@@ -187,6 +190,7 @@ impl FluxObjective {
     }
 
     fn fit_design(&self, a: Matrix, positions: Vec<Point2>) -> Result<SinkFit, SolverError> {
+        telemetry::counter(names::SOLVER_NNLS_SOLVES, 1);
         let sol = nnls(&a, &self.measurements)?;
         Ok(SinkFit {
             positions,

@@ -5,6 +5,7 @@
 use rand::Rng;
 
 use fluxprint_geometry::{deployment, Point2};
+use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{nelder_mead, FluxObjective, NelderMeadConfig, SinkFit, SolverError};
 
@@ -71,11 +72,13 @@ pub fn random_search<R: Rng + ?Sized>(
         });
     }
 
+    let _span = telemetry::span(names::SPAN_RANDOM_SEARCH);
     let boundary = objective.boundary();
     // Keep a bounded best-list; `samples` can be large, so avoid storing
     // every fit.
     let mut best: Vec<SinkFit> = Vec::with_capacity(config.top_m + 1);
     let mut positions = vec![Point2::ORIGIN; k];
+    telemetry::counter(names::SOLVER_RANDOM_SEARCH_SAMPLES, config.samples as u64);
     for _ in 0..config.samples {
         for p in positions.iter_mut() {
             *p = deployment::random_point(boundary, rng);
@@ -154,6 +157,7 @@ fn sequential_greedy<R: Rng + ?Sized>(
 ) -> Result<SinkFit, SolverError> {
     let boundary = objective.boundary();
     let mut placed: Vec<Point2> = Vec::with_capacity(k);
+    telemetry::counter(names::SOLVER_RANDOM_SEARCH_SAMPLES, (k * per_stage) as u64);
     for _ in 0..k {
         let mut stage_best: Option<(Point2, f64)> = None;
         let mut hypothesis = placed.clone();

@@ -1,0 +1,122 @@
+//! Time sources for span timing.
+//!
+//! The fluxlint `determinism` rule bans wall-clock reads in simulation
+//! crates so that experiments are reproducible from a seed. Telemetry
+//! still needs to time things, so the clock is *injectable*: real runs
+//! use [`MonotonicClock`] (the workspace's single waivered `Instant::now`
+//! site), tests use [`ManualClock`] and advance time by hand, keeping
+//! span durations — and therefore exported NDJSON — bit-for-bit
+//! deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be monotonic (non-decreasing) per clock instance;
+/// the epoch is arbitrary, only differences are meaningful.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's (arbitrary) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real-time clock for production runs: monotonic nanoseconds since
+/// the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Captures the clock origin. This is the one sanctioned wall-clock
+    /// read in the workspace's library crates; everything else derives
+    /// from it via `elapsed`.
+    pub fn new() -> Self {
+        MonotonicClock {
+            // fluxlint: allow(determinism) — the telemetry clock is the workspace's single sanctioned monotonic-time origin; simulations never read it
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // `as_nanos` is u128; saturate far beyond any realistic process
+        // lifetime (~584 years) instead of truncating.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+///
+/// Time only moves when [`advance`](ManualClock::advance) or
+/// [`set`](ManualClock::set) is called, so span durations recorded under
+/// a `ManualClock` are exactly reproducible.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Creates a manual clock at the given nanosecond timestamp.
+    pub fn at(ns: u64) -> Self {
+        let clock = ManualClock::new();
+        clock.set(ns);
+        clock
+    }
+
+    /// Advances the clock by `delta_ns` nanoseconds.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute nanosecond timestamp. Setting the
+    /// clock backwards violates the monotonicity contract; tests should
+    /// only move it forward.
+    pub fn set(&self, ns: u64) {
+        self.ns.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_ns(), 250);
+        clock.advance(50);
+        assert_eq!(clock.now_ns(), 300);
+        clock.set(1_000);
+        assert_eq!(clock.now_ns(), 1_000);
+        assert_eq!(ManualClock::at(77).now_ns(), 77);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fixed-bucket histograms.
+//!
+//! Every histogram in the registry shares one bucket layout — a 1-2-5
+//! decade ladder from 1 to 10⁹ plus an overflow bucket — so merged
+//! snapshots from different threads and different runs are always
+//! bucket-compatible (the property the before/after perf diffs rely on).
+//! Alongside the buckets the histogram tracks exact count, sum, min and
+//! max, so coarse buckets never hide the envelope.
+
+/// Inclusive upper bounds of the shared bucket layout (`value <= bound`
+/// lands in the first bucket whose bound admits it). Values above the
+/// last bound land in the overflow bucket.
+pub const BUCKET_BOUNDS: [f64; 28] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+];
+
+/// A fixed-bucket histogram over non-negative `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// `buckets[i]` counts values `v` with `v <= BUCKET_BOUNDS[i]` and
+    /// `v > BUCKET_BOUNDS[i-1]`; the final slot is the overflow bucket.
+    buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value. Negative and non-finite values are clamped to
+    /// zero (telemetry must never panic or poison the run it observes).
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| v <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram into this one (bucket layouts are shared
+    /// by construction, so this is element-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Per-bucket counts; index `i` pairs with `BUCKET_BOUNDS[i]`, the
+    /// last entry is the overflow bucket.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new();
+        // Exactly on a bound → that bucket; just above → the next.
+        h.record(1.0);
+        h.record(1.000001);
+        h.record(2.0);
+        h.record(5.0);
+        h.record(5.5);
+        assert_eq!(h.buckets()[0], 1, "1.0 lands in the <=1 bucket");
+        assert_eq!(h.buckets()[1], 2, "1+ε and 2.0 land in the <=2 bucket");
+        assert_eq!(h.buckets()[2], 1, "5.0 lands in the <=5 bucket");
+        assert_eq!(h.buckets()[3], 1, "5.5 lands in the <=10 bucket");
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_the_tail() {
+        let mut h = Histogram::new();
+        h.record(2e9);
+        h.record(f64::MAX);
+        assert_eq!(h.buckets()[BUCKET_BOUNDS.len()], 2);
+        assert_eq!(h.max(), Some(f64::MAX));
+    }
+
+    #[test]
+    fn degenerate_values_clamp_to_zero() {
+        let mut h = Histogram::new();
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[0], 3, "all clamp into the first bucket");
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(0.0));
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_tracks_envelope() {
+        let mut a = Histogram::new();
+        a.record(3.0);
+        a.record(40.0);
+        let mut b = Histogram::new();
+        b.record(0.5);
+        b.record(700.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Some(0.5));
+        assert_eq!(a.max(), Some(700.0));
+        assert!((a.sum() - 743.5).abs() < 1e-12);
+        assert_eq!(a.mean(), Some(743.5 / 4.0));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        for w in BUCKET_BOUNDS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! fluxtrace: std-only structured telemetry for the fluxprint workspace.
+//!
+//! Spans, counters and histograms for the solver / SMC hot path, with
+//! NDJSON export for the repro harness. Design constraints, in order:
+//!
+//! 1. **Never perturb the experiment.** The hot-path calls ([`counter`],
+//!    [`record`], [`span`]) touch only thread-local state and never
+//!    panic; simulation results are identical with telemetry on or off.
+//! 2. **Deterministic under test.** All timing flows through the
+//!    injectable [`Clock`] trait; tests install a [`ManualClock`] and get
+//!    bit-for-bit reproducible span durations. The one real wall-clock
+//!    read in the workspace's library crates lives in
+//!    [`MonotonicClock::new`], behind a fluxlint waiver.
+//! 3. **One schema for every run.** [`snapshot`] pads its output with
+//!    zero-valued entries for the whole metric catalog ([`names`]), so
+//!    NDJSON exports from different figure targets diff record-for-record.
+//!
+//! ```
+//! use fluxprint_telemetry as telemetry;
+//!
+//! telemetry::reset();
+//! {
+//!     let _span = telemetry::span(telemetry::names::SPAN_BRIEFING);
+//!     telemetry::counter(telemetry::names::SOLVER_BRIEFING_ROUNDS, 1);
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter(telemetry::names::SOLVER_BRIEFING_ROUNDS), 1);
+//! assert!(snap.to_ndjson().lines().count() > 0);
+//! ```
+
+pub mod clock;
+pub mod histogram;
+pub mod names;
+pub mod recorder;
+mod registry;
+pub mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use histogram::{Histogram, BUCKET_BOUNDS};
+pub use recorder::{OpenSpan, Recorder, SpanStat};
+pub use registry::{counter, flush, record, reset, set_clock, snapshot, span, SpanGuard};
+pub use snapshot::{json_number, json_string, Snapshot};

@@ -1,0 +1,137 @@
+//! The workspace metric catalog.
+//!
+//! Every instrumented site uses one of these names, and every
+//! [`Snapshot`](crate::Snapshot) exports *all* of them — zero-valued when
+//! untouched — so NDJSON files from different targets (a briefing-only
+//! figure, a tracking figure, a full sweep) always share one schema and
+//! can be diffed record-for-record across runs.
+
+/// NLS objective evaluations (Equation 4.1 inner fits), the unit of work
+/// of every outer position search.
+pub const SOLVER_OBJECTIVE_EVALS: &str = "solver.objective.evals";
+/// Inner non-negative least-squares solves performed by objective fits.
+pub const SOLVER_NNLS_SOLVES: &str = "solver.nnls.solves";
+/// Random K-tuples drawn by the multi-start random search.
+pub const SOLVER_RANDOM_SEARCH_SAMPLES: &str = "solver.random_search.samples";
+/// Nelder–Mead refinements that terminated by the tolerance test.
+pub const SOLVER_NM_CONVERGED: &str = "solver.nelder_mead.converged";
+/// Nelder–Mead refinements that exhausted their evaluation budget.
+pub const SOLVER_NM_BUDGET_EXHAUSTED: &str = "solver.nelder_mead.budget_exhausted";
+/// Lattice cells evaluated by the deterministic grid search.
+pub const SOLVER_GRID_CELLS: &str = "solver.grid_search.cells";
+/// Sinks extracted by recursive full-map briefing rounds (§3.C).
+pub const SOLVER_BRIEFING_ROUNDS: &str = "solver.briefing.rounds";
+
+/// SMC tracker observation rounds processed (Algorithm 4.1 steps).
+pub const SMC_STEPS: &str = "smc.steps";
+/// Prediction candidates drawn across all users and rounds.
+pub const SMC_SAMPLES_PREDICTED: &str = "smc.samples.predicted";
+/// Uniform exploration (recovery) candidates among the predictions.
+pub const SMC_SAMPLES_EXPLORE: &str = "smc.samples.explore";
+/// Samples kept after filtering (top-M per active user per round).
+pub const SMC_SAMPLES_KEPT: &str = "smc.samples.kept";
+/// User-rounds detected active (fitted stretch above the threshold).
+pub const SMC_USERS_ACTIVE: &str = "smc.users.active_rounds";
+/// User-rounds frozen by the asynchronous-update Null path (§4.E).
+pub const SMC_USERS_FROZEN: &str = "smc.users.frozen_rounds";
+/// Weight renormalizations after importance updates.
+pub const SMC_WEIGHT_RENORMALIZATIONS: &str = "smc.weight.renormalizations";
+/// Degenerate weight rounds that fell back to uniform resampling.
+pub const SMC_WEIGHT_DEGENERATE: &str = "smc.weight.degenerate_fallbacks";
+
+/// Randomized collection trees built (one per active user per window).
+pub const NETSIM_COLLECTION_TREES: &str = "netsim.collection.trees";
+/// Per-sniffer flux readings taken across all observation windows.
+pub const NETSIM_SNIFFER_OBSERVATIONS: &str = "netsim.sniffer.observations";
+
+/// Trials executed by parameter sweeps.
+pub const SWEEP_TRIALS: &str = "core.sweep.trials";
+
+/// Per-round prediction candidate counts (distribution across rounds).
+pub const HIST_SMC_ROUND_SAMPLES: &str = "smc.round.samples_predicted";
+/// Per-round count of users detected active.
+pub const HIST_SMC_ROUND_ACTIVE: &str = "smc.round.active_users";
+/// Winning combination residual `‖F̂ − F′‖` per round.
+pub const HIST_SMC_ROUND_RESIDUAL: &str = "smc.round.residual";
+
+/// Span: one multi-start random position search.
+pub const SPAN_RANDOM_SEARCH: &str = "solver.random_search";
+/// Span: one Nelder–Mead refinement.
+pub const SPAN_NELDER_MEAD: &str = "solver.nelder_mead";
+/// Span: one deterministic grid search.
+pub const SPAN_GRID_SEARCH: &str = "solver.grid_search";
+/// Span: one recursive full-map briefing.
+pub const SPAN_BRIEFING: &str = "solver.briefing";
+/// Span: one SMC tracker observation round.
+pub const SPAN_SMC_STEP: &str = "smc.step";
+/// Span: one simulated observation window (all users' trees).
+pub const SPAN_SIMULATE_FLUX: &str = "netsim.simulate_flux";
+/// Span: one sweep point (all trials at one parameter value).
+pub const SPAN_SWEEP_POINT: &str = "core.sweep_point";
+
+/// Every counter in the catalog (exported zero-valued when untouched).
+pub const COUNTERS: &[&str] = &[
+    SOLVER_OBJECTIVE_EVALS,
+    SOLVER_NNLS_SOLVES,
+    SOLVER_RANDOM_SEARCH_SAMPLES,
+    SOLVER_NM_CONVERGED,
+    SOLVER_NM_BUDGET_EXHAUSTED,
+    SOLVER_GRID_CELLS,
+    SOLVER_BRIEFING_ROUNDS,
+    SMC_STEPS,
+    SMC_SAMPLES_PREDICTED,
+    SMC_SAMPLES_EXPLORE,
+    SMC_SAMPLES_KEPT,
+    SMC_USERS_ACTIVE,
+    SMC_USERS_FROZEN,
+    SMC_WEIGHT_RENORMALIZATIONS,
+    SMC_WEIGHT_DEGENERATE,
+    NETSIM_COLLECTION_TREES,
+    NETSIM_SNIFFER_OBSERVATIONS,
+    SWEEP_TRIALS,
+];
+
+/// Every histogram in the catalog.
+pub const HISTOGRAMS: &[&str] = &[
+    HIST_SMC_ROUND_SAMPLES,
+    HIST_SMC_ROUND_ACTIVE,
+    HIST_SMC_ROUND_RESIDUAL,
+];
+
+/// Every span root in the catalog. Nested paths (`a/b`) appear in
+/// snapshots as recorded; the catalog pins only the roots.
+pub const SPANS: &[&str] = &[
+    SPAN_RANDOM_SEARCH,
+    SPAN_NELDER_MEAD,
+    SPAN_GRID_SEARCH,
+    SPAN_BRIEFING,
+    SPAN_SMC_STEP,
+    SPAN_SIMULATE_FLUX,
+    SPAN_SWEEP_POINT,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_well_formed() {
+        let mut all: Vec<&str> = COUNTERS
+            .iter()
+            .chain(HISTOGRAMS)
+            .chain(SPANS)
+            .copied()
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "duplicate catalog name");
+        for name in all {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c)),
+                "bad catalog name {name:?}"
+            );
+        }
+    }
+}

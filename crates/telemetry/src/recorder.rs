@@ -1,0 +1,275 @@
+//! The per-thread recorder: counters, histograms and a span stack.
+//!
+//! A [`Recorder`] is plain mutable state with *explicit* time arguments —
+//! no global clock, no locking — which makes it directly testable under a
+//! [`ManualClock`](crate::ManualClock). The process-wide convenience API
+//! in [`crate::registry`] keeps one `Recorder` per thread and merges it
+//! into the global registry when the thread exits (merge-on-drop), so hot
+//! paths only ever touch thread-local memory.
+
+use std::collections::HashMap;
+
+use crate::histogram::Histogram;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Shortest completion.
+    pub min_ns: u64,
+    /// Longest completion.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Folds one completed span duration into the aggregate.
+    pub fn observe(&mut self, duration_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = duration_ns;
+            self.max_ns = duration_ns;
+        } else {
+            self.min_ns = self.min_ns.min(duration_ns);
+            self.max_ns = self.max_ns.max(duration_ns);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(duration_ns);
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &SpanStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean completion time in nanoseconds (`None` when no completions).
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_ns as f64 / self.count as f64)
+    }
+}
+
+/// An open span returned by [`Recorder::begin_span`]; hand it back to
+/// [`Recorder::end_span`] with the end timestamp.
+#[derive(Debug)]
+pub struct OpenSpan {
+    path: String,
+    start_ns: u64,
+}
+
+impl OpenSpan {
+    /// The hierarchical path of this span (outer spans joined with `/`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+/// Single-thread telemetry state: counters, histograms, span aggregates
+/// and the live span stack.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    counters: HashMap<&'static str, u64>,
+    histograms: HashMap<&'static str, Histogram>,
+    spans: HashMap<String, SpanStat>,
+    stack: Vec<&'static str>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one value into the named histogram.
+    pub fn record(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Opens a span at `now_ns`. The span's path is the names of all
+    /// currently open spans joined with `/` — close it with
+    /// [`end_span`](Recorder::end_span) in LIFO order.
+    pub fn begin_span(&mut self, name: &'static str, now_ns: u64) -> OpenSpan {
+        self.stack.push(name);
+        OpenSpan {
+            path: self.stack.join("/"),
+            start_ns: now_ns,
+        }
+    }
+
+    /// Closes a span at `now_ns` and folds its duration into the
+    /// aggregate for its path.
+    pub fn end_span(&mut self, span: OpenSpan, now_ns: u64) {
+        self.stack.pop();
+        self.spans
+            .entry(span.path)
+            .or_default()
+            .observe(now_ns.saturating_sub(span.start_ns));
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, when anything was recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The aggregate for a span path, when any span completed on it.
+    pub fn span_stat(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// Depth of the live span stack (0 outside any span).
+    pub fn span_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Drains this recorder into string-keyed maps (the registry's merge
+    /// step). The recorder is left empty but keeps its span stack.
+    pub fn drain_into(
+        &mut self,
+        counters: &mut std::collections::BTreeMap<String, u64>,
+        histograms: &mut std::collections::BTreeMap<String, Histogram>,
+        spans: &mut std::collections::BTreeMap<String, SpanStat>,
+    ) {
+        for (name, value) in self.counters.drain() {
+            *counters.entry(name.to_string()).or_insert(0) += value;
+        }
+        for (name, histogram) in self.histograms.drain() {
+            histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(&histogram);
+        }
+        for (path, stat) in self.spans.drain() {
+            spans.entry(path).or_default().merge(&stat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, ManualClock};
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Recorder::new();
+        r.add("a", 2);
+        r.add("a", 3);
+        r.add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn span_nesting_builds_hierarchical_paths() {
+        let clock = ManualClock::new();
+        let mut r = Recorder::new();
+
+        let outer = r.begin_span("solver", clock.now_ns());
+        assert_eq!(outer.path(), "solver");
+        clock.advance(100);
+
+        let inner = r.begin_span("nnls", clock.now_ns());
+        assert_eq!(inner.path(), "solver/nnls");
+        assert_eq!(r.span_depth(), 2);
+        clock.advance(40);
+        r.end_span(inner, clock.now_ns());
+
+        clock.advance(10);
+        r.end_span(outer, clock.now_ns());
+        assert_eq!(r.span_depth(), 0);
+
+        let inner = r.span_stat("solver/nnls").unwrap();
+        assert_eq!((inner.count, inner.total_ns), (1, 40));
+        let outer = r.span_stat("solver").unwrap();
+        assert_eq!((outer.count, outer.total_ns), (1, 150));
+        assert_eq!(outer.mean_ns(), Some(150.0));
+    }
+
+    #[test]
+    fn span_timing_is_deterministic_under_manual_clock() {
+        let run = || {
+            let clock = ManualClock::new();
+            let mut r = Recorder::new();
+            for step in 0..5u64 {
+                let span = r.begin_span("step", clock.now_ns());
+                clock.advance(10 + step);
+                r.end_span(span, clock.now_ns());
+            }
+            let s = *r.span_stat("step").unwrap();
+            (s.count, s.total_ns, s.min_ns, s.max_ns)
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), (5, 60, 10, 14));
+    }
+
+    #[test]
+    fn repeated_spans_track_min_and_max() {
+        let mut stat = SpanStat::default();
+        stat.observe(30);
+        stat.observe(10);
+        stat.observe(20);
+        assert_eq!(stat.min_ns, 10);
+        assert_eq!(stat.max_ns, 30);
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.total_ns, 60);
+
+        let mut other = SpanStat::default();
+        other.observe(5);
+        stat.merge(&other);
+        assert_eq!(stat.min_ns, 5);
+        assert_eq!(stat.count, 4);
+        let mut empty = SpanStat::default();
+        stat.merge(&empty);
+        assert_eq!(stat.count, 4);
+        empty.merge(&stat);
+        assert_eq!(empty, stat);
+    }
+
+    #[test]
+    fn drain_into_empties_and_accumulates() {
+        let mut r = Recorder::new();
+        r.add("evals", 7);
+        r.record("kept", 3.0);
+        let span = r.begin_span("fit", 0);
+        r.end_span(span, 25);
+
+        let mut counters = std::collections::BTreeMap::new();
+        let mut histograms = std::collections::BTreeMap::new();
+        let mut spans = std::collections::BTreeMap::new();
+        r.drain_into(&mut counters, &mut histograms, &mut spans);
+        assert!(r.is_empty());
+
+        let mut r2 = Recorder::new();
+        r2.add("evals", 3);
+        r2.drain_into(&mut counters, &mut histograms, &mut spans);
+        assert_eq!(counters["evals"], 10);
+        assert_eq!(histograms["kept"].count(), 1);
+        assert_eq!(spans["fit"].total_ns, 25);
+    }
+}

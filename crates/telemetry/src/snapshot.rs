@@ -1,0 +1,203 @@
+//! Point-in-time snapshots and their NDJSON export.
+//!
+//! A [`Snapshot`] is the merged, catalog-padded view returned by
+//! [`crate::snapshot`]. [`Snapshot::to_ndjson`] serialises it as one JSON
+//! object per line — the same framing the repro harness uses for
+//! `--json` result records — so telemetry files can be concatenated,
+//! `grep`ped and diffed line-by-line. Serialisation is hand-rolled
+//! (telemetry stays dependency-free); the emitted subset of JSON is
+//! numbers, strings, arrays and `null`.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+use crate::recorder::SpanStat;
+
+/// A merged, catalog-padded view of all recorded telemetry.
+///
+/// Maps are ordered (`BTreeMap`), so iteration — and therefore NDJSON
+/// line order — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by catalog name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by catalog name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Span aggregates by hierarchical path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// Value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serialises the snapshot as NDJSON: one `{"type":"counter",...}`,
+    /// `{"type":"histogram",...}` or `{"type":"span",...}` object per
+    /// line, counters first, then histograms, then spans, each section
+    /// in name order. Zero-valued entries are included — the export
+    /// always carries the full catalog schema.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}\n",
+                json_string(name)
+            ));
+        }
+        for (name, histogram) in &self.histograms {
+            let buckets: Vec<String> = histogram
+                .buckets()
+                .iter()
+                .map(|count| count.to_string())
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[{}]}}\n",
+                json_string(name),
+                histogram.count(),
+                json_number(histogram.sum()),
+                json_optional(histogram.min()),
+                json_optional(histogram.max()),
+                json_optional(histogram.mean()),
+                buckets.join(",")
+            ));
+        }
+        for (path, stat) in &self.spans {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"path\":{},\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}\n",
+                json_string(path),
+                stat.count,
+                stat.total_ns,
+                stat.min_ns,
+                stat.max_ns,
+                json_optional(stat.mean_ns())
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (non-finite values, which the
+/// recorder never stores but a caller might pass, become `0`).
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Formats an optional number as JSON (`null` when absent).
+fn json_optional(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_number)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("solver.objective.evals".into(), 42);
+        snap.counters.insert("smc.steps".into(), 0);
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(40.0);
+        snap.histograms
+            .insert("smc.round.samples_predicted".into(), h);
+        snap.histograms
+            .insert("smc.round.active_users".into(), Histogram::new());
+        let mut stat = SpanStat::default();
+        stat.observe(100);
+        stat.observe(300);
+        snap.spans.insert("solver.briefing".into(), stat);
+        snap
+    }
+
+    #[test]
+    fn ndjson_has_one_object_per_line_in_deterministic_order() {
+        let text = sample().to_ndjson();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        // Counters (name order) → histograms → spans.
+        assert!(lines[0].contains("\"name\":\"smc.steps\""));
+        assert!(lines[1].contains("\"name\":\"solver.objective.evals\""));
+        assert!(lines[1].contains("\"value\":42"));
+        assert!(lines[2].contains("\"type\":\"histogram\""));
+        assert!(lines[4].contains("\"type\":\"span\""));
+        assert_eq!(text, sample().to_ndjson());
+    }
+
+    #[test]
+    fn histogram_records_carry_envelope_and_buckets() {
+        let text = sample().to_ndjson();
+        let line = text
+            .lines()
+            .find(|l| l.contains("samples_predicted"))
+            .unwrap();
+        assert!(line.contains("\"count\":2"));
+        assert!(line.contains("\"sum\":43"));
+        assert!(line.contains("\"min\":3"));
+        assert!(line.contains("\"max\":40"));
+        assert!(line.contains("\"buckets\":[0,0,1,"));
+    }
+
+    #[test]
+    fn empty_aggregates_serialise_null_not_nan() {
+        let text = sample().to_ndjson();
+        let line = text.lines().find(|l| l.contains("active_users")).unwrap();
+        assert!(line.contains("\"min\":null"));
+        assert!(line.contains("\"mean\":null"));
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+    }
+
+    #[test]
+    fn span_records_report_aggregate_timing() {
+        let text = sample().to_ndjson();
+        let line = text.lines().find(|l| l.contains("briefing")).unwrap();
+        assert!(line.contains("\"count\":2"));
+        assert!(line.contains("\"total_ns\":400"));
+        assert!(line.contains("\"min_ns\":100"));
+        assert!(line.contains("\"max_ns\":300"));
+        assert!(line.contains("\"mean_ns\":200"));
+    }
+
+    #[test]
+    fn json_string_escapes_control_and_quote_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn json_number_never_emits_non_finite_tokens() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! Run as `cargo run -p fluxprint-xtask -- lint`. The driver walks every
 //! first-party Rust source in the workspace through a comment- and
-//! string-aware masking lexer ([`lexer`]) and enforces four rules
-//! ([`rules`]): `no-panic`, `determinism`, `float-eq`, and
+//! string-aware masking lexer ([`lexer`]) and enforces five rules
+//! ([`rules`]): `no-panic`, `determinism`, `float-eq`, `no-println`, and
 //! `lint-hygiene`. Violations can only be silenced by an inline
 //! `// fluxlint: allow(<rule>) — <reason>` waiver ([`waiver`]); waivers
 //! without a reason are inert and themselves reported.

@@ -1,6 +1,6 @@
 //! The fluxlint rule set.
 //!
-//! Four rules, each scanning the masked code view of a file (comments and
+//! Five rules, each scanning the masked code view of a file (comments and
 //! literal contents already blanked) line by line:
 //!
 //! * `no-panic` — `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`,
@@ -14,6 +14,11 @@
 //!   (a float literal, an `f32`/`f64` token, or a float constant such as
 //!   `NAN`/`EPSILON`); exact float comparison is almost always a latent
 //!   tolerance bug. Test code is exempt.
+//! * `no-println` — `println!` / `eprintln!` (and `print!` / `eprint!`)
+//!   are banned in library crates:
+//!   structured output goes through `fluxprint-telemetry` or a returned
+//!   value, never straight to stdout (the `bench` harness and `xtask`
+//!   itself are exempt — they own the terminal; test code is exempt).
 //! * `lint-hygiene` — every workspace crate manifest must opt into the
 //!   shared `[workspace.lints]` table via `[lints] workspace = true`
 //!   (checked in [`check_manifest`], not here).
@@ -29,6 +34,8 @@ pub enum Rule {
     Determinism,
     /// Exact `==`/`!=` comparison of floating-point expressions.
     FloatEq,
+    /// Direct stdout/stderr printing in library code.
+    NoPrintln,
     /// Crate manifest does not inherit the shared workspace lint table.
     LintHygiene,
 }
@@ -40,6 +47,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::Determinism => "determinism",
             Rule::FloatEq => "float-eq",
+            Rule::NoPrintln => "no-println",
             Rule::LintHygiene => "lint-hygiene",
         }
     }
@@ -50,16 +58,18 @@ impl Rule {
             "no-panic" => Some(Rule::NoPanic),
             "determinism" => Some(Rule::Determinism),
             "float-eq" => Some(Rule::FloatEq),
+            "no-println" => Some(Rule::NoPrintln),
             "lint-hygiene" => Some(Rule::LintHygiene),
             _ => None,
         }
     }
 
     /// All rules, for reports and tests.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::NoPanic,
         Rule::Determinism,
         Rule::FloatEq,
+        Rule::NoPrintln,
         Rule::LintHygiene,
     ];
 }
@@ -119,6 +129,13 @@ impl FileContext {
         // except the bench harness, which legitimately times runs.
         matches!(self.crate_name.as_deref(), Some(name) if name != "bench")
     }
+
+    fn no_println_applies(&self) -> bool {
+        // Library crates must route output through telemetry or return
+        // values. The bench harness and xtask own the terminal, and the
+        // root package is CLI glue.
+        matches!(self.crate_name.as_deref(), Some(name) if name != "bench" && name != "xtask")
+    }
 }
 
 /// Scans one Rust source file and returns its raw (pre-waiver) findings.
@@ -153,6 +170,11 @@ pub fn scan_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
         if !test_line {
             for m in float_eq_matches(line) {
                 push(Rule::FloatEq, m);
+            }
+        }
+        if ctx.no_println_applies() && !test_line {
+            for m in no_println_matches(line) {
+                push(Rule::NoPrintln, m);
             }
         }
     }
@@ -250,6 +272,21 @@ fn no_panic_matches(line: &str) -> Vec<String> {
         for at in ident_positions(line, mac) {
             if matches!(next_non_space(bytes, at + mac.len()), Some((_, b'!'))) {
                 out.push(format!("`{mac}!` in library code"));
+            }
+        }
+    }
+    out
+}
+
+fn no_println_matches(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for mac in ["println", "eprintln", "print", "eprint"] {
+        for at in ident_positions(line, mac) {
+            if matches!(next_non_space(bytes, at + mac.len()), Some((_, b'!'))) {
+                out.push(format!(
+                    "`{mac}!` in library code; report through telemetry or a returned value"
+                ));
             }
         }
     }
@@ -423,6 +460,31 @@ mod tests {
         assert!(scan_source(&ctx("crates/core/src/a.rs"), src).is_empty());
         let src = "fn f() { if len == 2 && bias == 0.5 {} }\n";
         assert_eq!(scan_source(&ctx("crates/core/src/a.rs"), src).len(), 1);
+    }
+
+    #[test]
+    fn no_println_flags_print_macros_in_library_code() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); }\n";
+        let f = scan_source(&ctx("crates/smc/src/a.rs"), src);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.rule == Rule::NoPrintln));
+    }
+
+    #[test]
+    fn no_println_exempts_bench_xtask_root_and_tests() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert!(scan_source(&ctx("crates/bench/src/a.rs"), src).is_empty());
+        assert!(scan_source(&ctx("crates/xtask/src/a.rs"), src).is_empty());
+        assert!(scan_source(&ctx("src/main.rs"), src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"x\"); }\n}\n";
+        assert!(scan_source(&ctx("crates/smc/src/a.rs"), in_test).is_empty());
+    }
+
+    #[test]
+    fn no_println_skips_lookalikes() {
+        // Identifier lookalikes and non-macro uses must not trip the rule.
+        let src = "fn reprintln() {} fn f() { let println = 1; log_println(println); }\n";
+        assert!(scan_source(&ctx("crates/smc/src/a.rs"), src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Fixture: direct-print violations and exemptions.
+
+pub fn bad_prints(x: f64) {
+    println!("mean error {x}"); // line 4: finding
+    eprintln!("warning: {x}"); // line 5: finding
+    print!("partial"); // line 6: finding
+    eprint!("partial err"); // line 7: finding
+}
+
+pub fn fine(x: f64) -> String {
+    // println! in a comment is fine
+    let _s = "println!(..) in a string is fine";
+    let println = x; // an identifier lookalike, not the macro
+    format!("mean error {println}")
+}
+
+pub fn lookalike_macros(x: f64) {
+    writeln!(sink, "{x}").ok();
+    log_println(x);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debug output is fine in tests");
+    }
+}

@@ -12,6 +12,7 @@ use fluxprint_xtask::rules::{check_manifest, FileContext, Finding, Rule};
 const NO_PANIC: &str = include_str!("fixtures/no_panic.rs");
 const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
 const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
+const NO_PRINTLN: &str = include_str!("fixtures/no_println.rs");
 const WAIVERS: &str = include_str!("fixtures/waivers.rs");
 
 fn lib_ctx() -> FileContext {
@@ -97,6 +98,39 @@ fn float_eq_needs_float_evidence_in_the_clipped_operands() {
 }
 
 #[test]
+fn no_println_flags_each_print_macro_at_its_line() {
+    let (findings, waived) = lint_source(&lib_ctx(), NO_PRINTLN);
+    assert_eq!(waived, 0);
+    assert_eq!(
+        line_rules(&findings),
+        vec![
+            (4, Rule::NoPrintln), // println!
+            (5, Rule::NoPrintln), // eprintln!
+            (6, Rule::NoPrintln), // print!
+            (7, Rule::NoPrintln), // eprint!
+        ],
+        "identifier lookalikes, writeln!, comments, strings, and test \
+         code must not flag; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn no_println_does_not_apply_to_the_bench_harness_or_xtask() {
+    let (findings, _) = lint_source(&bench_ctx(), NO_PRINTLN);
+    assert!(
+        findings.is_empty(),
+        "bench owns the terminal; got: {findings:#?}"
+    );
+    let xtask_ctx = FileContext::from_relative_path("crates/xtask/src/fixture.rs")
+        .expect("xtask path is covered");
+    let (findings, _) = lint_source(&xtask_ctx, NO_PRINTLN);
+    assert!(
+        findings.is_empty(),
+        "xtask prints its own reports; got: {findings:#?}"
+    );
+}
+
+#[test]
 fn valid_waivers_suppress_and_defective_ones_are_reported() {
     let (findings, waived) = lint_source(&lib_ctx(), WAIVERS);
     // The inline waiver (line 4) and the line-above waiver (covering
@@ -159,5 +193,5 @@ fn the_workspace_itself_is_lint_clean() {
         fluxprint_xtask::report::human(&outcome)
     );
     assert!(outcome.files_scanned > 50, "walker found the source tree");
-    assert_eq!(outcome.manifests_checked, 12);
+    assert_eq!(outcome.manifests_checked, 13);
 }

@@ -1,0 +1,166 @@
+//! `repro --bench-smoke`: perf smoke of the combination filter.
+//!
+//! Times one observation window's candidate filtering at the ISSUE-3
+//! reference point — `N = 200` candidates per user, `K = 3` users — on
+//! both scoring paths:
+//!
+//! - `column_path`: the legacy per-combination dense NNLS
+//!   ([`fluxprint_smc::reference::filter_candidates_reference`]);
+//! - `gram_cache`: the production [`fluxprint_smc::filter_candidates`]
+//!   running on the per-window `ScoringCache` and the shared worker pool.
+//!
+//! The two outputs are asserted bit-identical before any number is
+//! written, so the smoke doubles as an end-to-end regression check. The
+//! result lands in `BENCH_3.json` with one `{name, wall_ms, evals,
+//! threads}` record per target plus the headline `speedup`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{deployment, Point2, Rect};
+use fluxprint_smc::reference::filter_candidates_reference;
+use fluxprint_smc::{filter_candidates_with, CandidateScores, SmcConfig};
+use fluxprint_solver::FluxObjective;
+use fluxprint_telemetry::names;
+
+/// Candidates per user (the paper's §4.C uses N = 1000; 200 keeps the
+/// smoke under a second on the slow path).
+const N_CANDIDATES: usize = 200;
+/// Tracked users.
+const K_USERS: usize = 3;
+/// Timed repetitions per target; the minimum is reported.
+const REPS: usize = 3;
+
+/// One timed target's outcome.
+struct Target {
+    name: &'static str,
+    wall_ms: f64,
+    evals: u64,
+    threads: usize,
+    scores: CandidateScores,
+}
+
+fn bench_objective() -> FluxObjective {
+    let field = Rect::square(30.0).expect("valid field");
+    let model = FluxModel::default();
+    let mut sniffers = Vec::new();
+    for i in 0..10 {
+        for j in 0..10 {
+            sniffers.push(Point2::new(1.5 + i as f64 * 3.0, 1.5 + j as f64 * 3.0));
+        }
+    }
+    let truth = [
+        (Point2::new(8.0, 9.0), 2.0),
+        (Point2::new(21.0, 17.0), 1.5),
+        (Point2::new(14.0, 25.0), 1.0),
+    ];
+    let measured: Vec<f64> = sniffers
+        .iter()
+        .map(|&p| model.predict_superposed(&truth, p, &field))
+        .collect();
+    FluxObjective::new(Arc::new(field), model, sniffers, measured).expect("valid objective")
+}
+
+fn bench_candidates(objective: &FluxObjective) -> Vec<Vec<Point2>> {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    (0..K_USERS)
+        .map(|_| {
+            (0..N_CANDIDATES)
+                .map(|_| deployment::random_point(objective.boundary(), &mut rng))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `filter` once per rep after one warmup, reporting the minimum
+/// wall time and the objective-eval count of a single run.
+fn time_target(name: &'static str, threads: usize, filter: impl Fn() -> CandidateScores) -> Target {
+    let _warmup = filter();
+    let before = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    let mut wall_ms = f64::INFINITY;
+    let mut scores = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let out = filter();
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        scores = Some(out);
+    }
+    let after = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    Target {
+        name,
+        wall_ms,
+        evals: (after - before) / REPS as u64,
+        threads,
+        scores: scores.expect("REPS >= 1"),
+    }
+}
+
+fn assert_identical(a: &CandidateScores, b: &CandidateScores) {
+    assert_eq!(
+        a.best_combination, b.best_combination,
+        "bench smoke: best combination diverged between scoring paths"
+    );
+    assert_eq!(
+        a.best_fit.residual.to_bits(),
+        b.best_fit.residual.to_bits(),
+        "bench smoke: best residual diverged between scoring paths"
+    );
+    for (ra, rb) in a
+        .per_candidate_residual
+        .iter()
+        .flatten()
+        .zip(b.per_candidate_residual.iter().flatten())
+    {
+        assert_eq!(
+            ra.to_bits(),
+            rb.to_bits(),
+            "bench smoke: per-candidate residual diverged between scoring paths"
+        );
+    }
+}
+
+/// Runs the smoke and writes `out_path` (JSON). Returns the written value.
+pub fn run_bench_smoke(out_path: &str) -> serde_json::Value {
+    let objective = bench_objective();
+    let candidates = bench_candidates(&objective);
+    let seeds = vec![None; K_USERS];
+    // 200^3 combinations blow the exact cap, so both paths take the
+    // greedy strategy — the tracking hot path this PR optimizes.
+    let config = SmcConfig::default();
+    let pool = fluxprint_fluxpar::pool();
+
+    let reference = time_target("column_path", 1, || {
+        filter_candidates_reference(&objective, &candidates, &seeds, &config)
+            .expect("reference filter runs")
+    });
+    let cached = time_target("gram_cache", pool.threads(), || {
+        filter_candidates_with(&objective, &candidates, &seeds, &config, pool)
+            .expect("cached filter runs")
+    });
+    assert_identical(&cached.scores, &reference.scores);
+
+    let speedup = reference.wall_ms / cached.wall_ms;
+    let value = json!({
+        "bench": "filter_candidates",
+        "n_candidates": N_CANDIDATES,
+        "k": K_USERS,
+        "targets": [&reference, &cached].map(|t| json!({
+            "name": t.name,
+            "wall_ms": t.wall_ms,
+            "evals": t.evals,
+            "threads": t.threads,
+        })),
+        "speedup": speedup,
+    });
+    std::fs::write(out_path, format!("{value:#}\n")).expect("write bench output");
+    eprintln!(
+        "bench-smoke: column_path {:.1} ms, gram_cache {:.1} ms ({} threads) — {speedup:.1}x; wrote {out_path}",
+        reference.wall_ms, cached.wall_ms, cached.threads,
+    );
+    value
+}

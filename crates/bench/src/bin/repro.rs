@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]
+//! repro --bench-smoke [--bench-out <path>]
 //!
 //! targets:
 //!   fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8a fig8b fig10a fig10b
@@ -14,6 +15,10 @@
 //!   ablations  (all ablations)
 //!   all        (everything)
 //! ```
+//!
+//! `--bench-smoke` skips the figure generators and instead times the
+//! combination filter at N=200/K=3 on the legacy column path vs the Gram
+//! cache, writing `BENCH_3.json` (default; override with `--bench-out`).
 //!
 //! `--quick` shrinks trial counts to smoke-test sizes; the EXPERIMENTS.md
 //! numbers come from full runs. `--seed` perturbs every generator's RNG
@@ -58,6 +63,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]"
     );
+    eprintln!("       repro --bench-smoke [--bench-out <path>]");
     eprintln!("targets: all figures ablations");
     for (name, _) in GENERATORS {
         eprintln!("         {name}");
@@ -85,6 +91,8 @@ fn main() {
     let mut spec = RunSpec::full();
     let mut json_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut bench_smoke = false;
+    let mut bench_out = "BENCH_3.json".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -95,9 +103,18 @@ fn main() {
             }
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
             "--telemetry" => telemetry_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--bench-smoke" => bench_smoke = true,
+            "--bench-out" => bench_out = it.next().unwrap_or_else(|| usage()),
             name if target.is_none() => target = Some(name.to_string()),
             _ => usage(),
         }
+    }
+    if bench_smoke {
+        if target.is_some() {
+            usage();
+        }
+        fluxprint_bench::bench_smoke::run_bench_smoke(&bench_out);
+        return;
     }
     let target = target.unwrap_or_else(|| usage());
 

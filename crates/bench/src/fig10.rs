@@ -89,33 +89,20 @@ pub fn run_fig10a(spec: RunSpec) -> serde_json::Value {
                 values.push(f64::NAN);
                 continue;
             }
-            // Trials are independent; run them on scoped threads.
-            let errs: Vec<f64> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..trials)
-                    .map(|t| {
-                        scope.spawn(move || {
-                            let err = trace_error(
-                                random_deploy,
-                                pct,
-                                4.0 * 2.0, // transit speed × window
-                                duration,
-                                n_pred,
-                                spec.rng_seed(
-                                    (12_000 + pct as usize * 10 + t) as u64
-                                        + if random_deploy { 500 } else { 0 },
-                                ),
-                            );
-                            // join() can return before this thread's TLS
-                            // destructors run; merge telemetry explicitly.
-                            fluxprint_telemetry::flush();
-                            err
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("trial thread"))
-                    .collect()
+            // Trials are independent; run them on the shared worker pool
+            // (which merges each worker's telemetry before returning).
+            let errs: Vec<f64> = fluxprint_fluxpar::pool().map_indexed(trials, |t| {
+                trace_error(
+                    random_deploy,
+                    pct,
+                    4.0 * 2.0, // transit speed × window
+                    duration,
+                    n_pred,
+                    spec.rng_seed(
+                        (12_000 + pct as usize * 10 + t) as u64
+                            + if random_deploy { 500 } else { 0 },
+                    ),
+                )
             });
             let m = mean(&errs);
             row.push(f(m));
@@ -156,32 +143,17 @@ pub fn run_fig10b(spec: RunSpec) -> serde_json::Value {
                 continue;
             }
             // The radius is v_max · window; window = 2 ⇒ v_max = r/2.
-            let errs: Vec<f64> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..trials)
-                    .map(|t| {
-                        scope.spawn(move || {
-                            let err = trace_error(
-                                random_deploy,
-                                10.0,
-                                r / 2.0,
-                                duration,
-                                n_pred,
-                                spec.rng_seed(
-                                    (13_000 + r as usize * 10 + t) as u64
-                                        + if random_deploy { 500 } else { 0 },
-                                ),
-                            );
-                            // join() can return before this thread's TLS
-                            // destructors run; merge telemetry explicitly.
-                            fluxprint_telemetry::flush();
-                            err
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("trial thread"))
-                    .collect()
+            let errs: Vec<f64> = fluxprint_fluxpar::pool().map_indexed(trials, |t| {
+                trace_error(
+                    random_deploy,
+                    10.0,
+                    r / 2.0,
+                    duration,
+                    n_pred,
+                    spec.rng_seed(
+                        (13_000 + r as usize * 10 + t) as u64 + if random_deploy { 500 } else { 0 },
+                    ),
+                )
             });
             let m = mean(&errs);
             row.push(f(m));

@@ -77,4 +77,72 @@ fn quick_fig4_emits_schema_valid_telemetry() {
     // briefing-only) so every export shares one diffable schema.
     assert!(counters.contains_key(names::SMC_SAMPLES_PREDICTED));
     assert!(counters.contains_key(names::SMC_SAMPLES_KEPT));
+    // The scoring-cache / worker-pool counters joined the catalog, so
+    // they pad into every block even when the target never filters.
+    assert!(counters.contains_key(names::SOLVER_GRAM_BUILD));
+    assert!(counters.contains_key(names::SOLVER_GRAM_COMBO_EVALS));
+    assert!(counters.contains_key(names::FLUXPAR_TASKS));
+    assert!(counters.contains_key(names::FLUXPAR_THREADS));
+
+    // Drive the Gram-cached filter once (in the same test: the registry
+    // is process-global, so a second `#[test]` would race the block
+    // above). All four new counters must move.
+    let before = fluxprint_telemetry::snapshot();
+    drive_cached_filter();
+    let after = fluxprint_telemetry::snapshot();
+    for name in [
+        names::SOLVER_GRAM_BUILD,
+        names::SOLVER_GRAM_COMBO_EVALS,
+        names::FLUXPAR_TASKS,
+        names::FLUXPAR_THREADS,
+    ] {
+        assert!(
+            after.counter(name) > before.counter(name),
+            "counter {name} did not move across a cached filter run"
+        );
+    }
+}
+
+/// One small exact-enumeration filter on an explicit 2-thread pool, so
+/// the parallel-dispatch counter (`fluxpar.threads`) is exercised even
+/// when `FLUXPRINT_THREADS=1` pins the process-wide pool.
+fn drive_cached_filter() {
+    use fluxprint_fluxmodel::FluxModel;
+    use fluxprint_geometry::{Point2, Rect};
+    use std::sync::Arc;
+
+    let field = Rect::square(30.0).expect("valid field");
+    let model = FluxModel::default();
+    let sniffers: Vec<Point2> = (0..36)
+        .map(|i| Point2::new(2.5 + (i % 6) as f64 * 5.0, 2.5 + (i / 6) as f64 * 5.0))
+        .collect();
+    let truth = [(Point2::new(9.0, 9.0), 2.0), (Point2::new(21.0, 19.0), 1.0)];
+    let measured: Vec<f64> = sniffers
+        .iter()
+        .map(|&p| model.predict_superposed(&truth, p, &field))
+        .collect();
+    let objective =
+        fluxprint_solver::FluxObjective::new(Arc::new(field), model, sniffers, measured)
+            .expect("valid objective");
+    let candidates = vec![
+        vec![
+            Point2::new(9.0, 9.0),
+            Point2::new(20.0, 5.0),
+            Point2::new(15.0, 15.0),
+        ],
+        vec![
+            Point2::new(10.0, 25.0),
+            Point2::new(21.0, 19.0),
+            Point2::new(27.0, 3.0),
+        ],
+    ];
+    let pool = fluxprint_fluxpar::Pool::with_threads(2);
+    fluxprint_smc::filter_candidates_with(
+        &objective,
+        &candidates,
+        &[],
+        &fluxprint_smc::SmcConfig::default(),
+        &pool,
+    )
+    .expect("filter runs");
 }

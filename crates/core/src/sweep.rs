@@ -4,7 +4,8 @@
 //! (sampling percentage, node count, user count, resampling radius), each
 //! point averaged over repeated trials. [`Sweep`] packages that pattern:
 //! give it the parameter points and a trial function, and it runs the
-//! trials on scoped threads and accumulates [`OnlineStats`] per point.
+//! trials on the shared [`fluxprint_fluxpar`] worker pool (sized by
+//! `FLUXPRINT_THREADS`) and accumulates [`OnlineStats`] per point.
 //!
 //! # Example
 //!
@@ -55,8 +56,9 @@ impl<P: Sync> Sweep<P> {
         self
     }
 
-    /// Disables the scoped-thread parallelism (e.g. for trial functions
-    /// that are not `Sync`-friendly to debug).
+    /// Disables the worker-pool parallelism (e.g. for trial functions that
+    /// are not `Sync`-friendly to debug). `FLUXPRINT_THREADS=1` achieves
+    /// the same globally.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self
@@ -66,8 +68,10 @@ impl<P: Sync> Sweep<P> {
     /// returns per-point statistics. The trial function receives the trial
     /// index so it can derive a deterministic per-trial seed.
     ///
-    /// Trials of one point run concurrently on scoped threads (unless
-    /// [`sequential`](Self::sequential) was chosen); points run in order.
+    /// Trials of one point run concurrently on the shared worker pool
+    /// (unless [`sequential`](Self::sequential) was chosen); points run in
+    /// order, and trial values accumulate in trial-index order regardless
+    /// of the thread count.
     pub fn run<F>(self, trial: F) -> Vec<SweepPoint<P>>
     where
         F: Fn(&P, usize) -> f64 + Sync,
@@ -79,31 +83,12 @@ impl<P: Sync> Sweep<P> {
                 let _span = telemetry::span(names::SPAN_SWEEP_POINT);
                 let mut stats = OnlineStats::new();
                 if self.parallel && self.trials > 1 {
-                    let values: Vec<f64> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..self.trials)
-                            .map(|t| {
-                                let trial = &trial;
-                                scope.spawn(move || {
-                                    let v = trial(p, t);
-                                    telemetry::counter(names::SWEEP_TRIALS, 1);
-                                    // Scope exit does not wait for TLS
-                                    // destructors, so merge the worker's
-                                    // telemetry before the closure returns.
-                                    telemetry::flush();
-                                    v
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| match h.join() {
-                                Ok(v) => v,
-                                // A trial panicked on its thread; re-raise
-                                // the original payload rather than a
-                                // generic join failure.
-                                Err(payload) => std::panic::resume_unwind(payload),
-                            })
-                            .collect()
+                    // The pool merges each worker's telemetry before
+                    // returning, so counters survive the fan-out.
+                    let values = fluxprint_fluxpar::pool().map_indexed(self.trials, |t| {
+                        let v = trial(p, t);
+                        telemetry::counter(names::SWEEP_TRIALS, 1);
+                        v
                     });
                     for v in values {
                         stats.push(v);

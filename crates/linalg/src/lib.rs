@@ -46,5 +46,5 @@ pub use cholesky::CholeskyFactor;
 pub use error::LinalgError;
 pub use lu::LuFactor;
 pub use matrix::Matrix;
-pub use nnls::{nnls, NnlsSolution};
+pub use nnls::{nnls, nnls_gram, nnls_gram_into, NnlsScratch, NnlsSolution};
 pub use qr::{lstsq, QrFactor};

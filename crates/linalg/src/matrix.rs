@@ -223,6 +223,28 @@ impl Matrix {
             .collect())
     }
 
+    /// Matrix–vector product written into a caller-provided buffer —
+    /// the allocation-free twin of [`matvec`](Matrix::matvec), with
+    /// bit-identical per-row arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if v.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+                op: "matvec_into",
+            });
+        }
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.row(r).iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        Ok(())
+    }
+
     /// Transposed matrix–vector product `selfᵀ · v`.
     ///
     /// # Errors

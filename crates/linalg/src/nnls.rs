@@ -7,8 +7,18 @@
 //! logic would misread an inactive user as "negative traffic". NNLS both
 //! fixes the sign and gives the `q_j → 0` signal the paper's Algorithm 4.1
 //! uses to detect users that did not collect data this round.
+//!
+//! Two entry points share one active-set core:
+//!
+//! * [`nnls`] takes the dense system `(A, b)` — the historical path.
+//! * [`nnls_gram`] takes the precomputed normal equations
+//!   `(AᵀA, Aᵀb, ‖b‖²)` and never touches the observation dimension `m`
+//!   again — the entry the solver's scoring cache uses to make
+//!   combination evaluation independent of the sniffer count. Both paths
+//!   run bit-identical active-set iterations on the same `(AᵀA, Aᵀb)`,
+//!   so they return the same coefficient vector.
 
-use crate::{CholeskyFactor, LinalgError, Matrix};
+use crate::{LinalgError, Matrix};
 
 /// Result of a non-negative least-squares solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +29,39 @@ pub struct NnlsSolution {
     pub residual_norm: f64,
     /// Outer iterations used.
     pub iterations: usize,
+}
+
+/// Reusable buffers for the active-set core, so steady-state callers
+/// (the solver's per-combination scoring loop) allocate nothing per solve.
+///
+/// A scratch adapts itself to whatever problem size it is handed; reusing
+/// one across solves of similar size is what makes it worthwhile.
+#[derive(Debug, Clone, Default)]
+pub struct NnlsScratch {
+    x: Vec<f64>,
+    passive: Vec<bool>,
+    gx: Vec<f64>,
+    w: Vec<f64>,
+    idx: Vec<usize>,
+    z: Vec<f64>,
+    // Passive-set subproblem: sub-Gram, its Cholesky factor, rhs, and the
+    // forward-substitution intermediate.
+    sub: Vec<f64>,
+    l: Vec<f64>,
+    rhs: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl NnlsScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        NnlsScratch::default()
+    }
+
+    /// The coefficient vector left by the most recent solve.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
 }
 
 /// Solves `min ‖A·x − b‖₂` subject to `x ≥ 0` (Lawson–Hanson active set).
@@ -56,28 +99,130 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
     }
     let gram = a.gram();
     let atb = a.tr_matvec(b)?;
+    let mut scratch = NnlsScratch::new();
+    let iterations = active_set(&gram, &atb, &mut scratch)?;
 
-    let mut x = vec![0.0; n];
-    let mut passive = vec![false; n];
+    // Residual in the data space: exact even for near-perfect fits, where
+    // the Gram-form identity loses everything to cancellation.
+    let ax = a.matvec(&scratch.x)?;
+    let residual_norm = ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    Ok(NnlsSolution {
+        x: scratch.x,
+        residual_norm,
+        iterations,
+    })
+}
+
+/// Solves NNLS from the precomputed normal equations: `gram = AᵀA`
+/// (symmetric `n × n`), `atb = Aᵀb`, and `btb = ‖b‖²`.
+///
+/// The active-set iterations are bit-identical to [`nnls`] on the same
+/// normal equations; only the residual differs in representation — it is
+/// reconstructed through the Gram identity
+/// `‖A·x − b‖² = ‖b‖² − 2·xᵀAᵀb + xᵀAᵀA·x`, which costs `O(n²)` instead
+/// of `O(m·n)` but loses accuracy to cancellation once the true residual
+/// approaches `√ε·‖b‖`. Callers that need exact small residuals (the
+/// solver's scoring cache) recompute the residual from the columns.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for a non-square `gram`,
+/// [`LinalgError::ShapeMismatch`] when `atb.len() != gram.rows()`, and
+/// [`LinalgError::NoConvergence`] as for [`nnls`].
+pub fn nnls_gram(gram: &Matrix, atb: &[f64], btb: f64) -> Result<NnlsSolution, LinalgError> {
+    let mut scratch = NnlsScratch::new();
+    let iterations = nnls_gram_into(gram, atb, &mut scratch)?;
+    let residual_norm = gram_residual(gram, atb, btb, &scratch)?;
+    Ok(NnlsSolution {
+        x: scratch.x,
+        residual_norm,
+        iterations,
+    })
+}
+
+/// Allocation-free form of [`nnls_gram`]: runs the active-set core with
+/// the caller's scratch and leaves the coefficients in
+/// [`NnlsScratch::solution`]. Returns the outer iteration count; the
+/// caller computes whichever residual representation it needs.
+///
+/// # Errors
+///
+/// As for [`nnls_gram`].
+pub fn nnls_gram_into(
+    gram: &Matrix,
+    atb: &[f64],
+    scratch: &mut NnlsScratch,
+) -> Result<usize, LinalgError> {
+    let (rows, cols) = gram.shape();
+    if rows != cols {
+        return Err(LinalgError::NotSquare {
+            shape: gram.shape(),
+        });
+    }
+    if atb.len() != rows {
+        return Err(LinalgError::ShapeMismatch {
+            left: (rows, cols),
+            right: (atb.len(), 1),
+            op: "nnls_gram",
+        });
+    }
+    active_set(gram, atb, scratch)
+}
+
+/// Residual via the Gram identity at the scratch's current solution.
+fn gram_residual(
+    gram: &Matrix,
+    atb: &[f64],
+    btb: f64,
+    scratch: &NnlsScratch,
+) -> Result<f64, LinalgError> {
+    let gx = gram.matvec(&scratch.x)?;
+    let mut r2 = btb;
+    for ((&xi, &gxi), &ai) in scratch.x.iter().zip(&gx).zip(atb) {
+        r2 += xi * (gxi - 2.0 * ai);
+    }
+    Ok(r2.max(0.0).sqrt())
+}
+
+/// The Lawson–Hanson active-set core on the normal equations. Leaves the
+/// solution in `scratch.x` and returns the outer iteration count.
+fn active_set(gram: &Matrix, atb: &[f64], scratch: &mut NnlsScratch) -> Result<usize, LinalgError> {
+    let n = atb.len();
+    scratch.x.clear();
+    scratch.x.resize(n, 0.0);
+    scratch.passive.clear();
+    scratch.passive.resize(n, false);
+    scratch.gx.resize(n, 0.0);
+    scratch.w.resize(n, 0.0);
     let tol = 1e-10 * gram.max_abs().max(1.0);
     let max_outer = 3 * n.max(1) + 10;
 
     for outer in 0..max_outer {
         // Gradient of ½‖Ax−b‖² is Aᵀ(Ax−b); w = −gradient = Aᵀb − G·x.
-        let gx = gram.matvec(&x)?;
-        let w: Vec<f64> = atb.iter().zip(&gx).map(|(p, q)| p - q).collect();
+        gram.matvec_into(&scratch.x, &mut scratch.gx)?;
+        for i in 0..n {
+            scratch.w[i] = atb[i] - scratch.gx[i];
+        }
 
         // Pick the most promising zero-bound variable.
         let mut best: Option<(usize, f64)> = None;
         for i in 0..n {
-            if !passive[i] && w[i] > tol && best.is_none_or(|(_, bw)| w[i] > bw) {
-                best = Some((i, w[i]));
+            if !scratch.passive[i]
+                && scratch.w[i] > tol
+                && best.is_none_or(|(_, bw)| scratch.w[i] > bw)
+            {
+                best = Some((i, scratch.w[i]));
             }
         }
         let Some((j, _)) = best else {
-            return finish(a, b, x, outer);
+            return Ok(outer);
         };
-        passive[j] = true;
+        scratch.passive[j] = true;
 
         // Inner loop: solve on the passive set, step back if any passive
         // coefficient would go negative.
@@ -87,16 +232,17 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
             if inner_guard > n + 1 {
                 return Err(LinalgError::NoConvergence { iterations: outer });
             }
-            let idx: Vec<usize> = (0..n).filter(|&i| passive[i]).collect();
-            let z = solve_passive(&gram, &atb, &idx)?;
+            scratch.idx.clear();
+            scratch.idx.extend((0..n).filter(|&i| scratch.passive[i]));
+            solve_passive(gram, atb, scratch)?;
 
-            if z.iter().all(|&v| v > tol.min(1e-12)) {
-                for (slot, &i) in idx.iter().enumerate() {
-                    x[i] = z[slot];
+            if scratch.z.iter().all(|&v| v > tol.min(1e-12)) {
+                for slot in 0..scratch.idx.len() {
+                    scratch.x[scratch.idx[slot]] = scratch.z[slot];
                 }
                 for i in 0..n {
-                    if !passive[i] {
-                        x[i] = 0.0;
+                    if !scratch.passive[i] {
+                        scratch.x[i] = 0.0;
                     }
                 }
                 break;
@@ -104,24 +250,25 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
 
             // Interpolate toward z until the first passive variable hits 0.
             let mut alpha = f64::INFINITY;
-            for (slot, &i) in idx.iter().enumerate() {
-                if z[slot] <= tol.min(1e-12) {
-                    let denom = x[i] - z[slot];
+            for (slot, &i) in scratch.idx.iter().enumerate() {
+                if scratch.z[slot] <= tol.min(1e-12) {
+                    let denom = scratch.x[i] - scratch.z[slot];
                     if denom > 0.0 {
-                        alpha = alpha.min(x[i] / denom);
+                        alpha = alpha.min(scratch.x[i] / denom);
                     } else {
                         alpha = 0.0;
                     }
                 }
             }
             let alpha = alpha.clamp(0.0, 1.0);
-            for (slot, &i) in idx.iter().enumerate() {
-                x[i] += alpha * (z[slot] - x[i]);
+            for (slot, &i) in scratch.idx.iter().enumerate() {
+                scratch.x[i] += alpha * (scratch.z[slot] - scratch.x[i]);
             }
-            for &i in &idx {
-                if x[i] <= tol.min(1e-12) {
-                    x[i] = 0.0;
-                    passive[i] = false;
+            for slot in 0..scratch.idx.len() {
+                let i = scratch.idx[slot];
+                if scratch.x[i] <= tol.min(1e-12) {
+                    scratch.x[i] = 0.0;
+                    scratch.passive[i] = false;
                 }
             }
         }
@@ -131,50 +278,86 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
     })
 }
 
-/// Solves the unconstrained subproblem restricted to the passive columns.
-fn solve_passive(gram: &Matrix, atb: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
-    let k = idx.len();
+/// Solves the unconstrained subproblem restricted to the passive columns
+/// (`scratch.idx`), leaving the solution in `scratch.z`. The arithmetic
+/// mirrors [`CholeskyFactor`](crate::CholeskyFactor) exactly, inlined here
+/// over reusable buffers so the hot loop performs no allocation.
+fn solve_passive(gram: &Matrix, atb: &[f64], scratch: &mut NnlsScratch) -> Result<(), LinalgError> {
+    let k = scratch.idx.len();
+    scratch.z.clear();
     if k == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
-    let mut g = Matrix::zeros(k, k);
-    let mut rhs = vec![0.0; k];
-    for (r, &i) in idx.iter().enumerate() {
-        rhs[r] = atb[i];
-        for (c, &j) in idx.iter().enumerate() {
-            g[(r, c)] = gram[(i, j)];
+    scratch.sub.clear();
+    scratch.sub.resize(k * k, 0.0);
+    scratch.rhs.resize(k, 0.0);
+    for r in 0..k {
+        let i = scratch.idx[r];
+        scratch.rhs[r] = atb[i];
+        for c in 0..k {
+            scratch.sub[r * k + c] = gram[(i, scratch.idx[c])];
         }
     }
-    match CholeskyFactor::new(&g) {
-        Ok(ch) => ch.solve(&rhs),
-        Err(_) => {
-            // Nearly collinear columns (two hypothesized sinks at the same
-            // spot): regularize slightly rather than fail the whole fit.
-            let mut gr = g;
-            gr.add_diagonal(1e-8 * gr.max_abs().max(1.0));
-            CholeskyFactor::new(&gr)?.solve(&rhs)
-        }
+    scratch.z.resize(k, 0.0);
+    if factor_and_solve(k, scratch).is_ok() {
+        return Ok(());
     }
+    // Nearly collinear columns (two hypothesized sinks at the same
+    // spot): regularize slightly rather than fail the whole fit.
+    let mut max_abs = 0.0f64;
+    for &v in &scratch.sub {
+        max_abs = max_abs.max(v.abs());
+    }
+    let ridge = 1e-8 * max_abs.max(1.0);
+    for d in 0..k {
+        scratch.sub[d * k + d] += ridge;
+    }
+    factor_and_solve(k, scratch)
 }
 
-fn finish(
-    a: &Matrix,
-    b: &[f64],
-    x: Vec<f64>,
-    iterations: usize,
-) -> Result<NnlsSolution, LinalgError> {
-    let ax = a.matvec(&x)?;
-    let residual_norm = ax
-        .iter()
-        .zip(b)
-        .map(|(p, q)| (p - q) * (p - q))
-        .sum::<f64>()
-        .sqrt();
-    Ok(NnlsSolution {
-        x,
-        residual_norm,
-        iterations,
-    })
+/// Cholesky-factors `scratch.sub` (k×k, row-major) into `scratch.l` and
+/// solves for `scratch.rhs`, leaving the result in `scratch.z`. Loop
+/// order matches `CholeskyFactor::{new, solve}` bit-for-bit.
+fn factor_and_solve(k: usize, scratch: &mut NnlsScratch) -> Result<(), LinalgError> {
+    scratch.l.clear();
+    scratch.l.resize(k * k, 0.0);
+    for j in 0..k {
+        let mut d = scratch.sub[j * k + j];
+        for p in 0..j {
+            d -= scratch.l[j * k + p] * scratch.l[j * k + p];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let ljj = d.sqrt();
+        scratch.l[j * k + j] = ljj;
+        for i in (j + 1)..k {
+            let mut s = scratch.sub[i * k + j];
+            for p in 0..j {
+                s -= scratch.l[i * k + p] * scratch.l[j * k + p];
+            }
+            scratch.l[i * k + j] = s / ljj;
+        }
+    }
+    // Forward substitution: L·y = rhs.
+    scratch.y.clear();
+    scratch.y.resize(k, 0.0);
+    for i in 0..k {
+        let mut s = scratch.rhs[i];
+        for p in 0..i {
+            s -= scratch.l[i * k + p] * scratch.y[p];
+        }
+        scratch.y[i] = s / scratch.l[i * k + i];
+    }
+    // Back substitution: Lᵀ·z = y.
+    for i in (0..k).rev() {
+        let mut s = scratch.y[i];
+        for p in (i + 1)..k {
+            s -= scratch.l[p * k + i] * scratch.z[p];
+        }
+        scratch.z[i] = s / scratch.l[i * k + i];
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -278,5 +461,94 @@ mod tests {
         // Positive mean → fitted; negative mean → clamped to zero.
         assert!((nnls(&a, &[1.0, 2.0, 3.0]).unwrap().x[0] - 2.0).abs() < 1e-9);
         assert_eq!(nnls(&a, &[-1.0, -2.0, -3.0]).unwrap().x[0], 0.0);
+    }
+
+    fn normal_equations(a: &Matrix, b: &[f64]) -> (Matrix, Vec<f64>, f64) {
+        let gram = a.gram();
+        let atb = a.tr_matvec(b).unwrap();
+        let btb = b.iter().map(|v| v * v).sum();
+        (gram, atb, btb)
+    }
+
+    #[test]
+    fn gram_entry_matches_dense_on_random_problems() {
+        // Satellite property test: nnls_gram on (AᵀA, Aᵀb, ‖b‖²) agrees
+        // with dense nnls to 1e-9 on well-conditioned random instances —
+        // and the coefficient vectors are bit-identical, because both
+        // paths run the same active-set iterations on the same normal
+        // equations.
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            let m = rng.gen_range(8..60);
+            let n = rng.gen_range(1..6);
+            // Identity block + noise keeps the columns well-conditioned.
+            let mut data: Vec<f64> = (0..m * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for j in 0..n {
+                data[j * n + j] += 3.0;
+            }
+            let a = Matrix::from_vec(m, n, data).unwrap();
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            let dense = nnls(&a, &b).unwrap();
+            let (gram, atb, btb) = normal_equations(&a, &b);
+            let via_gram = nnls_gram(&gram, &atb, btb).unwrap();
+            assert_eq!(dense.x, via_gram.x, "trial {trial}: coefficients drifted");
+            assert_eq!(dense.iterations, via_gram.iterations);
+            assert!(
+                (dense.residual_norm - via_gram.residual_norm).abs() < 1e-9,
+                "trial {trial}: residual {} vs {}",
+                dense.residual_norm,
+                via_gram.residual_norm
+            );
+        }
+    }
+
+    #[test]
+    fn gram_entry_validates_shapes() {
+        let gram = Matrix::zeros(2, 3);
+        assert!(matches!(
+            nnls_gram(&gram, &[1.0, 2.0], 1.0),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let gram = Matrix::identity(2);
+        assert!(matches!(
+            nnls_gram(&gram, &[1.0], 1.0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gram_scratch_reuse_is_stable() {
+        // The same scratch driven across different problem sizes must not
+        // leak state between solves.
+        let mut scratch = NnlsScratch::new();
+        let a1 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b1 = [1.0, 2.0, 3.0];
+        let a2 = Matrix::from_rows(&[&[2.0], &[1.0]]).unwrap();
+        let b2 = [4.0, 2.0];
+        for _ in 0..3 {
+            let (g1, atb1, _) = normal_equations(&a1, &b1);
+            nnls_gram_into(&g1, &atb1, &mut scratch).unwrap();
+            let expected = nnls(&a1, &b1).unwrap();
+            assert_eq!(scratch.solution(), expected.x.as_slice());
+            let (g2, atb2, _) = normal_equations(&a2, &b2);
+            nnls_gram_into(&g2, &atb2, &mut scratch).unwrap();
+            let expected = nnls(&a2, &b2).unwrap();
+            assert_eq!(scratch.solution(), expected.x.as_slice());
+        }
+    }
+
+    #[test]
+    fn gram_residual_identity_on_exact_fit() {
+        // Exact fit: the Gram identity cancels to (numerically) zero and
+        // the clamp keeps it non-negative.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let truth = vec![1.5, 0.5];
+        let b = a.matvec(&truth).unwrap();
+        let (gram, atb, btb) = normal_equations(&a, &b);
+        let sol = nnls_gram(&gram, &atb, btb).unwrap();
+        for (got, want) in sol.x.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-9);
+        }
+        assert!(sol.residual_norm < 1e-6, "residual {}", sol.residual_norm);
     }
 }

@@ -17,9 +17,17 @@
 //!
 //! The selected users are this round's active set; everyone else gets the
 //! paper's Null update (frozen samples, growing `Δt`).
+//!
+//! Candidate scans run against the per-window
+//! [`ScoringCache`](fluxprint_solver::ScoringCache) — each probe is a
+//! Gram-row insertion and an `O(k³)` solve instead of a dense refit —
+//! fanned out on the deterministic worker pool. Selection order,
+//! tie-breaks, and every returned float are bit-identical to the legacy
+//! sequential column path at any thread count.
 
+use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::Point2;
-use fluxprint_solver::{FluxObjective, SinkFit};
+use fluxprint_solver::{CacheScratch, Conditioner, FluxObjective, ScoringCache, SinkFit, Slot};
 
 use crate::{SmcConfig, SmcError};
 
@@ -50,7 +58,8 @@ struct Bid {
     explore: bool,
 }
 
-/// Detects active sources and associates them to users.
+/// Detects active sources and associates them to users, scoring on the
+/// process-wide worker pool (`FLUXPRINT_THREADS`).
 ///
 /// `candidates[i]` are user `i`'s predictions; `candidates[i][explore_from[i]..]`
 /// are its exploration (uniform) candidates.
@@ -65,6 +74,28 @@ pub fn associate(
     explore_from: &[usize],
     config: &SmcConfig,
 ) -> Result<Association, SmcError> {
+    associate_with(
+        objective,
+        candidates,
+        explore_from,
+        config,
+        fluxprint_fluxpar::pool(),
+    )
+}
+
+/// [`associate`] on an explicit pool (tests pin thread counts to check
+/// determinism; everything else should use the process-wide pool).
+///
+/// # Errors
+///
+/// As for [`associate`].
+pub fn associate_with(
+    objective: &FluxObjective,
+    candidates: &[Vec<Point2>],
+    explore_from: &[usize],
+    config: &SmcConfig,
+    pool: &Pool,
+) -> Result<Association, SmcError> {
     if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
         return Err(SmcError::ZeroUsers);
     }
@@ -75,11 +106,8 @@ pub fn associate(
         "explore_from must have one entry per user"
     );
 
-    // Basis columns once per candidate.
-    let columns: Vec<Vec<Vec<f64>>> = candidates
-        .iter()
-        .map(|set| set.iter().map(|&p| objective.basis_column(p)).collect())
-        .collect();
+    // Basis columns, projections, and norms once per candidate.
+    let cache = objective.scoring_cache(candidates, pool);
 
     let mut selected: Vec<usize> = Vec::new();
     let mut chosen: Vec<Option<usize>> = vec![None; k];
@@ -89,22 +117,24 @@ pub fn associate(
 
     while selected.len() < k {
         // Every unselected user bids its best candidate conditioned on the
-        // already-selected sources.
+        // already-selected sources. All bidders share one conditioner:
+        // the bidder's column enters at slot 0, the selected sources
+        // follow in selection order (the legacy column order).
+        let base = selected_slots(&selected, &chosen);
+        let cond = cache.conditioner(&base, 0);
         let mut best: Option<(usize, Bid)> = None;
         for i in 0..k {
             if chosen[i].is_some() {
                 continue;
             }
             let bid = best_bid(
-                objective,
-                candidates,
-                &columns,
-                &selected,
-                &chosen,
+                &cache,
+                &cond,
                 i,
                 explore_from[i],
                 explore_penalty,
                 config.explore_accept_ratio,
+                pool,
             )?;
             if best
                 .as_ref()
@@ -145,26 +175,27 @@ pub fn associate(
         } else {
             explore_from[i]
         };
-        let mut residuals = vec![f64::INFINITY; candidates[i].len()];
-        let others: Vec<(Point2, &[f64])> = selected
+        let others: Vec<Slot> = selected
             .iter()
             .filter(|&&j| j != i)
             .map(|&j| {
                 // fluxlint: allow(no-panic) — the auction sets chosen[j] before pushing j into selected
                 let c = chosen[j].expect("selected users have chosen candidates");
-                (candidates[j][c], columns[j][c].as_slice())
+                (j, c)
             })
             .collect();
-        for c in 0..limit {
-            let mut sinks: Vec<Point2> = Vec::with_capacity(others.len() + 1);
-            let mut cols: Vec<&[f64]> = Vec::with_capacity(others.len() + 1);
-            sinks.push(candidates[i][c]);
-            cols.push(columns[i][c].as_slice());
-            for &(p, col) in &others {
-                sinks.push(p);
-                cols.push(col);
-            }
-            residuals[c] = objective.evaluate_columns(&sinks, &cols)?.residual;
+        let cond = cache.conditioner(&others, 0);
+        let scanned: Result<Vec<f64>, SmcError> = pool
+            .map_with(limit, CacheScratch::new, |scratch, c| {
+                cache
+                    .evaluate_conditioned(&cond, (i, c), scratch)
+                    .map_err(SmcError::from)
+            })
+            .into_iter()
+            .collect();
+        let mut residuals = vec![f64::INFINITY; candidates[i].len()];
+        for (c, r) in scanned?.into_iter().enumerate() {
+            residuals[c] = r;
         }
         // Refresh the chosen candidate from the final scan.
         let best = (0..limit)
@@ -190,40 +221,40 @@ pub fn associate(
     })
 }
 
-/// Scans user `i`'s candidates conditioned on the selected sources and
-/// returns its admissible bid.
-#[allow(clippy::too_many_arguments)]
-fn best_bid(
-    objective: &FluxObjective,
-    candidates: &[Vec<Point2>],
-    columns: &[Vec<Vec<f64>>],
-    selected: &[usize],
-    chosen: &[Option<usize>],
-    i: usize,
-    explore_from: usize,
-    explore_penalty: f64,
-    explore_accept_ratio: f64,
-) -> Result<Bid, SmcError> {
-    let base: Vec<(Point2, &[f64])> = selected
+/// The selected users' chosen slots, in selection order.
+fn selected_slots(selected: &[usize], chosen: &[Option<usize>]) -> Vec<Slot> {
+    selected
         .iter()
         .map(|&j| {
             // fluxlint: allow(no-panic) — the auction sets chosen[j] before pushing j into selected
             let c = chosen[j].expect("selected users have chosen candidates");
-            (candidates[j][c], columns[j][c].as_slice())
+            (j, c)
         })
+        .collect()
+}
+
+/// Scans user `i`'s candidates conditioned on the selected sources (in
+/// parallel) and returns its admissible bid.
+fn best_bid(
+    cache: &ScoringCache,
+    cond: &Conditioner,
+    i: usize,
+    explore_from: usize,
+    explore_penalty: f64,
+    explore_accept_ratio: f64,
+    pool: &Pool,
+) -> Result<Bid, SmcError> {
+    let scanned: Result<Vec<f64>, SmcError> = pool
+        .map_with(cache.size(i), CacheScratch::new, |scratch, c| {
+            cache
+                .evaluate_conditioned(cond, (i, c), scratch)
+                .map_err(SmcError::from)
+        })
+        .into_iter()
         .collect();
     let mut best_prior: Option<(usize, f64)> = None;
     let mut best_explore: Option<(usize, f64)> = None;
-    for c in 0..candidates[i].len() {
-        let mut sinks: Vec<Point2> = Vec::with_capacity(base.len() + 1);
-        let mut cols: Vec<&[f64]> = Vec::with_capacity(base.len() + 1);
-        sinks.push(candidates[i][c]);
-        cols.push(columns[i][c].as_slice());
-        for &(p, col) in &base {
-            sinks.push(p);
-            cols.push(col);
-        }
-        let r = objective.evaluate_columns(&sinks, &cols)?.residual;
+    for (c, r) in scanned?.into_iter().enumerate() {
         let slot = if c < explore_from {
             &mut best_prior
         } else {
@@ -383,5 +414,58 @@ mod tests {
             associate(&obj, &[vec![]], &[0], &SmcConfig::default()),
             Err(SmcError::ZeroUsers)
         ));
+    }
+
+    #[test]
+    fn association_is_identical_across_thread_counts() {
+        let obj = objective_for(&[(Point2::new(8.0, 8.0), 2.0), (Point2::new(22.0, 21.0), 2.5)]);
+        let candidates = vec![
+            vec![
+                Point2::new(8.0, 8.0),
+                Point2::new(12.0, 12.0),
+                Point2::new(6.0, 10.0),
+                Point2::new(14.0, 4.0), // exploration
+            ],
+            vec![
+                Point2::new(22.0, 21.0),
+                Point2::new(18.0, 18.0),
+                Point2::new(25.0, 17.0),
+                Point2::new(4.0, 26.0), // exploration
+            ],
+        ];
+        let cfg = SmcConfig::default();
+        let reference =
+            associate_with(&obj, &candidates, &[3, 3], &cfg, &Pool::with_threads(1)).unwrap();
+        for threads in [2usize, 8] {
+            let got = associate_with(
+                &obj,
+                &candidates,
+                &[3, 3],
+                &cfg,
+                &Pool::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(got.selected, reference.selected, "threads={threads}");
+            assert_eq!(got.chosen, reference.chosen);
+            assert_eq!(got.used_explore, reference.used_explore);
+            for (a, b) in got
+                .per_candidate_residual
+                .iter()
+                .zip(&reference.per_candidate_residual)
+            {
+                match (a, b) {
+                    (Some(ra), Some(rb)) => {
+                        for (x, y) in ra.iter().zip(rb) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+                        }
+                    }
+                    (None, None) => {}
+                    _ => panic!("per-candidate shape diverged at {threads} threads"),
+                }
+            }
+            let (fa, fb) = (got.fit.unwrap(), reference.fit.clone().unwrap());
+            assert_eq!(fa.residual.to_bits(), fb.residual.to_bits());
+            assert_eq!(fa.stretches, fb.stretches);
+        }
     }
 }

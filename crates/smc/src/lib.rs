@@ -56,11 +56,12 @@ mod config;
 mod error;
 mod estimate;
 mod filtering;
+pub mod reference;
 mod tracker;
 
-pub use association::{associate, Association};
+pub use association::{associate, associate_with, Association};
 pub use config::SmcConfig;
 pub use error::SmcError;
 pub use estimate::{effective_sample_size, weighted_mean, WeightedSample};
-pub use filtering::{filter_candidates, CandidateScores, FilterStrategy};
+pub use filtering::{filter_candidates, filter_candidates_with, CandidateScores, FilterStrategy};
 pub use tracker::{StepOutcome, Tracker};

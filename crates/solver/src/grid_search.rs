@@ -7,6 +7,7 @@
 //! inputs give identical outputs, which makes it the reference the
 //! stochastic search is regression-tested against.
 
+use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::Point2;
 use fluxprint_telemetry::{self as telemetry, names};
 
@@ -64,6 +65,25 @@ pub fn grid_search(
     k: usize,
     config: &GridSearchConfig,
 ) -> Result<SinkFit, SolverError> {
+    grid_search_with(objective, k, config, fluxprint_fluxpar::pool())
+}
+
+/// [`grid_search`] on an explicit worker pool.
+///
+/// The result is bit-identical at any thread count: the coarse-lattice
+/// cells are evaluated independently and reduced in row-major cell order
+/// with a strict `<`, reproducing the sequential scan's first-minimum
+/// tie-break.
+///
+/// # Errors
+///
+/// As for [`grid_search`].
+pub fn grid_search_with(
+    objective: &FluxObjective,
+    k: usize,
+    config: &GridSearchConfig,
+    pool: &Pool,
+) -> Result<SinkFit, SolverError> {
     if k == 0 {
         return Err(SolverError::ZeroSinks);
     }
@@ -75,17 +95,25 @@ pub fn grid_search(
     }
     let _span = telemetry::span(names::SPAN_GRID_SEARCH);
     let (lo, hi) = objective.boundary().bounding_box();
-    let cell_w = (hi.x - lo.x) / config.coarse_cells as f64;
-    let cell_h = (hi.y - lo.y) / config.coarse_cells as f64;
+    let cells = config.coarse_cells;
+    let cell_w = (hi.x - lo.x) / cells as f64;
+    let cell_h = (hi.y - lo.y) / cells as f64;
 
-    // Sequential placement on the coarse lattice.
+    // Sequential placement on the coarse lattice. The cells of one
+    // placement stage are independent hypotheses, so they are evaluated on
+    // the pool; the reduction walks the results in row-major (cy, cx)
+    // order, matching the sequential nested scan exactly.
     let mut placed: Vec<Point2> = Vec::with_capacity(k);
     for _ in 0..k {
-        let mut best: Option<(Point2, f64)> = None;
-        let mut hypothesis = placed.clone();
-        hypothesis.push(Point2::ORIGIN);
-        for cy in 0..config.coarse_cells {
-            for cx in 0..config.coarse_cells {
+        let evals = pool.map_with(
+            cells * cells,
+            || {
+                let mut hypothesis = placed.clone();
+                hypothesis.push(Point2::ORIGIN);
+                hypothesis
+            },
+            |hypothesis, cell| {
+                let (cy, cx) = (cell / cells, cell % cells);
                 let p = objective.boundary().clamp(Point2::new(
                     lo.x + (cx as f64 + 0.5) * cell_w,
                     lo.y + (cy as f64 + 0.5) * cell_h,
@@ -94,10 +122,14 @@ pub fn grid_search(
                     *slot = p;
                 }
                 telemetry::counter(names::SOLVER_GRID_CELLS, 1);
-                let fit = objective.evaluate(&hypothesis)?;
-                if best.is_none_or(|(_, r)| fit.residual < r) {
-                    best = Some((p, fit.residual));
-                }
+                objective.evaluate(hypothesis).map(|fit| (p, fit.residual))
+            },
+        );
+        let mut best: Option<(Point2, f64)> = None;
+        for eval in evals {
+            let (p, residual) = eval?;
+            if best.is_none_or(|(_, r)| residual < r) {
+                best = Some((p, residual));
             }
         }
         // The lattice has coarse_cells^2 >= 1 points, so a best exists
@@ -226,6 +258,33 @@ mod tests {
         // plus an absolute accuracy bound.
         assert!(refined.residual <= coarse.residual + 1e-12);
         assert!(refined.positions[0].distance(truth[0].0) < 1.0);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let truth = [(Point2::new(8.0, 8.0), 2.0), (Point2::new(22.0, 21.0), 2.5)];
+        let obj = objective_for(&truth);
+        let cfg = GridSearchConfig::default();
+        let single =
+            grid_search_with(&obj, 2, &cfg, &fluxprint_fluxpar::Pool::with_threads(1)).unwrap();
+        for threads in [2, 8] {
+            let multi = grid_search_with(
+                &obj,
+                2,
+                &cfg,
+                &fluxprint_fluxpar::Pool::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(single.positions, multi.positions, "{threads} threads");
+            assert_eq!(
+                single.residual.to_bits(),
+                multi.residual.to_bits(),
+                "{threads} threads"
+            );
+            for (a, b) in single.stretches.iter().zip(&multi.stretches) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

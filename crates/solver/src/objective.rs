@@ -179,10 +179,13 @@ impl FluxObjective {
                 });
             }
         }
-        let mut data = vec![0.0; n * columns.len()];
-        for (j, col) in columns.iter().enumerate() {
-            for (i, &v) in col.iter().enumerate() {
-                data[i * columns.len() + j] = v;
+        // Row-major assembly in one pass; the previous transposed copy
+        // zero-initialized and then scattered, costing two `n·k` writes
+        // per combination on the legacy scoring path.
+        let mut data = Vec::with_capacity(n * columns.len());
+        for i in 0..n {
+            for col in columns {
+                data.push(col[i]);
             }
         }
         let a = Matrix::from_vec(n, columns.len(), data)?;

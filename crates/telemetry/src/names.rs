@@ -21,6 +21,10 @@ pub const SOLVER_NM_BUDGET_EXHAUSTED: &str = "solver.nelder_mead.budget_exhauste
 pub const SOLVER_GRID_CELLS: &str = "solver.grid_search.cells";
 /// Sinks extracted by recursive full-map briefing rounds (§3.C).
 pub const SOLVER_BRIEFING_ROUNDS: &str = "solver.briefing.rounds";
+/// Scoring-cache (Gram) precomputes, one per observation window.
+pub const SOLVER_GRAM_BUILD: &str = "solver.gram.build";
+/// Combination evaluations answered from the Gram cache (n-free path).
+pub const SOLVER_GRAM_COMBO_EVALS: &str = "solver.gram.combo_evals";
 
 /// SMC tracker observation rounds processed (Algorithm 4.1 steps).
 pub const SMC_STEPS: &str = "smc.steps";
@@ -46,6 +50,11 @@ pub const NETSIM_SNIFFER_OBSERVATIONS: &str = "netsim.sniffer.observations";
 
 /// Trials executed by parameter sweeps.
 pub const SWEEP_TRIALS: &str = "core.sweep.trials";
+
+/// Work items routed through the deterministic worker pool.
+pub const FLUXPAR_TASKS: &str = "fluxpar.tasks";
+/// Worker threads spawned by parallel pool dispatches.
+pub const FLUXPAR_THREADS: &str = "fluxpar.threads";
 
 /// Per-round prediction candidate counts (distribution across rounds).
 pub const HIST_SMC_ROUND_SAMPLES: &str = "smc.round.samples_predicted";
@@ -78,6 +87,8 @@ pub const COUNTERS: &[&str] = &[
     SOLVER_NM_BUDGET_EXHAUSTED,
     SOLVER_GRID_CELLS,
     SOLVER_BRIEFING_ROUNDS,
+    SOLVER_GRAM_BUILD,
+    SOLVER_GRAM_COMBO_EVALS,
     SMC_STEPS,
     SMC_SAMPLES_PREDICTED,
     SMC_SAMPLES_EXPLORE,
@@ -89,6 +100,8 @@ pub const COUNTERS: &[&str] = &[
     NETSIM_COLLECTION_TREES,
     NETSIM_SNIFFER_OBSERVATIONS,
     SWEEP_TRIALS,
+    FLUXPAR_TASKS,
+    FLUXPAR_THREADS,
 ];
 
 /// Every histogram in the catalog.

@@ -2,6 +2,7 @@
 
 use fluxprint_geometry::{Boundary, Point2, Vec2};
 use fluxprint_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 /// Continuous-field flux at distance `d` from the sink with boundary
 /// distance `l` and traffic stretch `s` (Formula 3.2): `s·(l² − d²)/(2d)`.
@@ -41,7 +42,10 @@ pub fn hop_flux(s: f64, r: f64, k: u32, l: f64) -> f64 {
 /// distance so candidate sinks sitting exactly on a sniffed node produce
 /// finite, comparable predictions. The default floor of `1.0` field unit is
 /// about one hop at the paper's densities.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Serde round-trips preserve the floor exactly; deserializing does not
+/// re-validate it, so state-restoring callers (the engine checkpoint
+/// path) check [`d_floor`](FluxModel::d_floor) before use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FluxModel {
     d_floor: f64,
 }

@@ -57,6 +57,7 @@ mod error;
 mod estimate;
 mod filtering;
 pub mod reference;
+mod state;
 mod tracker;
 
 pub use association::{associate, associate_with, Association};
@@ -64,4 +65,5 @@ pub use config::SmcConfig;
 pub use error::SmcError;
 pub use estimate::{effective_sample_size, weighted_mean, WeightedSample};
 pub use filtering::{filter_candidates, filter_candidates_with, CandidateScores, FilterStrategy};
+pub use state::{TrackerState, UserTrackState};
 pub use tracker::{StepOutcome, Tracker};

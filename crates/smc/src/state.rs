@@ -1,0 +1,231 @@
+//! Serializable tracker state snapshots.
+//!
+//! A [`Tracker`](crate::Tracker) is a live object holding an
+//! `Arc<dyn Boundary>`; the boundary is scenario geometry, not tracker
+//! state, so it cannot (and should not) travel through serde. Everything
+//! else — per-user weighted samples, freeze times, initialization flags,
+//! the §4.C heading history, the configuration, and the flux model — is
+//! captured by [`TrackerState`], a plain data snapshot with derived serde
+//! impls. [`Tracker::state`](crate::Tracker::state) produces it and
+//! [`Tracker::from_state`](crate::Tracker::from_state) revives it against
+//! a caller-supplied boundary, validating every invariant the live
+//! tracker relies on.
+//!
+//! The round-trip is exact: every float is preserved bit-for-bit (JSON
+//! serialization in this workspace's `serde_json` stand-in goes through
+//! `f64` without rounding), so a revived tracker continues producing
+//! bit-identical [`StepOutcome`](crate::StepOutcome)s — the engine
+//! crate's checkpoint guarantee builds directly on this.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::Point2;
+
+use crate::{SmcConfig, SmcError, WeightedSample};
+
+/// Snapshot of one tracked user: the `<P(i), w(i)>` duples of §4.D plus
+/// the asynchronous-gate bookkeeping of §4.E.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserTrackState {
+    /// The user's current weighted position samples.
+    pub samples: Vec<WeightedSample>,
+    /// Time of the user's last detected collection (the `Δt` origin).
+    pub t_last: f64,
+    /// Whether the user has ever matched an observation (uninitialized
+    /// users predict uniformly over the whole field).
+    pub initialized: bool,
+    /// The last up-to-two active-round estimates with their times, for
+    /// the heading-aware prediction refinement of §4.C.
+    pub history: Vec<(f64, Point2)>,
+}
+
+impl UserTrackState {
+    /// Validates the per-user invariants the live tracker relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SmcError> {
+        if self.samples.is_empty() {
+            return Err(SmcError::BadConfig {
+                field: "state.samples",
+            });
+        }
+        for s in &self.samples {
+            if !(s.weight.is_finite() && s.weight >= 0.0) {
+                return Err(SmcError::BadConfig {
+                    field: "state.samples.weight",
+                });
+            }
+            if !(s.position.x.is_finite() && s.position.y.is_finite()) {
+                return Err(SmcError::BadConfig {
+                    field: "state.samples.position",
+                });
+            }
+        }
+        if !self.t_last.is_finite() {
+            return Err(SmcError::BadConfig {
+                field: "state.t_last",
+            });
+        }
+        if self.history.len() > 2 {
+            return Err(SmcError::BadConfig {
+                field: "state.history",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Complete serializable tracker state: configuration, flux model, and
+/// every user's track. Produced by [`Tracker::state`](crate::Tracker::state),
+/// revived by [`Tracker::from_state`](crate::Tracker::from_state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerState {
+    /// The tracker's configuration.
+    pub config: SmcConfig,
+    /// The flux model the tracker fits against.
+    pub model: FluxModel,
+    /// Per-user track state, in user-index order.
+    pub users: Vec<UserTrackState>,
+    /// Time of the most recent step (or the start time).
+    pub last_step_time: f64,
+}
+
+impl TrackerState {
+    /// Validates the snapshot's invariants: a valid configuration, a
+    /// positive finite model floor, at least one user, and well-formed
+    /// per-user tracks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::ZeroUsers`] for an empty user list and
+    /// [`SmcError::BadConfig`] for any other violation.
+    pub fn validate(&self) -> Result<(), SmcError> {
+        self.config.validate()?;
+        if !(self.model.d_floor().is_finite() && self.model.d_floor() > 0.0) {
+            return Err(SmcError::BadConfig {
+                field: "state.model.d_floor",
+            });
+        }
+        if self.users.is_empty() {
+            return Err(SmcError::ZeroUsers);
+        }
+        for user in &self.users {
+            user.validate()?;
+        }
+        if !self.last_step_time.is_finite() {
+            return Err(SmcError::BadConfig {
+                field: "state.last_step_time",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(x: f64, y: f64, w: f64) -> WeightedSample {
+        WeightedSample {
+            position: Point2::new(x, y),
+            weight: w,
+        }
+    }
+
+    fn valid_state() -> TrackerState {
+        TrackerState {
+            config: SmcConfig::default(),
+            model: FluxModel::default(),
+            users: vec![UserTrackState {
+                samples: vec![sample(1.0, 2.0, 0.5), sample(3.0, 4.0, 0.5)],
+                t_last: 0.0,
+                initialized: true,
+                history: vec![(1.0, Point2::new(2.0, 2.0))],
+            }],
+            last_step_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn valid_state_passes() {
+        valid_state().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_users_rejected() {
+        let mut s = valid_state();
+        s.users.clear();
+        assert!(matches!(s.validate(), Err(SmcError::ZeroUsers)));
+    }
+
+    #[test]
+    fn bad_fields_rejected() {
+        let mut s = valid_state();
+        s.users[0].samples.clear();
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig {
+                field: "state.samples"
+            })
+        ));
+
+        let mut s = valid_state();
+        s.users[0].samples[0].weight = f64::NAN;
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig {
+                field: "state.samples.weight"
+            })
+        ));
+
+        let mut s = valid_state();
+        s.users[0].samples[1].position = Point2::new(f64::INFINITY, 0.0);
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig {
+                field: "state.samples.position"
+            })
+        ));
+
+        let mut s = valid_state();
+        s.users[0].t_last = f64::NAN;
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig {
+                field: "state.t_last"
+            })
+        ));
+
+        let mut s = valid_state();
+        s.users[0].history = vec![
+            (0.0, Point2::new(0.0, 0.0)),
+            (1.0, Point2::new(1.0, 1.0)),
+            (2.0, Point2::new(2.0, 2.0)),
+        ];
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig {
+                field: "state.history"
+            })
+        ));
+
+        let mut s = valid_state();
+        s.last_step_time = f64::NEG_INFINITY;
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig {
+                field: "state.last_step_time"
+            })
+        ));
+
+        let mut s = valid_state();
+        s.config.keep_m = 0;
+        assert!(matches!(
+            s.validate(),
+            Err(SmcError::BadConfig { field: "keep_m" })
+        ));
+    }
+}

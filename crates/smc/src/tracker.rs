@@ -10,7 +10,10 @@ use fluxprint_solver::FluxObjective;
 use fluxprint_stats::WeightedAlias;
 use fluxprint_telemetry::{self as telemetry, names};
 
-use crate::{associate, weighted_mean, FilterStrategy, SmcConfig, SmcError, WeightedSample};
+use crate::{
+    associate, weighted_mean, FilterStrategy, SmcConfig, SmcError, TrackerState, UserTrackState,
+    WeightedSample,
+};
 
 /// Per-round tracker output.
 #[derive(Debug, Clone)]
@@ -117,6 +120,60 @@ impl Tracker {
     /// Time of the most recent step (or the start time).
     pub fn time(&self) -> f64 {
         self.last_step_time
+    }
+
+    /// Snapshots the tracker's complete serializable state: per-user
+    /// samples, freeze times, heading histories, the configuration, and
+    /// the flux model. The boundary is scenario geometry, not tracker
+    /// state — supply it again at [`from_state`](Tracker::from_state).
+    pub fn state(&self) -> TrackerState {
+        TrackerState {
+            config: self.config,
+            model: self.model,
+            users: self
+                .users
+                .iter()
+                .map(|u| UserTrackState {
+                    samples: u.samples.clone(),
+                    t_last: u.t_last,
+                    initialized: u.initialized,
+                    history: u.history.clone(),
+                })
+                .collect(),
+            last_step_time: self.last_step_time,
+        }
+    }
+
+    /// Revives a tracker from a [`state`](Tracker::state) snapshot and
+    /// the field boundary it tracked over.
+    ///
+    /// Restore is exact: the revived tracker produces bit-identical
+    /// [`StepOutcome`]s to the one the snapshot was taken from, given the
+    /// same observation and RNG streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::ZeroUsers`] or [`SmcError::BadConfig`] when
+    /// the snapshot violates a tracker invariant (see
+    /// [`TrackerState::validate`]).
+    pub fn from_state(state: TrackerState, boundary: Arc<dyn Boundary>) -> Result<Self, SmcError> {
+        state.validate()?;
+        Ok(Tracker {
+            config: state.config,
+            boundary,
+            model: state.model,
+            users: state
+                .users
+                .into_iter()
+                .map(|u| UserTrack {
+                    samples: u.samples,
+                    t_last: u.t_last,
+                    initialized: u.initialized,
+                    history: u.history,
+                })
+                .collect(),
+            last_step_time: state.last_step_time,
+        })
     }
 
     /// The current weighted samples of user `index`.

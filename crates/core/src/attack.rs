@@ -360,6 +360,7 @@ mod tests {
     use super::*;
     use crate::ScenarioBuilder;
     use fluxprint_mobility::{CollectionSchedule, Trajectory, UserMotion};
+    use fluxprint_netsim::NetsimError;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -566,6 +567,50 @@ mod tests {
                 .unwrap()
                 .len(),
             100
+        );
+    }
+
+    #[test]
+    fn sniffer_spec_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let scenario = ScenarioBuilder::new()
+            .grid_nodes(10, 10)
+            .radius(5.0)
+            .user(static_user(10.0, 10.0, 1.0))
+            .build(&mut rng)
+            .unwrap();
+        let net = &scenario.network;
+
+        // Percentage 0 is out of the paper's (0, 100] domain; 100 sniffs
+        // every node.
+        assert!(matches!(
+            SnifferSpec::Percentage(0.0).build(net, &mut rng),
+            Err(CoreError::Netsim(NetsimError::BadPercentage(_)))
+        ));
+        assert_eq!(
+            SnifferSpec::Percentage(100.0)
+                .build(net, &mut rng)
+                .unwrap()
+                .len(),
+            net.len()
+        );
+
+        // Count 0 and count > node count are both rejected; count == node
+        // count is the full-map boundary and succeeds.
+        assert!(matches!(
+            SnifferSpec::Count(0).build(net, &mut rng),
+            Err(CoreError::Netsim(NetsimError::EmptyNetwork))
+        ));
+        assert!(matches!(
+            SnifferSpec::Count(net.len() + 1).build(net, &mut rng),
+            Err(CoreError::Netsim(NetsimError::TooManySniffers { .. }))
+        ));
+        assert_eq!(
+            SnifferSpec::Count(net.len())
+                .build(net, &mut rng)
+                .unwrap()
+                .len(),
+            net.len()
         );
     }
 }

@@ -47,6 +47,12 @@ pub enum NetsimError {
         /// Index of the user in the input slice.
         index: usize,
     },
+    /// An observation round was malformed (empty, mismatched parallel
+    /// arrays, or non-finite values).
+    BadRound {
+        /// The offending field.
+        field: &'static str,
+    },
     /// A geometry error surfaced during deployment.
     Geometry(GeometryError),
 }
@@ -84,6 +90,9 @@ impl fmt::Display for NetsimError {
                     f,
                     "user {index} has a non-finite position or negative stretch"
                 )
+            }
+            NetsimError::BadRound { field } => {
+                write!(f, "malformed observation round: bad {field}")
             }
             NetsimError::Geometry(e) => write!(f, "geometry error: {e}"),
         }
@@ -127,6 +136,7 @@ mod tests {
                 available: 5,
             },
             NetsimError::BadUser { index: 0 },
+            NetsimError::BadRound { field: "ids" },
             NetsimError::Geometry(GeometryError::EmptyDeployment),
         ];
         for e in errs {

@@ -42,6 +42,7 @@ mod energy;
 mod error;
 mod network;
 mod node;
+mod round;
 mod sniffer;
 
 pub use collection::CollectionTree;
@@ -49,4 +50,5 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use error::NetsimError;
 pub use network::{Network, NetworkBuilder, TopologyStats};
 pub use node::NodeId;
+pub use round::ObservationRound;
 pub use sniffer::{NoiseModel, Sniffer};

@@ -1,0 +1,126 @@
+//! One observation window as a self-contained value.
+//!
+//! The batch pipeline hands flux vectors straight from the simulator to
+//! the solver; a streaming consumer instead receives discrete
+//! [`ObservationRound`]s — the time of the window, the ids of the nodes
+//! that reported, and their (possibly noisy) flux readings. The round
+//! carries ids rather than positions so the producer and consumer can
+//! disagree about sniffer membership between rounds (sniffer churn): the
+//! consumer resolves ids against its own network view and patches its
+//! objective incrementally.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NetsimError, NodeId};
+
+/// The adversary-visible content of one observation window.
+///
+/// `ids` and `fluxes` are parallel: `fluxes[i]` is the reading collected
+/// at node `ids[i]`. Rounds are plain serializable data — they can be
+/// logged, replayed, or shipped across a process boundary unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationRound {
+    /// Time of the observation window.
+    pub time: f64,
+    /// Ids of the nodes that reported this window.
+    pub ids: Vec<NodeId>,
+    /// Flux reading per reporting node, parallel to `ids`.
+    pub fluxes: Vec<f64>,
+}
+
+impl ObservationRound {
+    /// Creates a validated round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::BadRound`] when the round is malformed (see
+    /// [`validate`](Self::validate)).
+    pub fn new(time: f64, ids: Vec<NodeId>, fluxes: Vec<f64>) -> Result<Self, NetsimError> {
+        let round = ObservationRound { time, ids, fluxes };
+        round.validate()?;
+        Ok(round)
+    }
+
+    /// Number of readings in the round.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the round carries no readings (never true for a validated
+    /// round).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Checks the round's invariants: a finite time, at least one
+    /// reading, parallel `ids`/`fluxes`, and finite non-negative fluxes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::BadRound`] naming the offending field.
+    pub fn validate(&self) -> Result<(), NetsimError> {
+        if !self.time.is_finite() {
+            return Err(NetsimError::BadRound { field: "time" });
+        }
+        if self.ids.is_empty() {
+            return Err(NetsimError::BadRound { field: "ids" });
+        }
+        if self.ids.len() != self.fluxes.len() {
+            return Err(NetsimError::BadRound { field: "fluxes" });
+        }
+        for &f in &self.fluxes {
+            if !(f.is_finite() && f >= 0.0) {
+                return Err(NetsimError::BadRound { field: "fluxes" });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[usize]) -> Vec<NodeId> {
+        raw.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn valid_round_passes() {
+        let r = ObservationRound::new(1.0, ids(&[0, 4, 7]), vec![0.5, 0.0, 3.0]).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn malformed_rounds_rejected() {
+        assert!(matches!(
+            ObservationRound::new(f64::NAN, ids(&[0]), vec![1.0]),
+            Err(NetsimError::BadRound { field: "time" })
+        ));
+        assert!(matches!(
+            ObservationRound::new(0.0, vec![], vec![]),
+            Err(NetsimError::BadRound { field: "ids" })
+        ));
+        assert!(matches!(
+            ObservationRound::new(0.0, ids(&[0, 1]), vec![1.0]),
+            Err(NetsimError::BadRound { field: "fluxes" })
+        ));
+        assert!(matches!(
+            ObservationRound::new(0.0, ids(&[0]), vec![-1.0]),
+            Err(NetsimError::BadRound { field: "fluxes" })
+        ));
+        assert!(matches!(
+            ObservationRound::new(0.0, ids(&[0]), vec![f64::INFINITY]),
+            Err(NetsimError::BadRound { field: "fluxes" })
+        ));
+    }
+
+    #[test]
+    fn round_serde_round_trips() {
+        let r = ObservationRound::new(2.5, ids(&[3, 1, 9]), vec![0.25, 1.75, 0.0]).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ObservationRound = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

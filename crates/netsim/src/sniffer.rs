@@ -13,7 +13,7 @@ use fluxprint_geometry::Point2;
 use fluxprint_stats::sample_indices_without_replacement;
 use fluxprint_telemetry::{self as telemetry, names};
 
-use crate::{NetsimError, Network, NodeId};
+use crate::{NetsimError, Network, NodeId, ObservationRound};
 
 /// Measurement noise applied to each sniffed flux count.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -186,6 +186,66 @@ impl Sniffer {
         &self.positions
     }
 
+    /// Adds nodes to the sniffed set (sniffer churn), appending them
+    /// after the existing ids; ids already sniffed are skipped. Returns
+    /// the number of ids actually added.
+    ///
+    /// Validation is atomic: if any id is out of range the sniffer is
+    /// left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::NodeOutOfRange`] for an invalid id.
+    pub fn add_ids(&mut self, network: &Network, new_ids: &[NodeId]) -> Result<usize, NetsimError> {
+        for id in new_ids {
+            if id.index() >= network.len() {
+                return Err(NetsimError::NodeOutOfRange {
+                    index: id.index(),
+                    len: network.len(),
+                });
+            }
+        }
+        let mut added = 0;
+        for &id in new_ids {
+            if !self.ids.contains(&id) {
+                self.ids.push(id);
+                self.positions.push(network.position(id));
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Removes nodes from the sniffed set (sniffer churn), preserving the
+    /// order of the survivors; ids not currently sniffed are ignored.
+    /// Returns the number of ids actually removed.
+    ///
+    /// Validation is atomic: if removal would leave the sniffer empty it
+    /// is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyNetwork`] when removal would empty the
+    /// sniffed set.
+    pub fn remove_ids(&mut self, drop: &[NodeId]) -> Result<usize, NetsimError> {
+        let keep = self.ids.iter().filter(|id| !drop.contains(id)).count();
+        if keep == 0 {
+            return Err(NetsimError::EmptyNetwork);
+        }
+        let removed = self.ids.len() - keep;
+        if removed > 0 {
+            let ids = std::mem::take(&mut self.ids);
+            let positions = std::mem::take(&mut self.positions);
+            for (id, pos) in ids.into_iter().zip(positions) {
+                if !drop.contains(&id) {
+                    self.ids.push(id);
+                    self.positions.push(pos);
+                }
+            }
+        }
+        Ok(removed)
+    }
+
     /// Extracts this sniffer's view of a full per-node flux vector,
     /// applying `noise` to each reading.
     ///
@@ -245,6 +305,50 @@ impl Sniffer {
                 noise.apply(sum / (neighbors.len() + 1) as f64, rng)
             })
             .collect()
+    }
+
+    /// Packages one window's raw readings as a self-contained
+    /// [`ObservationRound`] for streaming consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flux.len()` does not match the network the sniffer was
+    /// built over (as [`observe`](Self::observe)).
+    pub fn observe_round<R: Rng + ?Sized>(
+        &self,
+        time: f64,
+        flux: &[f64],
+        noise: NoiseModel,
+        rng: &mut R,
+    ) -> ObservationRound {
+        ObservationRound {
+            time,
+            ids: self.ids.clone(),
+            fluxes: self.observe(flux, noise, rng),
+        }
+    }
+
+    /// Packages one window's neighborhood-smoothed readings as an
+    /// [`ObservationRound`] — the streaming counterpart of
+    /// [`observe_smoothed`](Self::observe_smoothed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flux.len()` differs from `network.len()` or the
+    /// sniffer was built over a different-sized network.
+    pub fn observe_round_smoothed<R: Rng + ?Sized>(
+        &self,
+        time: f64,
+        network: &Network,
+        flux: &[f64],
+        noise: NoiseModel,
+        rng: &mut R,
+    ) -> ObservationRound {
+        ObservationRound {
+            time,
+            ids: self.ids.clone(),
+            fluxes: self.observe_smoothed(network, flux, noise, rng),
+        }
     }
 }
 
@@ -346,6 +450,102 @@ mod tests {
         let s = Sniffer::all(&net);
         assert_eq!(s.len(), net.len());
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn add_ids_appends_new_nodes_and_skips_duplicates() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = Sniffer::random_count(&net, 5, &mut rng).unwrap();
+        let existing = s.ids()[0];
+        let fresh: Vec<NodeId> = (0..net.len())
+            .map(NodeId::new)
+            .filter(|id| !s.ids().contains(id))
+            .take(3)
+            .collect();
+        let mut request = vec![existing];
+        request.extend(&fresh);
+        let added = s.add_ids(&net, &request).unwrap();
+        assert_eq!(added, 3, "the already-sniffed id must be skipped");
+        assert_eq!(s.len(), 8);
+        assert_eq!(&s.ids()[5..], fresh.as_slice(), "new ids append in order");
+        for (id, &pos) in s.ids().iter().zip(s.positions()) {
+            assert_eq!(net.position(*id), pos);
+        }
+    }
+
+    #[test]
+    fn add_ids_rejects_out_of_range_atomically() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = Sniffer::random_count(&net, 5, &mut rng).unwrap();
+        let before = s.clone();
+        let err = s.add_ids(&net, &[NodeId::new(0), NodeId::new(net.len())]);
+        assert!(matches!(err, Err(NetsimError::NodeOutOfRange { .. })));
+        assert_eq!(s, before, "failed churn must not modify the sniffer");
+    }
+
+    #[test]
+    fn remove_ids_preserves_survivor_order() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = Sniffer::random_count(&net, 6, &mut rng).unwrap();
+        let drop = vec![s.ids()[1], s.ids()[4]];
+        let survivors: Vec<NodeId> = s
+            .ids()
+            .iter()
+            .copied()
+            .filter(|id| !drop.contains(id))
+            .collect();
+        let removed = s.remove_ids(&drop).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(s.ids(), survivors.as_slice());
+        for (id, &pos) in s.ids().iter().zip(s.positions()) {
+            assert_eq!(net.position(*id), pos);
+        }
+        // Unknown ids are ignored.
+        assert_eq!(s.remove_ids(&[NodeId::new(net.len() - 1)]).unwrap_or(9), 0);
+    }
+
+    #[test]
+    fn remove_ids_refuses_to_empty_the_sniffer() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut s = Sniffer::random_count(&net, 3, &mut rng).unwrap();
+        let all = s.ids().to_vec();
+        let before = s.clone();
+        assert!(matches!(s.remove_ids(&all), Err(NetsimError::EmptyNetwork)));
+        assert_eq!(s, before, "failed churn must not modify the sniffer");
+    }
+
+    #[test]
+    fn observe_round_packages_ids_and_readings() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut s = Sniffer::random_count(&net, 8, &mut rng).unwrap();
+        let flux: Vec<f64> = (0..net.len()).map(|i| i as f64).collect();
+
+        let round = s.observe_round(3.0, &flux, NoiseModel::None, &mut rng);
+        round.validate().unwrap();
+        assert_eq!(round.time, 3.0);
+        assert_eq!(round.ids, s.ids());
+        for (id, &f) in round.ids.iter().zip(&round.fluxes) {
+            assert_eq!(f, id.index() as f64);
+        }
+
+        // After churn, rounds track the updated membership.
+        let dropped = s.ids()[0];
+        s.remove_ids(&[dropped]).unwrap();
+        let round = s.observe_round_smoothed(4.0, &net, &flux, NoiseModel::None, &mut rng);
+        round.validate().unwrap();
+        assert_eq!(round.len(), 7);
+        assert!(!round.ids.contains(&dropped));
+        // Smoothed readings equal the neighborhood mean.
+        let id = round.ids[0];
+        let neighbors = net.neighbors(id);
+        let want = (flux[id.index()] + neighbors.iter().map(|&j| flux[j]).sum::<f64>())
+            / (neighbors.len() + 1) as f64;
+        assert_eq!(round.fluxes[0], want);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The versioned session checkpoint format.
+//!
+//! A checkpoint is everything a [`Session`](crate::Session) needs to
+//! resume bit-identically: the tracker snapshot (samples, weights,
+//! heading histories, configuration, model), the session RNG's stream
+//! position, the user lifecycle states, and the ingest counter. Derived
+//! caches (the sniffer-set objective template) are deliberately excluded
+//! — they rebuild on the first round after restore with no effect on
+//! outputs.
+//!
+//! The RNG state is four 64-bit words encoded as fixed-width hex strings
+//! rather than JSON numbers: the workspace's serde stand-in routes
+//! integers above `i64::MAX` through `f64`, which would silently corrupt
+//! high-entropy RNG words. Hex strings round-trip exactly everywhere.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_smc::TrackerState;
+
+use crate::{EngineError, UserState};
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A complete serializable session snapshot.
+///
+/// Produced by [`Session::checkpoint`](crate::Session::checkpoint),
+/// revived by [`Engine::restore`](crate::Engine::restore). The format is
+/// versioned: [`validate`](Self::validate) rejects checkpoints written by
+/// other versions instead of misreading them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The tracker snapshot (per-user samples, weights, histories,
+    /// configuration, flux model).
+    pub tracker: TrackerState,
+    /// Session RNG stream position: four 64-bit words as 16-digit hex.
+    pub rng: Vec<String>,
+    /// Lifecycle state per user, parallel to `tracker.users`.
+    pub users: Vec<UserState>,
+    /// Observation rounds ingested so far.
+    pub rounds_ingested: u64,
+}
+
+impl SessionCheckpoint {
+    /// Checks the checkpoint's engine-level invariants: a supported
+    /// version, a well-formed RNG encoding, and lifecycle states parallel
+    /// to the tracker's users. Tracker-level invariants are checked by
+    /// [`TrackerState::validate`] at restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedVersion`] or
+    /// [`EngineError::BadCheckpoint`] naming the offending field.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(EngineError::UnsupportedVersion {
+                found: self.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        self.decode_rng()?;
+        if self.users.len() != self.tracker.users.len() {
+            return Err(EngineError::BadCheckpoint { field: "users" });
+        }
+        Ok(())
+    }
+
+    /// Decodes the hex-encoded RNG stream position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadCheckpoint`] for a malformed encoding.
+    pub(crate) fn decode_rng(&self) -> Result<[u64; 4], EngineError> {
+        if self.rng.len() != 4 {
+            return Err(EngineError::BadCheckpoint { field: "rng" });
+        }
+        let mut words = [0u64; 4];
+        for (w, s) in words.iter_mut().zip(&self.rng) {
+            *w = u64::from_str_radix(s, 16)
+                .map_err(|_| EngineError::BadCheckpoint { field: "rng" })?;
+        }
+        Ok(words)
+    }
+
+    /// Encodes an RNG stream position as fixed-width hex words.
+    pub(crate) fn encode_rng(words: [u64; 4]) -> Vec<String> {
+        words.iter().map(|w| format!("{w:016x}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxprint_fluxmodel::FluxModel;
+    use fluxprint_geometry::Point2;
+    use fluxprint_smc::{SmcConfig, UserTrackState, WeightedSample};
+
+    fn checkpoint() -> SessionCheckpoint {
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            tracker: TrackerState {
+                config: SmcConfig::default(),
+                model: FluxModel::default(),
+                users: vec![UserTrackState {
+                    samples: vec![WeightedSample {
+                        position: Point2::new(1.0, 2.0),
+                        weight: 1.0,
+                    }],
+                    t_last: 0.0,
+                    initialized: false,
+                    history: Vec::new(),
+                }],
+                last_step_time: 0.0,
+            },
+            rng: SessionCheckpoint::encode_rng([1, u64::MAX, 0x0123_4567_89ab_cdef, 42]),
+            users: vec![UserState::Active],
+            rounds_ingested: 3,
+        }
+    }
+
+    #[test]
+    fn rng_hex_round_trips_extreme_words() {
+        let words = [u64::MAX, 0, 1, 0x8000_0000_0000_0001];
+        let encoded = SessionCheckpoint::encode_rng(words);
+        let mut cp = checkpoint();
+        cp.rng = encoded;
+        assert_eq!(cp.decode_rng().unwrap(), words);
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        checkpoint().validate().unwrap();
+
+        let mut cp = checkpoint();
+        cp.version = 2;
+        assert!(matches!(
+            cp.validate(),
+            Err(EngineError::UnsupportedVersion {
+                found: 2,
+                supported: CHECKPOINT_VERSION
+            })
+        ));
+
+        let mut cp = checkpoint();
+        cp.rng.pop();
+        assert!(matches!(
+            cp.validate(),
+            Err(EngineError::BadCheckpoint { field: "rng" })
+        ));
+
+        let mut cp = checkpoint();
+        cp.rng[0] = "not hex".into();
+        assert!(matches!(
+            cp.validate(),
+            Err(EngineError::BadCheckpoint { field: "rng" })
+        ));
+
+        let mut cp = checkpoint();
+        cp.users.push(UserState::Suspended);
+        assert!(matches!(
+            cp.validate(),
+            Err(EngineError::BadCheckpoint { field: "users" })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips() {
+        let cp = checkpoint();
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: SessionCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(
+            back.decode_rng().unwrap(),
+            [1, u64::MAX, 0x0123_4567_89ab_cdef, 42]
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Error type for the streaming engine.
+
+use std::error::Error;
+use std::fmt;
+
+use fluxprint_netsim::NetsimError;
+use fluxprint_smc::SmcError;
+use fluxprint_solver::SolverError;
+
+/// Errors produced while opening, driving, or restoring tracking sessions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An engine or session parameter was invalid.
+    BadConfig {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A checkpoint field failed validation.
+    BadCheckpoint {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A checkpoint was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the checkpoint.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// An observation round referenced a node the engine does not know.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes the engine was built over.
+        len: usize,
+    },
+    /// A user index was out of range for the session.
+    UserOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of users in the session.
+        users: usize,
+    },
+    /// A lifecycle transition was not allowed from the user's current
+    /// state (e.g. resuming a departed user).
+    BadLifecycle {
+        /// The attempted transition.
+        transition: &'static str,
+    },
+    /// Checkpoint JSON could not be encoded or decoded.
+    CheckpointCodec(String),
+    /// An observation error surfaced from the network layer.
+    Netsim(NetsimError),
+    /// A tracking error surfaced from the SMC layer.
+    Smc(SmcError),
+    /// A fitting error surfaced from the solver layer.
+    Solver(SolverError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadConfig { field } => write!(f, "invalid engine config: {field}"),
+            EngineError::BadCheckpoint { field } => {
+                write!(f, "invalid checkpoint field: {field}")
+            }
+            EngineError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint version {found} unsupported (this build reads {supported})"
+                )
+            }
+            EngineError::UnknownNode { index, len } => {
+                write!(f, "round references node {index}, engine has {len} nodes")
+            }
+            EngineError::UserOutOfRange { index, users } => {
+                write!(f, "user {index} out of range for {users} session users")
+            }
+            EngineError::BadLifecycle { transition } => {
+                write!(f, "lifecycle transition not allowed: {transition}")
+            }
+            EngineError::CheckpointCodec(msg) => write!(f, "checkpoint codec: {msg}"),
+            EngineError::Netsim(e) => write!(f, "observation layer: {e}"),
+            EngineError::Smc(e) => write!(f, "tracking layer: {e}"),
+            EngineError::Solver(e) => write!(f, "solver layer: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Netsim(e) => Some(e),
+            EngineError::Smc(e) => Some(e),
+            EngineError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetsimError> for EngineError {
+    fn from(e: NetsimError) -> Self {
+        EngineError::Netsim(e)
+    }
+}
+
+impl From<SmcError> for EngineError {
+    fn from(e: SmcError) -> Self {
+        EngineError::Smc(e)
+    }
+}
+
+impl From<SolverError> for EngineError {
+    fn from(e: SolverError) -> Self {
+        EngineError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty_and_sources_chain() {
+        let errs = [
+            EngineError::BadConfig { field: "users" },
+            EngineError::BadCheckpoint { field: "rng" },
+            EngineError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            EngineError::UnknownNode { index: 7, len: 3 },
+            EngineError::UserOutOfRange { index: 2, users: 1 },
+            EngineError::BadLifecycle {
+                transition: "resume departed",
+            },
+            EngineError::CheckpointCodec("bad json".into()),
+            EngineError::Netsim(NetsimError::EmptyNetwork),
+            EngineError::Smc(SmcError::ZeroUsers),
+            EngineError::Solver(SolverError::EmptyObservation),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(Error::source(&EngineError::Smc(SmcError::ZeroUsers)).is_some());
+        assert!(Error::source(&EngineError::BadConfig { field: "x" }).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! One resumable tracking session.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Boundary, Point2};
+use fluxprint_netsim::ObservationRound;
+use fluxprint_smc::{SmcError, StepOutcome, Tracker};
+use fluxprint_solver::FluxObjective;
+use fluxprint_telemetry::{self as telemetry, names};
+
+use crate::{EngineError, SessionCheckpoint, CHECKPOINT_VERSION};
+
+/// Lifecycle state of one tracked user within a session.
+///
+/// This generalizes the paper's asynchronous-updating freeze (§4.E): a
+/// frozen user there is one whose fitted stretch fell below the activity
+/// threshold for a round; here the session can additionally freeze a
+/// user *administratively* — its samples stop updating and its `Δt`
+/// keeps growing until it is resumed, exactly the Null update the
+/// tracker already applies to undetected users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserState {
+    /// The user participates in prediction, bidding, and updates.
+    Active,
+    /// The user is administratively frozen (Null update every round);
+    /// it can be resumed.
+    Suspended,
+    /// The user has left for good; its track is kept for reading but
+    /// never updates again and cannot be resumed.
+    Departed,
+}
+
+/// A streaming tracking session: a [`Tracker`] plus the sniffer-set
+/// bookkeeping, user lifecycle states, and the RNG stream that together
+/// make the online loop resumable.
+///
+/// Sessions are opened (or restored) by an [`Engine`](crate::Engine) and
+/// driven one [`ObservationRound`] at a time via [`ingest`](Session::ingest).
+/// All solver work inside a step runs on the process-wide `fluxpar` pool,
+/// so any number of concurrent sessions share one set of worker threads.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub(crate) boundary: Arc<dyn Boundary>,
+    pub(crate) model: FluxModel,
+    pub(crate) node_positions: Arc<[Point2]>,
+    pub(crate) tracker: Tracker,
+    pub(crate) rng: StdRng,
+    pub(crate) users: Vec<UserState>,
+    pub(crate) rounds_ingested: u64,
+    /// Cached objective for the last seen sniffer id set. Purely derived
+    /// data: it is rebuilt on demand and deliberately excluded from
+    /// checkpoints.
+    pub(crate) template: Option<(Vec<fluxprint_netsim::NodeId>, FluxObjective)>,
+}
+
+impl Session {
+    /// Ingests one observation round using the session's own RNG stream:
+    /// resolves the round's node ids against the engine's network view
+    /// (re-deriving the [`FluxObjective`] incrementally when the sniffer
+    /// set has not churned), steps the tracker with suspended and
+    /// departed users gated out, and returns the round's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Netsim`] for a malformed round,
+    /// [`EngineError::UnknownNode`] when the round references a node the
+    /// engine was not built over, and propagates solver/tracker errors.
+    pub fn ingest(&mut self, round: &ObservationRound) -> Result<StepOutcome, EngineError> {
+        // The tracker borrows `self` mutably while drawing from the RNG,
+        // so the stream is copied out and back by value; the xoshiro
+        // state is 4 words, making this free in practice.
+        let mut rng = StdRng::from_state(self.rng.state());
+        let out = self.ingest_with(round, &mut rng);
+        self.rng = StdRng::from_state(rng.state());
+        out
+    }
+
+    /// Like [`ingest`](Session::ingest), but drawing randomness from a
+    /// caller-supplied RNG instead of the session's own stream — the
+    /// batch adapter in `core::attack` uses this to preserve the legacy
+    /// pipeline's exact RNG call order. Rounds ingested this way do not
+    /// advance the session RNG, so mixing the two entry points within
+    /// one session forfeits the checkpoint bit-identity guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Session::ingest).
+    pub fn ingest_with<R: Rng + ?Sized>(
+        &mut self,
+        round: &ObservationRound,
+        rng: &mut R,
+    ) -> Result<StepOutcome, EngineError> {
+        round.validate()?;
+        let _span = telemetry::span(names::SPAN_ENGINE_INGEST);
+        telemetry::counter(names::ENGINE_ROUNDS, 1);
+        let objective = self.objective_for(round)?;
+        let mask: Vec<bool> = self.users.iter().map(|&s| s == UserState::Active).collect();
+        let out = self
+            .tracker
+            .step_gated(round.time, &objective, &mask, rng)?;
+        self.rounds_ingested += 1;
+        Ok(out)
+    }
+
+    /// Resolves a round into an objective, reusing the cached sniffer-set
+    /// template when the id set is unchanged since the previous round.
+    fn objective_for(&mut self, round: &ObservationRound) -> Result<FluxObjective, EngineError> {
+        if let Some((ids, template)) = &self.template {
+            if *ids == round.ids {
+                return Ok(template.with_measurements(round.fluxes.clone())?);
+            }
+            telemetry::counter(names::ENGINE_CHURN_EVENTS, 1);
+        }
+        let mut positions = Vec::with_capacity(round.ids.len());
+        for &id in &round.ids {
+            positions.push(*self.node_positions.get(id.index()).ok_or(
+                EngineError::UnknownNode {
+                    index: id.index(),
+                    len: self.node_positions.len(),
+                },
+            )?);
+        }
+        let objective = FluxObjective::new(
+            Arc::clone(&self.boundary),
+            self.model,
+            positions,
+            round.fluxes.clone(),
+        )?;
+        self.template = Some((round.ids.clone(), objective.clone()));
+        Ok(objective)
+    }
+
+    /// Adds a new user to the session mid-run, seeded with the tracker's
+    /// uninformed prior (uniform samples over the field), drawn from the
+    /// session RNG. The user starts [`Active`](UserState::Active).
+    /// Returns the new user's index.
+    pub fn join(&mut self) -> usize {
+        telemetry::counter(names::ENGINE_USERS_JOINED, 1);
+        let index = self.tracker.add_user(&mut self.rng);
+        self.users.push(UserState::Active);
+        index
+    }
+
+    /// Suspends an active user: it takes the Null update every round
+    /// until [`resume`](Session::resume)d.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UserOutOfRange`] for a bad index and
+    /// [`EngineError::BadLifecycle`] when the user is not active.
+    pub fn suspend(&mut self, index: usize) -> Result<(), EngineError> {
+        match *self.user_state_mut(index)? {
+            UserState::Active => {
+                self.users[index] = UserState::Suspended;
+                Ok(())
+            }
+            UserState::Suspended => Err(EngineError::BadLifecycle {
+                transition: "suspend suspended",
+            }),
+            UserState::Departed => Err(EngineError::BadLifecycle {
+                transition: "suspend departed",
+            }),
+        }
+    }
+
+    /// Resumes a suspended user. Its `Δt` has kept growing while frozen,
+    /// so its next prediction disc covers everywhere it could have moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UserOutOfRange`] for a bad index and
+    /// [`EngineError::BadLifecycle`] when the user is not suspended
+    /// (departed users never come back).
+    pub fn resume(&mut self, index: usize) -> Result<(), EngineError> {
+        match *self.user_state_mut(index)? {
+            UserState::Suspended => {
+                self.users[index] = UserState::Active;
+                Ok(())
+            }
+            UserState::Active => Err(EngineError::BadLifecycle {
+                transition: "resume active",
+            }),
+            UserState::Departed => Err(EngineError::BadLifecycle {
+                transition: "resume departed",
+            }),
+        }
+    }
+
+    /// Marks a user as departed. Its final track stays readable via
+    /// [`estimate`](Session::estimate) but never updates again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UserOutOfRange`] for a bad index and
+    /// [`EngineError::BadLifecycle`] when the user already departed.
+    pub fn depart(&mut self, index: usize) -> Result<(), EngineError> {
+        match *self.user_state_mut(index)? {
+            UserState::Departed => Err(EngineError::BadLifecycle {
+                transition: "depart departed",
+            }),
+            _ => {
+                self.users[index] = UserState::Departed;
+                Ok(())
+            }
+        }
+    }
+
+    fn user_state_mut(&mut self, index: usize) -> Result<&mut UserState, EngineError> {
+        let users = self.users.len();
+        self.users
+            .get_mut(index)
+            .ok_or(EngineError::UserOutOfRange { index, users })
+    }
+
+    /// Snapshots the complete session state into the versioned checkpoint
+    /// format. Restoring the checkpoint (with the same [`Engine`]
+    /// geometry) and continuing produces bit-identical outcomes to never
+    /// having stopped — see [`Engine::restore`](crate::Engine::restore).
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        telemetry::counter(names::ENGINE_CHECKPOINTS, 1);
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            tracker: self.tracker.state(),
+            rng: SessionCheckpoint::encode_rng(self.rng.state()),
+            users: self.users.clone(),
+            rounds_ingested: self.rounds_ingested,
+        }
+    }
+
+    /// [`checkpoint`](Session::checkpoint) serialized to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CheckpointCodec`] when encoding fails.
+    pub fn checkpoint_json(&self) -> Result<String, EngineError> {
+        serde_json::to_string(&self.checkpoint())
+            .map_err(|e| EngineError::CheckpointCodec(e.to_string()))
+    }
+
+    /// Number of users in the session (all lifecycle states).
+    pub fn k(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Time of the most recently ingested round (or the start time).
+    pub fn time(&self) -> f64 {
+        self.tracker.time()
+    }
+
+    /// Number of observation rounds ingested so far.
+    pub fn rounds_ingested(&self) -> u64 {
+        self.rounds_ingested
+    }
+
+    /// Lifecycle state per user, in user-index order.
+    pub fn user_states(&self) -> &[UserState] {
+        &self.users
+    }
+
+    /// Current point estimate for user `index` (for suspended or departed
+    /// users, the estimate from their last active round).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UserOutOfRange`] for an invalid index.
+    pub fn estimate(&self, index: usize) -> Result<Point2, EngineError> {
+        self.tracker.estimate(index).map_err(|e| match e {
+            SmcError::UserOutOfRange { index, users } => {
+                EngineError::UserOutOfRange { index, users }
+            }
+            other => EngineError::Smc(other),
+        })
+    }
+}

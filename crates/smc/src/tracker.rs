@@ -200,6 +200,25 @@ impl Tracker {
         Ok(weighted_mean(self.samples(index)?))
     }
 
+    /// Adds a new user mid-run (a session join), seeded with `keep_m`
+    /// uniform random samples — the uninformed prior of §4.C. The user's
+    /// `Δt` origin is the current step time. Returns the new user's index.
+    pub fn add_user<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let samples = (0..self.config.keep_m)
+            .map(|_| WeightedSample {
+                position: deployment::random_point(self.boundary.as_ref(), rng),
+                weight: 1.0 / self.config.keep_m as f64,
+            })
+            .collect();
+        self.users.push(UserTrack {
+            samples,
+            t_last: self.last_step_time,
+            initialized: false,
+            history: Vec::new(),
+        });
+        self.users.len() - 1
+    }
+
     /// Runs one observation round at time `t` against the sniffed flux in
     /// `objective`: prediction → filtering → importance update →
     /// asynchronous gate.
@@ -214,6 +233,41 @@ impl Tracker {
         objective: &FluxObjective,
         rng: &mut R,
     ) -> Result<StepOutcome, SmcError> {
+        self.step_impl(t, objective, None, rng)
+    }
+
+    /// Like [`step`](Tracker::step), but only users with
+    /// `participating[i] == true` predict, bid, and update; the rest get
+    /// the paper's Null update unconditionally (frozen samples, growing
+    /// `Δt`) — the mechanism behind session-level suspend/leave lifecycle
+    /// states. With an all-`true` mask this is bit-identical to `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::BadConfig`] when the mask length differs from
+    /// the user count; otherwise as [`step`](Tracker::step).
+    pub fn step_gated<R: Rng + ?Sized>(
+        &mut self,
+        t: f64,
+        objective: &FluxObjective,
+        participating: &[bool],
+        rng: &mut R,
+    ) -> Result<StepOutcome, SmcError> {
+        if participating.len() != self.users.len() {
+            return Err(SmcError::BadConfig {
+                field: "participating",
+            });
+        }
+        self.step_impl(t, objective, Some(participating), rng)
+    }
+
+    fn step_impl<R: Rng + ?Sized>(
+        &mut self,
+        t: f64,
+        objective: &FluxObjective,
+        participating: Option<&[bool]>,
+        rng: &mut R,
+    ) -> Result<StepOutcome, SmcError> {
         if t.is_nan() || t <= self.last_step_time {
             return Err(SmcError::TimeNotAdvancing {
                 previous: self.last_step_time,
@@ -222,6 +276,37 @@ impl Tracker {
         }
         let _span = telemetry::span(names::SPAN_SMC_STEP);
         telemetry::counter(names::SMC_STEPS, 1);
+        let k = self.users.len();
+
+        // Participating users, in user order. `part[c]` maps the compact
+        // index `c` used for candidate/association arrays back to the
+        // user index; with no mask the mapping is the identity and every
+        // code path below matches the ungated step exactly.
+        let part: Vec<usize> = match participating {
+            None => (0..k).collect(),
+            Some(mask) => (0..k).filter(|&i| mask[i]).collect(),
+        };
+        if part.is_empty() {
+            // Every user suspended: a whole-round Null update. The clock
+            // still advances so Δt keeps growing toward resumption.
+            self.last_step_time = t;
+            let residual = objective.null_residual();
+            telemetry::counter(names::SMC_USERS_FROZEN, k as u64);
+            telemetry::record(names::HIST_SMC_ROUND_ACTIVE, 0.0);
+            telemetry::record(names::HIST_SMC_ROUND_RESIDUAL, residual);
+            return Ok(StepOutcome {
+                time: t,
+                estimates: self
+                    .users
+                    .iter()
+                    .map(|u| weighted_mean(&u.samples))
+                    .collect(),
+                active: vec![false; k],
+                stretches: vec![0.0; k],
+                residual,
+                strategy: FilterStrategy::ForwardSelection,
+            });
+        }
 
         // Prediction (Formula 4.2): per user, N candidates drawn uniformly
         // from the discs of radius v_max·Δt around resampled parents.
@@ -230,14 +315,15 @@ impl Tracker {
         let n = self.config.n_predictions;
         // Exploration (recovery) candidates: drawn uniformly instead of
         // from the motion prior, so a user locked onto the wrong source
-        // can still reach a distant flux peak. `explore_from[i]` marks the
-        // index where user i's exploration candidates begin (== n when the
+        // can still reach a distant flux peak. `explore_from[c]` marks the
+        // index where user c's exploration candidates begin (== n when the
         // user is uninitialized and every candidate is already uniform).
         let n_explore = ((n as f64 * self.config.explore_fraction).round() as usize).min(n - 1);
-        let mut candidates: Vec<Vec<Point2>> = Vec::with_capacity(self.users.len());
-        let mut parent_weights: Vec<Vec<f64>> = Vec::with_capacity(self.users.len());
-        let mut explore_from: Vec<usize> = Vec::with_capacity(self.users.len());
-        for user in &self.users {
+        let mut candidates: Vec<Vec<Point2>> = Vec::with_capacity(part.len());
+        let mut parent_weights: Vec<Vec<f64>> = Vec::with_capacity(part.len());
+        let mut explore_from: Vec<usize> = Vec::with_capacity(part.len());
+        for &ui in &part {
+            let user = &self.users[ui];
             let mut cands = Vec::with_capacity(n);
             let mut weights = Vec::with_capacity(n);
             if !user.initialized {
@@ -328,31 +414,30 @@ impl Tracker {
         // module). Unselected users receive the paper's Null update.
         let assoc = associate(objective, &candidates, &explore_from, &self.config)?;
 
-        let k = self.users.len();
         let mut active = vec![false; k];
         let mut stretches = vec![0.0; k];
         let mut residual = objective.null_residual();
         if let Some(fit) = &assoc.fit {
             residual = fit.residual;
-            for (slot, &i) in assoc.selected.iter().enumerate() {
-                stretches[i] = fit.stretches[slot];
+            for (slot, &ci) in assoc.selected.iter().enumerate() {
+                stretches[part[ci]] = fit.stretches[slot];
             }
         }
-        for (i, user) in self.users.iter_mut().enumerate() {
-            if stretches[i] <= self.config.activity_threshold {
+        for (ci, &ui) in part.iter().enumerate() {
+            if stretches[ui] <= self.config.activity_threshold {
                 continue; // Null update: samples and t_last untouched.
             }
-            let Some(res) = assoc.per_candidate_residual[i].as_ref() else {
+            let Some(res) = assoc.per_candidate_residual[ci].as_ref() else {
                 continue;
             };
-            active[i] = true;
+            active[ui] = true;
             // Rank this user's admissible candidates by conditional
             // residual (exploration candidates only when its winning bid
             // was one).
-            let limit = if assoc.used_explore[i] {
+            let limit = if assoc.used_explore[ci] {
                 res.len()
             } else {
-                explore_from[i].min(res.len())
+                explore_from[ci].min(res.len())
             };
             let mut order: Vec<usize> = (0..limit).collect();
             order.sort_by(|&a, &b| res[a].total_cmp(&res[b]));
@@ -361,9 +446,9 @@ impl Tracker {
             let mut kept: Vec<WeightedSample> = order
                 .into_iter()
                 .map(|c| WeightedSample {
-                    position: candidates[i][c],
+                    position: candidates[ci][c],
                     weight: if use_weights {
-                        parent_weights[i][c] / res[c].max(1e-9)
+                        parent_weights[ci][c] / res[c].max(1e-9)
                     } else {
                         1.0
                     },
@@ -383,6 +468,7 @@ impl Tracker {
                     s.weight = uniform;
                 }
             }
+            let user = &mut self.users[ui];
             user.samples = kept;
             user.t_last = t;
             user.initialized = true;
@@ -591,6 +677,120 @@ mod tests {
             tracker.step(0.5, &obs, &mut rng),
             Err(SmcError::TimeNotAdvancing { .. })
         ));
+    }
+
+    #[test]
+    fn step_gated_with_full_mask_matches_step() {
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut plain = Tracker::new(
+            2,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng_a,
+        )
+        .unwrap();
+        let mut gated = Tracker::new(
+            2,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng_b,
+        )
+        .unwrap();
+        for round in 1..=4 {
+            let obs = observation(&[
+                (Point2::new(8.0 + round as f64, 9.0), 2.0),
+                (Point2::new(22.0, 20.0), 1.5),
+            ]);
+            let a = plain.step(round as f64, &obs, &mut rng_a).unwrap();
+            let b = gated
+                .step_gated(round as f64, &obs, &[true, true], &mut rng_b)
+                .unwrap();
+            assert_eq!(a.active, b.active);
+            for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(ea.x.to_bits(), eb.x.to_bits());
+                assert_eq!(ea.y.to_bits(), eb.y.to_bits());
+            }
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn gated_out_user_is_frozen() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut tracker = Tracker::new(
+            2,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let obs = observation(&[(Point2::new(8.0, 9.0), 2.0), (Point2::new(22.0, 20.0), 1.5)]);
+        tracker.step(1.0, &obs, &mut rng).unwrap();
+        let frozen: Vec<WeightedSample> = tracker.samples(1).unwrap().to_vec();
+
+        // User 1 suspended: even with its source still emitting, it must
+        // take the Null update while user 0 keeps tracking.
+        let out = tracker
+            .step_gated(2.0, &obs, &[true, false], &mut rng)
+            .unwrap();
+        assert!(!out.active[1]);
+        assert_eq!(out.stretches[1], 0.0);
+        assert_eq!(tracker.samples(1).unwrap(), frozen.as_slice());
+
+        // Mask length must match the user count.
+        assert!(matches!(
+            tracker.step_gated(3.0, &obs, &[true], &mut rng),
+            Err(SmcError::BadConfig { .. })
+        ));
+
+        // All users suspended: whole-round Null update, clock advances.
+        let out = tracker
+            .step_gated(3.0, &obs, &[false, false], &mut rng)
+            .unwrap();
+        assert!(out.active.iter().all(|&a| !a));
+        assert_eq!(tracker.time(), 3.0);
+    }
+
+    #[test]
+    fn add_user_joins_with_uninformed_prior() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut tracker = Tracker::new(
+            1,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let solo = Point2::new(8.0, 9.0);
+        tracker
+            .step(1.0, &observation(&[(solo, 2.0)]), &mut rng)
+            .unwrap();
+
+        let joined = tracker.add_user(&mut rng);
+        assert_eq!(joined, 1);
+        assert_eq!(tracker.k(), 2);
+        assert_eq!(tracker.samples(1).unwrap().len(), 10);
+
+        // The joiner localizes its own source within a few rounds.
+        let newcomer = Point2::new(22.0, 20.0);
+        let obs = observation(&[(solo, 2.0), (newcomer, 1.5)]);
+        let mut last = None;
+        for round in 2..=6 {
+            last = Some(tracker.step(round as f64, &obs, &mut rng).unwrap());
+        }
+        let out = last.unwrap();
+        assert!(out.active[1], "joined user never detected");
+        let err = out.estimates[1].distance(newcomer);
+        assert!(err < 3.0, "joined user error {err:.2}");
     }
 
     #[test]

@@ -90,6 +90,35 @@ impl FluxObjective {
         })
     }
 
+    /// Re-derives the objective for a new observation window over the
+    /// same sniffer set: the already-validated positions, boundary, and
+    /// model are reused and only the measurements are validated — the
+    /// streaming engine's per-round path when the sniffer membership has
+    /// not churned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::LengthMismatch`] when the new measurement
+    /// count differs from the sniffer count and
+    /// [`SolverError::BadMeasurement`] for negative or non-finite values.
+    pub fn with_measurements(&self, measurements: Vec<f64>) -> Result<Self, SolverError> {
+        if measurements.len() != self.positions.len() {
+            return Err(SolverError::LengthMismatch {
+                positions: self.positions.len(),
+                measurements: measurements.len(),
+            });
+        }
+        if let Some(index) = measurements.iter().position(|&m| !m.is_finite() || m < 0.0) {
+            return Err(SolverError::BadMeasurement { index });
+        }
+        Ok(FluxObjective {
+            boundary: self.boundary.clone(),
+            model: self.model,
+            positions: self.positions.clone(),
+            measurements,
+        })
+    }
+
     /// Number of observations (sniffed nodes).
     pub fn len(&self) -> usize {
         self.positions.len()
@@ -295,6 +324,33 @@ mod tests {
         for (a, b) in direct.stretches.iter().zip(&via_cols.stretches) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn with_measurements_reuses_the_sniffer_set() {
+        let truth = [(Point2::new(12.0, 17.0), 2.0)];
+        let obj = objective_for(&truth);
+        let moved = [(Point2::new(14.0, 16.0), 2.0)];
+        let fresh = objective_for(&moved);
+        let rederived = obj
+            .with_measurements(fresh.measurements().to_vec())
+            .unwrap();
+        assert_eq!(rederived.positions(), obj.positions());
+        assert_eq!(rederived.measurements(), fresh.measurements());
+        let a = rederived.evaluate(&[moved[0].0]).unwrap();
+        let b = fresh.evaluate(&[moved[0].0]).unwrap();
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+
+        assert!(matches!(
+            obj.with_measurements(vec![1.0]),
+            Err(SolverError::LengthMismatch { .. })
+        ));
+        let mut bad = fresh.measurements().to_vec();
+        bad[3] = f64::NAN;
+        assert!(matches!(
+            obj.with_measurements(bad),
+            Err(SolverError::BadMeasurement { index: 3 })
+        ));
     }
 
     #[test]

@@ -56,6 +56,20 @@ pub const FLUXPAR_TASKS: &str = "fluxpar.tasks";
 /// Worker threads spawned by parallel pool dispatches.
 pub const FLUXPAR_THREADS: &str = "fluxpar.threads";
 
+/// Tracking sessions opened by the streaming engine.
+pub const ENGINE_SESSIONS: &str = "engine.sessions";
+/// Observation rounds ingested across all sessions.
+pub const ENGINE_ROUNDS: &str = "engine.rounds";
+/// Rounds whose sniffer set changed since the previous round
+/// (re-derives the session's objective template).
+pub const ENGINE_CHURN_EVENTS: &str = "engine.churn.events";
+/// Session checkpoints taken.
+pub const ENGINE_CHECKPOINTS: &str = "engine.checkpoints";
+/// Sessions restored from a checkpoint.
+pub const ENGINE_RESTORES: &str = "engine.restores";
+/// Users joined to live sessions after creation.
+pub const ENGINE_USERS_JOINED: &str = "engine.users.joined";
+
 /// Per-round prediction candidate counts (distribution across rounds).
 pub const HIST_SMC_ROUND_SAMPLES: &str = "smc.round.samples_predicted";
 /// Per-round count of users detected active.
@@ -77,6 +91,8 @@ pub const SPAN_SMC_STEP: &str = "smc.step";
 pub const SPAN_SIMULATE_FLUX: &str = "netsim.simulate_flux";
 /// Span: one sweep point (all trials at one parameter value).
 pub const SPAN_SWEEP_POINT: &str = "core.sweep_point";
+/// Span: one streaming-engine round ingestion.
+pub const SPAN_ENGINE_INGEST: &str = "engine.ingest";
 
 /// Every counter in the catalog (exported zero-valued when untouched).
 pub const COUNTERS: &[&str] = &[
@@ -102,6 +118,12 @@ pub const COUNTERS: &[&str] = &[
     SWEEP_TRIALS,
     FLUXPAR_TASKS,
     FLUXPAR_THREADS,
+    ENGINE_SESSIONS,
+    ENGINE_ROUNDS,
+    ENGINE_CHURN_EVENTS,
+    ENGINE_CHECKPOINTS,
+    ENGINE_RESTORES,
+    ENGINE_USERS_JOINED,
 ];
 
 /// Every histogram in the catalog.
@@ -121,6 +143,7 @@ pub const SPANS: &[&str] = &[
     SPAN_SMC_STEP,
     SPAN_SIMULATE_FLUX,
     SPAN_SWEEP_POINT,
+    SPAN_ENGINE_INGEST,
 ];
 
 #[cfg(test)]

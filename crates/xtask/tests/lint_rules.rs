@@ -193,5 +193,5 @@ fn the_workspace_itself_is_lint_clean() {
         fluxprint_xtask::report::human(&outcome)
     );
     assert!(outcome.files_scanned > 50, "walker found the source tree");
-    assert_eq!(outcome.manifests_checked, 14);
+    assert_eq!(outcome.manifests_checked, 15);
 }

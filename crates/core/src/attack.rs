@@ -3,10 +3,11 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use fluxprint_engine::{Engine, SessionConfig};
 use fluxprint_fluxmodel::FluxModel;
 use fluxprint_geometry::Point2;
 use fluxprint_netsim::{Network, NoiseModel, Sniffer};
-use fluxprint_smc::{SmcConfig, Tracker};
+use fluxprint_smc::{SmcConfig, StepOutcome, Tracker};
 use fluxprint_solver::{random_search, FluxObjective, RandomSearchConfig, SinkFit};
 
 use crate::{metrics, CoreError, Countermeasure, Scenario};
@@ -280,14 +281,104 @@ pub fn run_instant_localization<R: Rng + ?Sized>(
     })
 }
 
+/// Scores one tracker round against the scenario's ground truth.
+fn score_round(
+    scenario: &Scenario,
+    t: f64,
+    outcome: StepOutcome,
+) -> Result<TrackingRound, CoreError> {
+    let truths = scenario.truths_at(t);
+    let mean_error = metrics::mean_matched_error(&outcome.estimates, &truths)?;
+    let active_estimates: Vec<Point2> = outcome
+        .estimates
+        .iter()
+        .zip(&outcome.active)
+        .filter(|(_, &a)| a)
+        .map(|(&e, _)| e)
+        .collect();
+    // Positions of the users that truly collected this window.
+    let collecting: Vec<Point2> = scenario
+        .active_users_at(t)
+        .into_iter()
+        .map(|(_, p, _)| p)
+        .collect();
+    let active_mean_error = if active_estimates.is_empty() || collecting.is_empty() {
+        None
+    } else {
+        Some(metrics::mean_matched_error(&active_estimates, &collecting)?)
+    };
+    Ok(TrackingRound {
+        time: t,
+        truths,
+        estimates: outcome.estimates,
+        active: outcome.active,
+        mean_error,
+        active_mean_error,
+    })
+}
+
 /// Runs a full tracking attack over the scenario's time span
 /// (the Figure 7/8/10 experiment): one tracker step per observation
 /// window, asynchronous collections handled by the §4.E gate.
+///
+/// This is a thin batch adapter over the streaming engine: it opens one
+/// [`fluxprint_engine::Session`], packages each simulated window as an
+/// [`fluxprint_netsim::ObservationRound`], and ingests them in time
+/// order. The pre-engine monolithic loop is kept as
+/// [`run_tracking_reference`] and the two are asserted bit-identical in
+/// the `engine_equivalence` integration test.
 ///
 /// # Errors
 ///
 /// Propagates simulation, solver, and tracker failures.
 pub fn run_tracking<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    config: &AttackConfig,
+    rng: &mut R,
+) -> Result<TrackingReport, CoreError> {
+    let (t_start, t_end) = scenario.time_span();
+    let window = scenario.window;
+    let k = config.assumed_k.unwrap_or(scenario.k());
+    let engine = Engine::for_network(&scenario.network, config.model)?;
+    let session_config = SessionConfig {
+        users: k,
+        smc: config.smc,
+        start_time: t_start - window,
+    };
+    // `open_session_with` + `ingest_with` draw from the caller's RNG in
+    // exactly the legacy call order (tracker prior, sniffer build, then
+    // per round: simulate, defend, observe, step), which is what keeps
+    // this adapter bit-identical to `run_tracking_reference`.
+    let mut session = engine.open_session_with(&session_config, rng)?;
+    let sniffer = config.sniffer.build(&scenario.network, rng)?;
+
+    let mut rounds = Vec::new();
+    let mut t = t_start;
+    while t <= t_end {
+        let mut flux = scenario.simulate_window(t, rng)?;
+        config.defense.apply(&scenario.network, &mut flux, rng)?;
+        let round = if config.smooth {
+            sniffer.observe_round_smoothed(t, &scenario.network, &flux, config.noise, rng)
+        } else {
+            sniffer.observe_round(t, &flux, config.noise, rng)
+        };
+        let outcome = session.ingest_with(&round, rng)?;
+        rounds.push(score_round(scenario, t, outcome)?);
+        t += window;
+    }
+    Ok(TrackingReport { k, rounds })
+}
+
+/// The pre-engine tracking pipeline: network, sniffer, solver, and
+/// tracker driven in one closed batch loop. Kept as the equivalence
+/// oracle for [`run_tracking`] — the engine adapter must reproduce this
+/// function's output bit-for-bit given the same scenario, configuration,
+/// and RNG stream.
+///
+/// # Errors
+///
+/// Propagates simulation, solver, and tracker failures.
+pub fn run_tracking_reference<R: Rng + ?Sized>(
     scenario: &Scenario,
     config: &AttackConfig,
     rng: &mut R,
@@ -322,34 +413,7 @@ pub fn run_tracking<R: Rng + ?Sized>(
             measured,
         )?;
         let outcome = tracker.step(t, &objective, rng)?;
-        let truths = scenario.truths_at(t);
-        let mean_error = metrics::mean_matched_error(&outcome.estimates, &truths)?;
-        let active_estimates: Vec<Point2> = outcome
-            .estimates
-            .iter()
-            .zip(&outcome.active)
-            .filter(|(_, &a)| a)
-            .map(|(&e, _)| e)
-            .collect();
-        // Positions of the users that truly collected this window.
-        let collecting: Vec<Point2> = scenario
-            .active_users_at(t)
-            .into_iter()
-            .map(|(_, p, _)| p)
-            .collect();
-        let active_mean_error = if active_estimates.is_empty() || collecting.is_empty() {
-            None
-        } else {
-            Some(metrics::mean_matched_error(&active_estimates, &collecting)?)
-        };
-        rounds.push(TrackingRound {
-            time: t,
-            truths,
-            estimates: outcome.estimates,
-            active: outcome.active,
-            mean_error,
-            active_mean_error,
-        });
+        rounds.push(score_round(scenario, t, outcome)?);
         t += window;
     }
     Ok(TrackingReport { k, rounds })

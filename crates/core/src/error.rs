@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use fluxprint_engine::EngineError;
 use fluxprint_mobility::MobilityError;
 use fluxprint_netsim::NetsimError;
 use fluxprint_smc::SmcError;
@@ -30,6 +31,8 @@ pub enum CoreError {
     Smc(SmcError),
     /// A statistics failure.
     Stats(StatsError),
+    /// A streaming-engine failure (session or checkpoint layer).
+    Engine(EngineError),
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +45,7 @@ impl fmt::Display for CoreError {
             CoreError::Solver(e) => write!(f, "solver: {e}"),
             CoreError::Smc(e) => write!(f, "tracker: {e}"),
             CoreError::Stats(e) => write!(f, "statistics: {e}"),
+            CoreError::Engine(e) => write!(f, "engine: {e}"),
         }
     }
 }
@@ -54,6 +58,7 @@ impl Error for CoreError {
             CoreError::Solver(e) => Some(e),
             CoreError::Smc(e) => Some(e),
             CoreError::Stats(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +94,20 @@ impl From<StatsError> for CoreError {
     }
 }
 
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        // Unwrap layer errors the engine merely relayed, so call sites
+        // that matched on `CoreError::Smc`/`Solver`/`Netsim` before the
+        // engine adapter keep seeing the same variants.
+        match e {
+            EngineError::Netsim(inner) => CoreError::Netsim(inner),
+            EngineError::Smc(inner) => CoreError::Smc(inner),
+            EngineError::Solver(inner) => CoreError::Solver(inner),
+            other => CoreError::Engine(other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,11 +122,32 @@ mod tests {
             SolverError::ZeroSinks.into(),
             SmcError::ZeroUsers.into(),
             StatsError::EmptyInput.into(),
+            EngineError::BadCheckpoint { field: "rng" }.into(),
         ];
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
         assert!(Error::source(&errs[2]).is_some());
         assert!(Error::source(&errs[0]).is_none());
+    }
+
+    #[test]
+    fn engine_layer_errors_unwrap_to_their_source_variant() {
+        assert_eq!(
+            CoreError::from(EngineError::Smc(SmcError::ZeroUsers)),
+            CoreError::Smc(SmcError::ZeroUsers)
+        );
+        assert_eq!(
+            CoreError::from(EngineError::Netsim(NetsimError::EmptyNetwork)),
+            CoreError::Netsim(NetsimError::EmptyNetwork)
+        );
+        assert_eq!(
+            CoreError::from(EngineError::Solver(SolverError::ZeroSinks)),
+            CoreError::Solver(SolverError::ZeroSinks)
+        );
+        assert!(matches!(
+            CoreError::from(EngineError::UnknownNode { index: 3, len: 1 }),
+            CoreError::Engine(EngineError::UnknownNode { .. })
+        ));
     }
 }

@@ -83,6 +83,22 @@ fn quick_fig4_emits_schema_valid_telemetry() {
     assert!(counters.contains_key(names::SOLVER_GRAM_COMBO_EVALS));
     assert!(counters.contains_key(names::FLUXPAR_TASKS));
     assert!(counters.contains_key(names::FLUXPAR_THREADS));
+    // Streaming-engine counters likewise pad into every block (fig4 is
+    // briefing-only, so they are all zero here).
+    for name in [
+        names::ENGINE_SESSIONS,
+        names::ENGINE_ROUNDS,
+        names::ENGINE_CHURN_EVENTS,
+        names::ENGINE_CHECKPOINTS,
+        names::ENGINE_RESTORES,
+        names::ENGINE_USERS_JOINED,
+    ] {
+        assert_eq!(counters[name], 0, "fig4 must not touch {name}");
+    }
+    assert!(
+        span_paths.iter().any(|p| p == names::SPAN_ENGINE_INGEST),
+        "engine ingest span missing from the catalog padding"
+    );
 
     // Drive the Gram-cached filter once (in the same test: the registry
     // is process-global, so a second `#[test]` would race the block
@@ -101,6 +117,29 @@ fn quick_fig4_emits_schema_valid_telemetry() {
             "counter {name} did not move across a cached filter run"
         );
     }
+
+    // Drive a streaming-engine session through a checkpoint/restore cycle
+    // (same test, same reason) and check every engine counter moves.
+    let before = after;
+    drive_engine_session();
+    let after = fluxprint_telemetry::snapshot();
+    for name in [
+        names::ENGINE_SESSIONS,
+        names::ENGINE_ROUNDS,
+        names::ENGINE_CHECKPOINTS,
+        names::ENGINE_RESTORES,
+    ] {
+        assert!(
+            after.counter(name) > before.counter(name),
+            "counter {name} did not move across an engine session"
+        );
+    }
+    assert!(
+        after.counter(names::ENGINE_ROUNDS) >= before.counter(names::ENGINE_ROUNDS) + 3,
+        "three rounds were ingested"
+    );
+    let ingests = &after.spans[names::SPAN_ENGINE_INGEST];
+    assert!(ingests.count >= 3, "ingest span recorded per round");
 }
 
 /// One small exact-enumeration filter on an explicit 2-thread pool, so
@@ -145,4 +184,47 @@ fn drive_cached_filter() {
         &pool,
     )
     .expect("filter runs");
+}
+
+/// Three rounds through an engine session with a checkpoint/restore cycle
+/// in the middle, so `engine.sessions`, `engine.rounds`,
+/// `engine.checkpoints`, and `engine.restores` all move.
+fn drive_engine_session() {
+    use fluxprint_engine::{Engine, SessionConfig};
+    use fluxprint_fluxmodel::FluxModel;
+    use fluxprint_geometry::Point2;
+    use fluxprint_netsim::{NetworkBuilder, NoiseModel, Sniffer};
+    use fluxprint_smc::SmcConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = NetworkBuilder::new()
+        .field(fluxprint_geometry::Rect::square(30.0).expect("valid field"))
+        .perturbed_grid(10, 10, 0.3)
+        .radius(5.0)
+        .build(&mut rng)
+        .expect("valid network");
+    let sniffer = Sniffer::random_count(&net, 30, &mut rng).expect("valid sniffer");
+    let engine = Engine::for_network(&net, FluxModel::default()).expect("valid engine");
+    let config = SessionConfig {
+        users: 1,
+        smc: SmcConfig {
+            n_predictions: 50,
+            ..Default::default()
+        },
+        start_time: 0.0,
+    };
+    let mut session = engine.open_session(&config, 3).expect("session opens");
+    for i in 1..=3u32 {
+        let t = f64::from(i);
+        let user = [(Point2::new(10.0 + t, 15.0), 2.0)];
+        let flux = net.simulate_flux(&user, &mut rng).expect("flux simulates");
+        let round = sniffer.observe_round_smoothed(t, &net, &flux, NoiseModel::None, &mut rng);
+        session.ingest(&round).expect("round ingests");
+        if i == 2 {
+            let checkpoint = session.checkpoint();
+            session = engine.restore(&checkpoint).expect("session restores");
+        }
+    }
 }

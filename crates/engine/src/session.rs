@@ -218,7 +218,7 @@ impl Session {
     }
 
     /// Snapshots the complete session state into the versioned checkpoint
-    /// format. Restoring the checkpoint (with the same [`Engine`]
+    /// format. Restoring the checkpoint (with the same [`Engine`](crate::Engine)
     /// geometry) and continuing produces bit-identical outcomes to never
     /// having stopped — see [`Engine::restore`](crate::Engine::restore).
     pub fn checkpoint(&self) -> SessionCheckpoint {

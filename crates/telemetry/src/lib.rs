@@ -11,7 +11,7 @@
 //!    bit-for-bit reproducible span durations. The one real wall-clock
 //!    read in the workspace's library crates lives in
 //!    [`MonotonicClock::new`], behind a fluxlint waiver.
-//! 3. **One schema for every run.** [`snapshot`] pads its output with
+//! 3. **One schema for every run.** [`snapshot()`] pads its output with
 //!    zero-valued entries for the whole metric catalog ([`names`]), so
 //!    NDJSON exports from different figure targets diff record-for-record.
 //!

@@ -3,7 +3,7 @@
 //! A [`Recorder`] is plain mutable state with *explicit* time arguments —
 //! no global clock, no locking — which makes it directly testable under a
 //! [`ManualClock`](crate::ManualClock). The process-wide convenience API
-//! in [`crate::registry`] keeps one `Recorder` per thread and merges it
+//! in the crate's `registry` module keeps one `Recorder` per thread and merges it
 //! into the global registry when the thread exits (merge-on-drop), so hot
 //! paths only ever touch thread-local memory.
 

@@ -1,7 +1,7 @@
 //! Point-in-time snapshots and their NDJSON export.
 //!
 //! A [`Snapshot`] is the merged, catalog-padded view returned by
-//! [`crate::snapshot`]. [`Snapshot::to_ndjson`] serialises it as one JSON
+//! [`crate::snapshot()`]. [`Snapshot::to_ndjson`] serialises it as one JSON
 //! object per line — the same framing the repro harness uses for
 //! `--json` result records — so telemetry files can be concatenated,
 //! `grep`ped and diffed line-by-line. Serialisation is hand-rolled

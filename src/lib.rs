@@ -98,6 +98,11 @@ pub mod smc {
     pub use fluxprint_smc::*;
 }
 
+/// The streaming, checkpointable tracking engine (`fluxprint-engine`).
+pub mod engine {
+    pub use fluxprint_engine::*;
+}
+
 /// The end-to-end attack pipeline (`fluxprint-core`).
 pub mod core {
     pub use fluxprint_core::*;

@@ -1,0 +1,253 @@
+//! `repro --bench-grid`: many-sink throughput of the sharded grid.
+//!
+//! Simulates a fleet of S independent tracking sessions (one sink
+//! each) consuming the same R-round observation trace, and times two
+//! ways of driving them at a thread budget T:
+//!
+//! - `single_pool`: the pre-grid shape — every session ingests on one
+//!   shared T-thread [`Pool`], so all parallelism is *inside* a round
+//!   (per-candidate scan dispatches) and sessions run strictly one
+//!   after another;
+//! - `grid`: a [`Grid`] with T shards of one thread each — parallelism
+//!   is *across* sessions, and each shard's one-thread slice takes the
+//!   pool's sequential fast path (zero per-dispatch thread spawns, one
+//!   reused solver scratch per shard).
+//!
+//! Per-session rounds are tiny (K = 1 user, small prediction counts),
+//! which is exactly the regime the grid exists for: intra-round
+//! dispatch overhead swamps the useful work, while shard-level batching
+//! amortizes to nothing. Both drivers' outcomes are asserted
+//! bit-identical for every (S, T) cell before any number is written —
+//! the bench doubles as a grid determinism check. Results land in
+//! `BENCH_5.json`; the headline `speedup` is the S = 256, T = 4 cell.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use fluxprint_engine::{Engine, Grid, GridConfig, SessionConfig, StepOutcome, Submit};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_fluxpar::Pool;
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_netsim::{Network, NetworkBuilder, NoiseModel, ObservationRound, Sniffer};
+use fluxprint_solver::CacheScratch;
+
+/// Observation rounds per session.
+const ROUNDS: usize = 3;
+/// Session-count sweep (S).
+const SESSION_COUNTS: [usize; 4] = [1, 16, 256, 1024];
+/// Thread-budget sweep (T).
+const THREAD_BUDGETS: [usize; 3] = [1, 4, 8];
+/// Timed repetitions per cell; the minimum is reported.
+const REPS: usize = 2;
+/// The headline cell.
+const HEADLINE: (usize, usize) = (256, 4);
+
+fn bench_network() -> Network {
+    let mut rng = StdRng::seed_from_u64(0x9A1D);
+    NetworkBuilder::new()
+        .field(Rect::square(30.0).expect("valid field"))
+        .perturbed_grid(12, 12, 0.3)
+        .radius(4.0)
+        .build(&mut rng)
+        .expect("valid network")
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        users: 1,
+        smc: fluxprint_smc::SmcConfig {
+            n_predictions: 64,
+            keep_m: 8,
+            ..Default::default()
+        },
+        start_time: 0.0,
+    }
+}
+
+/// The shared trace: one user walking east past a fixed 24-sniffer set.
+fn bench_trace(net: &Network) -> Vec<ObservationRound> {
+    let mut rng = StdRng::seed_from_u64(0x51FF);
+    let sniffer = Sniffer::random_count(net, 24, &mut rng).expect("valid sniffer");
+    (1..=ROUNDS)
+        .map(|i| {
+            let t = i as f64;
+            let user = (Point2::new(8.0 + 1.5 * t, 15.0), 2.0);
+            let flux = net
+                .simulate_flux(&[user], &mut rng)
+                .expect("flux simulates");
+            sniffer.observe_round_smoothed(t, net, &flux, NoiseModel::None, &mut rng)
+        })
+        .collect()
+}
+
+fn session_seed(s: usize) -> u64 {
+    1000 + s as u64
+}
+
+/// Sequential sessions on one shared T-thread pool. Session opening is
+/// outside the timed region; the returned wall time covers ingestion
+/// only.
+fn run_single_pool(
+    engine: &Engine,
+    sessions: usize,
+    threads: usize,
+    trace: &[ObservationRound],
+) -> (f64, Vec<Vec<StepOutcome>>) {
+    let pool = Pool::with_threads(threads);
+    let config = session_config();
+    let mut wall_ms = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for _ in 0..REPS {
+        let mut fleet: Vec<_> = (0..sessions)
+            .map(|s| {
+                engine
+                    .open_session(&config, session_seed(s))
+                    .expect("session opens")
+            })
+            .collect();
+        let mut scratch = CacheScratch::new();
+        let start = Instant::now();
+        let out: Vec<Vec<StepOutcome>> = fleet
+            .iter_mut()
+            .map(|session| {
+                session
+                    .ingest_batch_in(trace, &pool, &mut scratch)
+                    .expect("ingestion runs")
+            })
+            .collect();
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        outcomes = out;
+    }
+    (wall_ms, outcomes)
+}
+
+/// The same fleet through a T-shard grid of one-thread slices. Grid and
+/// session setup are outside the timed region; the wall time covers
+/// submission and the drain barrier.
+fn run_grid(
+    engine: &Engine,
+    sessions: usize,
+    threads: usize,
+    trace: &[ObservationRound],
+) -> (f64, Vec<Vec<StepOutcome>>) {
+    let grid_config = GridConfig {
+        shards: threads,
+        queue_capacity: trace.len(),
+        threads,
+    };
+    let config = session_config();
+    let mut wall_ms = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for _ in 0..REPS {
+        let mut grid = Grid::open(engine.clone(), &grid_config).expect("grid opens");
+        let ids: Vec<_> = (0..sessions)
+            .map(|s| {
+                grid.open_session(&config, session_seed(s))
+                    .expect("session opens")
+            })
+            .collect();
+        let start = Instant::now();
+        for round in trace {
+            for &id in &ids {
+                match grid.submit(id, round.clone()).expect("submit accepts") {
+                    Submit::Queued => {}
+                    Submit::Backpressure(_) => unreachable!("queue sized for the whole trace"),
+                }
+            }
+        }
+        let ingested = grid.join().expect("drain runs");
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(ingested as usize, sessions * trace.len());
+        outcomes = ids
+            .iter()
+            .map(|&id| grid.take_outcomes(id).expect("session exists"))
+            .collect();
+    }
+    (wall_ms, outcomes)
+}
+
+fn assert_identical(single: &[Vec<StepOutcome>], grid: &[Vec<StepOutcome>]) {
+    assert_eq!(single.len(), grid.len(), "bench grid: fleet size diverged");
+    for (a, b) in single.iter().zip(grid) {
+        assert_eq!(a.len(), b.len(), "bench grid: round count diverged");
+        for (oa, ob) in a.iter().zip(b) {
+            assert_eq!(oa.time.to_bits(), ob.time.to_bits());
+            assert_eq!(oa.active, ob.active);
+            for (ea, eb) in oa.estimates.iter().zip(&ob.estimates) {
+                assert_eq!(
+                    (ea.x.to_bits(), ea.y.to_bits()),
+                    (eb.x.to_bits(), eb.y.to_bits()),
+                    "bench grid: estimates diverged between drivers"
+                );
+            }
+            assert_eq!(
+                oa.residual.to_bits(),
+                ob.residual.to_bits(),
+                "bench grid: residual diverged between drivers"
+            );
+        }
+    }
+}
+
+/// Runs the sweep and writes `out_path` (JSON). Returns the written value.
+pub fn run_bench_grid(out_path: &str) -> serde_json::Value {
+    let net = bench_network();
+    let trace = bench_trace(&net);
+    let engine = Engine::for_network(&net, FluxModel::default()).expect("engine builds");
+
+    // Warm up code paths once so the first cell is not charged for them.
+    let _ = run_single_pool(&engine, 1, 1, &trace);
+    let _ = run_grid(&engine, 1, 1, &trace);
+
+    let mut targets = Vec::new();
+    let mut headline = None;
+    for &threads in &THREAD_BUDGETS {
+        for &sessions in &SESSION_COUNTS {
+            let (single_ms, single_out) = run_single_pool(&engine, sessions, threads, &trace);
+            let (grid_ms, grid_out) = run_grid(&engine, sessions, threads, &trace);
+            assert_identical(&single_out, &grid_out);
+            let rounds = (sessions * trace.len()) as u64;
+            let speedup = single_ms / grid_ms;
+            eprintln!(
+                "bench-grid: S={sessions:<5} T={threads} single_pool {single_ms:>9.1} ms, \
+                 grid {grid_ms:>9.1} ms — {speedup:.2}x"
+            );
+            if (sessions, threads) == HEADLINE {
+                headline = Some(speedup);
+            }
+            targets.push(json!({
+                "sessions": sessions,
+                "threads": threads,
+                "shards": threads,
+                "rounds": rounds,
+                "single_pool_ms": single_ms,
+                "grid_ms": grid_ms,
+                "single_pool_rounds_per_s": rounds as f64 / (single_ms / 1e3),
+                "grid_rounds_per_s": rounds as f64 / (grid_ms / 1e3),
+                "speedup": speedup,
+            }));
+        }
+    }
+
+    let headline = headline.expect("headline cell is part of the sweep");
+    let value = json!({
+        "bench": "grid_many_sink",
+        "rounds_per_session": ROUNDS,
+        "reps": REPS,
+        "targets": targets,
+        "headline": {
+            "sessions": HEADLINE.0,
+            "threads": HEADLINE.1,
+            "speedup": headline,
+        },
+    });
+    std::fs::write(out_path, format!("{value:#}\n")).expect("write bench output");
+    eprintln!(
+        "bench-grid: headline S={} T={} speedup {headline:.2}x; wrote {out_path}",
+        HEADLINE.0, HEADLINE.1
+    );
+    value
+}

@@ -5,6 +5,7 @@
 //! ```text
 //! repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]
 //! repro --bench-smoke [--bench-out <path>]
+//! repro --bench-grid [--bench-out <path>]
 //!
 //! targets:
 //!   fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8a fig8b fig10a fig10b
@@ -19,6 +20,10 @@
 //! `--bench-smoke` skips the figure generators and instead times the
 //! combination filter at N=200/K=3 on the legacy column path vs the Gram
 //! cache, writing `BENCH_3.json` (default; override with `--bench-out`).
+//!
+//! `--bench-grid` times S tracking sessions × R rounds driven through
+//! one shared pool vs a sharded grid at matched thread budgets, writing
+//! `BENCH_5.json` (default; override with `--bench-out`).
 //!
 //! `--quick` shrinks trial counts to smoke-test sizes; the EXPERIMENTS.md
 //! numbers come from full runs. `--seed` perturbs every generator's RNG
@@ -64,6 +69,7 @@ fn usage() -> ! {
         "usage: repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]"
     );
     eprintln!("       repro --bench-smoke [--bench-out <path>]");
+    eprintln!("       repro --bench-grid [--bench-out <path>]");
     eprintln!("targets: all figures ablations");
     for (name, _) in GENERATORS {
         eprintln!("         {name}");
@@ -92,7 +98,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut bench_smoke = false;
-    let mut bench_out = "BENCH_3.json".to_string();
+    let mut bench_grid = false;
+    let mut bench_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -104,16 +111,26 @@ fn main() {
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
             "--telemetry" => telemetry_path = Some(it.next().unwrap_or_else(|| usage())),
             "--bench-smoke" => bench_smoke = true,
-            "--bench-out" => bench_out = it.next().unwrap_or_else(|| usage()),
+            "--bench-grid" => bench_grid = true,
+            "--bench-out" => bench_out = Some(it.next().unwrap_or_else(|| usage())),
             name if target.is_none() => target = Some(name.to_string()),
             _ => usage(),
         }
     }
-    if bench_smoke {
-        if target.is_some() {
+    if let Some(warning) = fluxprint_fluxpar::threads_env_warning() {
+        eprintln!("repro: {warning}");
+    }
+    if bench_smoke || bench_grid {
+        if target.is_some() || (bench_smoke && bench_grid) {
             usage();
         }
-        fluxprint_bench::bench_smoke::run_bench_smoke(&bench_out);
+        if bench_smoke {
+            let out = bench_out.as_deref().unwrap_or("BENCH_3.json");
+            fluxprint_bench::bench_smoke::run_bench_smoke(out);
+        } else {
+            let out = bench_out.as_deref().unwrap_or("BENCH_5.json");
+            fluxprint_bench::bench_grid::run_bench_grid(out);
+        }
         return;
     }
     let target = target.unwrap_or_else(|| usage());

@@ -1,0 +1,57 @@
+//! Golden fixture for the legacy reference pipeline.
+//!
+//! Pins the full serialized [`fluxprint_core::run_tracking_reference`]
+//! report for the Figure-7 two-user case (first trial's seeds, quick
+//! prediction count) against a committed fixture. The comparison is an
+//! exact string match: any drift in the simulator, solver, tracker, or
+//! RNG consumption — however small — fails loudly. Combined with the
+//! engine-equivalence oracle, this anchors the whole modern stack
+//! (engine, grid, batched ingestion) to one committed artifact.
+//!
+//! To re-bless after an *intentional* numeric change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p fluxprint-bench --test golden_fig7
+//! ```
+//!
+//! and commit the updated fixture together with the change that
+//! explains it.
+
+use fluxprint_bench::fig7::tracking_scenario;
+use fluxprint_bench::RunSpec;
+use fluxprint_core::{run_tracking_reference, AttackConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/fig7_reference.json"
+);
+
+#[test]
+fn fig7_reference_matches_golden_fixture() {
+    let spec = RunSpec::quick();
+    let (scenario, k) = tracking_scenario("2", spec.rng_seed(8000));
+    assert_eq!(k, 2);
+    let mut rng = StdRng::seed_from_u64(spec.rng_seed(9000));
+    let mut config = AttackConfig::default();
+    config.smc.n_predictions = 400;
+    let report = run_tracking_reference(&scenario, &config, &mut rng).expect("tracking runs");
+    let got = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(FIXTURE).expect("fixture exists — bless with GOLDEN_BLESS=1");
+    assert_eq!(
+        got, want,
+        "fig7 reference output drifted from the golden fixture; if the \
+         change is intentional, re-bless with GOLDEN_BLESS=1 and commit \
+         the new fixture"
+    );
+}

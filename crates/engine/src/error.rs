@@ -50,6 +50,24 @@ pub enum EngineError {
     },
     /// Checkpoint JSON could not be encoded or decoded.
     CheckpointCodec(String),
+    /// A grid call named a session id the grid does not hold.
+    UnknownSession {
+        /// The offending session id.
+        index: usize,
+        /// Number of sessions resident in the grid.
+        sessions: usize,
+    },
+    /// A session failed while a grid drain was ingesting its queue. The
+    /// failing round was consumed by the attempt; rounds after it remain
+    /// queued, so a caller that can make progress may drain again.
+    SessionFailed {
+        /// The failing session's id.
+        session: usize,
+        /// The failing round's position within that drain's batch.
+        round: usize,
+        /// The underlying session error.
+        source: Box<EngineError>,
+    },
     /// An observation error surfaced from the network layer.
     Netsim(NetsimError),
     /// A tracking error surfaced from the SMC layer.
@@ -81,6 +99,19 @@ impl fmt::Display for EngineError {
                 write!(f, "lifecycle transition not allowed: {transition}")
             }
             EngineError::CheckpointCodec(msg) => write!(f, "checkpoint codec: {msg}"),
+            EngineError::UnknownSession { index, sessions } => {
+                write!(f, "session {index} unknown to this {sessions}-session grid")
+            }
+            EngineError::SessionFailed {
+                session,
+                round,
+                source,
+            } => {
+                write!(
+                    f,
+                    "session {session} failed at batch round {round}: {source}"
+                )
+            }
             EngineError::Netsim(e) => write!(f, "observation layer: {e}"),
             EngineError::Smc(e) => write!(f, "tracking layer: {e}"),
             EngineError::Solver(e) => write!(f, "solver layer: {e}"),
@@ -94,6 +125,7 @@ impl Error for EngineError {
             EngineError::Netsim(e) => Some(e),
             EngineError::Smc(e) => Some(e),
             EngineError::Solver(e) => Some(e),
+            EngineError::SessionFailed { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -136,6 +168,15 @@ mod tests {
                 transition: "resume departed",
             },
             EngineError::CheckpointCodec("bad json".into()),
+            EngineError::UnknownSession {
+                index: 9,
+                sessions: 2,
+            },
+            EngineError::SessionFailed {
+                session: 1,
+                round: 0,
+                source: Box::new(EngineError::BadConfig { field: "time" }),
+            },
             EngineError::Netsim(NetsimError::EmptyNetwork),
             EngineError::Smc(SmcError::ZeroUsers),
             EngineError::Solver(SolverError::EmptyObservation),

@@ -1,0 +1,533 @@
+//! fluxgrid: the sharded multi-session scheduler.
+//!
+//! A [`Grid`] owns N shards, each holding a dedicated [`Pool`] slice
+//! (see [`Pool::split`]), a reusable solver scratch, and the sessions
+//! assigned to it. Rounds are [`submit`](Grid::submit)ted into bounded
+//! per-session queues — a full queue hands the round straight back as
+//! [`Submit::Backpressure`] instead of blocking — and a
+//! [`drain`](Grid::drain) barrier spawns one scoped worker thread per
+//! shard to ingest every queued round as a contiguous batch
+//! ([`Session::ingest_batch_into`]).
+//!
+//! Shard workers are plain [`std::thread::scope`] threads, *not* pool
+//! workers, so each can still dispatch on its own pool slice; with
+//! one-thread slices (the default when `shards == threads`) every solver
+//! dispatch takes the sequential fast path and the shard threads
+//! themselves are the parallelism — no per-dispatch spawns at all.
+//!
+//! # Determinism
+//!
+//! Each session's rounds are processed in submission order by exactly
+//! one shard, and every solver construct underneath is bit-identical at
+//! any thread count, so grid results are **bit-identical to driving each
+//! session alone** with [`Session::ingest`] — for any shard count, any
+//! thread budget, and any interleaving of submissions across sessions.
+//! The session→shard assignment is the fixed map `id % shards`; it
+//! affects only scheduling, never results.
+//!
+//! # Checkpointing
+//!
+//! [`Grid::checkpoint`] snapshots every resident session *plus its
+//! pending (queued, not yet ingested) rounds*; restoring and draining
+//! yields the same outcomes as never having stopped.
+
+use serde::{Deserialize, Serialize};
+
+use fluxprint_fluxpar::Pool;
+use fluxprint_netsim::ObservationRound;
+use fluxprint_smc::StepOutcome;
+use fluxprint_solver::CacheScratch;
+use fluxprint_telemetry::{self as telemetry, names};
+
+use crate::{Engine, EngineError, Session, SessionCheckpoint, SessionConfig, CHECKPOINT_VERSION};
+
+/// Configuration for [`Grid::open`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Number of shards (parallel drain workers). Results never depend
+    /// on this; only scheduling does.
+    pub shards: usize,
+    /// Bounded ingest-queue capacity per session; a submit beyond it
+    /// reports [`Submit::Backpressure`].
+    pub queue_capacity: usize,
+    /// Worker-thread budget split across the shards ([`Pool::split`]);
+    /// `0` means the process-wide pool's width.
+    pub threads: usize,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            shards: 4,
+            queue_capacity: 64,
+            threads: 0,
+        }
+    }
+}
+
+impl GridConfig {
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.shards == 0 {
+            return Err(EngineError::BadConfig { field: "shards" });
+        }
+        if self.queue_capacity == 0 {
+            return Err(EngineError::BadConfig {
+                field: "queue_capacity",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Identifies a session resident in a [`Grid`]. Ids are dense and
+/// assigned in open/restore order, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub usize);
+
+impl SessionId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Outcome of [`Grid::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submit {
+    /// The round was accepted into the session's ingest queue.
+    Queued,
+    /// The session's queue is full; the round is handed back untouched.
+    /// [`drain`](Grid::drain) the grid, then resubmit.
+    Backpressure(ObservationRound),
+}
+
+/// One resident session: its queue of not-yet-ingested rounds and the
+/// outcome log its drains append to.
+#[derive(Debug)]
+struct Resident {
+    id: usize,
+    session: Session,
+    pending: Vec<ObservationRound>,
+    outcomes: Vec<StepOutcome>,
+}
+
+/// One shard: a dedicated pool slice, a reusable solver scratch, and the
+/// residents assigned to it (in session-id order).
+#[derive(Debug)]
+struct Shard {
+    pool: Pool,
+    scratch: CacheScratch,
+    residents: Vec<Resident>,
+}
+
+/// The sharded multi-session scheduler. See the [module docs](self).
+#[derive(Debug)]
+pub struct Grid {
+    engine: Engine,
+    shards: Vec<Shard>,
+    queue_capacity: usize,
+    /// `assignments[id] == (shard, slot)` for every resident session.
+    assignments: Vec<(usize, usize)>,
+    rounds_ingested: u64,
+}
+
+/// The handle callers drive a grid through. There is no async runtime
+/// and no background thread — worker threads exist only inside
+/// [`drain`](Grid::drain) — so the handle *is* the scheduler.
+pub type GridHandle = Grid;
+
+impl Grid {
+    /// Opens an empty grid over `engine`'s scenario knowledge: `shards`
+    /// pool slices carved out of the configured thread budget, no
+    /// resident sessions yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadConfig`] for a zero shard count or
+    /// queue capacity.
+    pub fn open(engine: Engine, config: &GridConfig) -> Result<GridHandle, EngineError> {
+        config.validate()?;
+        let budget = if config.threads == 0 {
+            fluxprint_fluxpar::pool().threads()
+        } else {
+            config.threads
+        };
+        let shards = Pool::with_threads(budget)
+            .split(config.shards)
+            .into_iter()
+            .map(|pool| Shard {
+                pool,
+                scratch: CacheScratch::new(),
+                residents: Vec::new(),
+            })
+            .collect();
+        Ok(Grid {
+            engine,
+            shards,
+            queue_capacity: config.queue_capacity,
+            assignments: Vec::new(),
+            rounds_ingested: 0,
+        })
+    }
+
+    /// Opens a new session (see [`Engine::open_session`]) and assigns it
+    /// to shard `id % shards`. Returns the session's dense id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::open_session`].
+    pub fn open_session(
+        &mut self,
+        config: &SessionConfig,
+        seed: u64,
+    ) -> Result<SessionId, EngineError> {
+        let session = self.engine.open_session(config, seed)?;
+        Ok(self.adopt(session, Vec::new()))
+    }
+
+    /// Inserts a session (with any pending rounds) under the next id.
+    fn adopt(&mut self, session: Session, pending: Vec<ObservationRound>) -> SessionId {
+        telemetry::counter(names::GRID_SESSIONS_RESIDENT, 1);
+        let id = self.assignments.len();
+        let shard = id % self.shards.len();
+        let slot = self.shards[shard].residents.len();
+        self.shards[shard].residents.push(Resident {
+            id,
+            session,
+            pending,
+            outcomes: Vec::new(),
+        });
+        self.assignments.push((shard, slot));
+        SessionId(id)
+    }
+
+    /// Queues one round for a session. Never blocks: a full queue hands
+    /// the round back as [`Submit::Backpressure`] (with a
+    /// `grid.backpressure.events` count) and the caller decides whether
+    /// to [`drain`](Grid::drain) and resubmit or shed load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSession`] for an id this grid never
+    /// issued.
+    pub fn submit(
+        &mut self,
+        id: SessionId,
+        round: ObservationRound,
+    ) -> Result<Submit, EngineError> {
+        let (shard, slot) = self.locate(id)?;
+        let resident = &mut self.shards[shard].residents[slot];
+        if resident.pending.len() >= self.queue_capacity {
+            telemetry::counter(names::GRID_BACKPRESSURE_EVENTS, 1);
+            return Ok(Submit::Backpressure(round));
+        }
+        resident.pending.push(round);
+        telemetry::counter(names::GRID_ROUNDS_QUEUED, 1);
+        Ok(Submit::Queued)
+    }
+
+    /// The drain barrier: ingests every queued round, one scoped worker
+    /// thread per shard, each session's queue as one contiguous batch
+    /// over the shard's pool slice and reused scratch. Returns the number
+    /// of rounds ingested by this call.
+    ///
+    /// On success all queues are empty. On error, the first failure in
+    /// (shard, session) order is returned as
+    /// [`EngineError::SessionFailed`]; the failing session keeps its
+    /// un-attempted rounds queued (the failing round itself is consumed),
+    /// other sessions' drains are unaffected, and every outcome produced
+    /// anywhere is retained — so a caller that can make progress simply
+    /// drains again.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SessionFailed`] wrapping the first session error.
+    pub fn drain(&mut self) -> Result<u64, EngineError> {
+        let _span = telemetry::span(names::SPAN_GRID_DRAIN);
+        for shard in &self.shards {
+            let depth: usize = shard.residents.iter().map(|r| r.pending.len()).sum();
+            telemetry::record(names::HIST_GRID_QUEUE_DEPTH, depth as f64);
+        }
+        let results: Vec<(u64, Option<EngineError>)> = if self.shards.len() <= 1 {
+            self.shards.iter_mut().map(drain_shard).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let r = drain_shard(shard);
+                            // Scope exit does not wait for TLS destructors;
+                            // merge this worker's telemetry first, exactly
+                            // as fluxpar workers do.
+                            telemetry::flush();
+                            r
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        // Re-raise a shard worker's panic with its
+                        // original payload.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            })
+        };
+        let mut total = 0u64;
+        let mut first_error = None;
+        for (ingested, error) in results {
+            total += ingested;
+            if first_error.is_none() {
+                first_error = error;
+            }
+        }
+        self.rounds_ingested += total;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// Drains until every queue is empty and returns the grid's lifetime
+    /// ingested-round count — the "everything submitted so far is fully
+    /// processed" barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`drain`](Grid::drain).
+    pub fn join(&mut self) -> Result<u64, EngineError> {
+        self.drain()?;
+        Ok(self.rounds_ingested)
+    }
+
+    /// Number of resident sessions.
+    pub fn sessions(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rounds ingested over the grid's lifetime.
+    pub fn rounds_ingested(&self) -> u64 {
+        self.rounds_ingested
+    }
+
+    /// The engine whose scenario knowledge this grid serves.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Read access to a resident session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    pub fn session(&self, id: SessionId) -> Result<&Session, EngineError> {
+        let (shard, slot) = self.locate(id)?;
+        Ok(&self.shards[shard].residents[slot].session)
+    }
+
+    /// Mutable access to a resident session — user lifecycle calls
+    /// ([`join`](Session::join), [`suspend`](Session::suspend), …) apply
+    /// immediately, so callers interleaving them with queued rounds
+    /// should [`drain`](Grid::drain) first to fix the ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    pub fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, EngineError> {
+        let (shard, slot) = self.locate(id)?;
+        Ok(&mut self.shards[shard].residents[slot].session)
+    }
+
+    /// Rounds currently queued (submitted, not yet drained) for a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    pub fn queued(&self, id: SessionId) -> Result<usize, EngineError> {
+        let (shard, slot) = self.locate(id)?;
+        Ok(self.shards[shard].residents[slot].pending.len())
+    }
+
+    /// Takes (and clears) the session's accumulated drain outcomes, one
+    /// per ingested round in ingestion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    pub fn take_outcomes(&mut self, id: SessionId) -> Result<Vec<StepOutcome>, EngineError> {
+        let (shard, slot) = self.locate(id)?;
+        Ok(std::mem::take(
+            &mut self.shards[shard].residents[slot].outcomes,
+        ))
+    }
+
+    /// Snapshots every resident session — including rounds still queued —
+    /// into one versioned checkpoint. Outcome logs are derived data and
+    /// are not captured; take them first if you need them.
+    pub fn checkpoint(&self) -> GridCheckpoint {
+        GridCheckpoint {
+            version: CHECKPOINT_VERSION,
+            shards: self.shards.len(),
+            queue_capacity: self.queue_capacity,
+            sessions: self
+                .assignments
+                .iter()
+                .map(|&(shard, slot)| {
+                    let resident = &self.shards[shard].residents[slot];
+                    GridSessionCheckpoint {
+                        session: resident.session.checkpoint(),
+                        pending: resident.pending.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// [`checkpoint`](Grid::checkpoint) serialized to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CheckpointCodec`] when encoding fails.
+    pub fn checkpoint_json(&self) -> Result<String, EngineError> {
+        serde_json::to_string(&self.checkpoint())
+            .map_err(|e| EngineError::CheckpointCodec(e.to_string()))
+    }
+
+    /// Revives a grid from a checkpoint: every session is restored (see
+    /// [`Engine::restore`]) under its original id with its pending rounds
+    /// re-queued, so restore-then-drain is bit-identical to never having
+    /// stopped. The config must keep the checkpoint's shard count (the
+    /// session→shard map is `id % shards`); the thread budget and queue
+    /// capacity are free to change — neither affects results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedVersion`] for a foreign format
+    /// version, [`EngineError::BadCheckpoint`] when `config.shards`
+    /// disagrees with the checkpoint, and propagates per-session restore
+    /// errors.
+    pub fn restore(
+        engine: Engine,
+        config: &GridConfig,
+        checkpoint: &GridCheckpoint,
+    ) -> Result<GridHandle, EngineError> {
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(EngineError::UnsupportedVersion {
+                found: checkpoint.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        if config.shards != checkpoint.shards {
+            return Err(EngineError::BadCheckpoint { field: "shards" });
+        }
+        let mut grid = Grid::open(engine, config)?;
+        for entry in &checkpoint.sessions {
+            let session = grid.engine.restore(&entry.session)?;
+            grid.adopt(session, entry.pending.clone());
+        }
+        Ok(grid)
+    }
+
+    /// [`restore`](Grid::restore) from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CheckpointCodec`] for undecodable JSON,
+    /// else as [`restore`](Grid::restore).
+    pub fn restore_json(
+        engine: Engine,
+        config: &GridConfig,
+        json: &str,
+    ) -> Result<GridHandle, EngineError> {
+        let checkpoint: GridCheckpoint =
+            serde_json::from_str(json).map_err(|e| EngineError::CheckpointCodec(e.to_string()))?;
+        Grid::restore(engine, config, &checkpoint)
+    }
+
+    fn locate(&self, id: SessionId) -> Result<(usize, usize), EngineError> {
+        self.assignments
+            .get(id.0)
+            .copied()
+            .ok_or(EngineError::UnknownSession {
+                index: id.0,
+                sessions: self.assignments.len(),
+            })
+    }
+}
+
+/// Ingests one shard's queues in session-id order; returns the rounds
+/// ingested and the first failure, if any. Runs on a shard worker thread
+/// during parallel drains.
+fn drain_shard(shard: &mut Shard) -> (u64, Option<EngineError>) {
+    let Shard {
+        pool,
+        scratch,
+        residents,
+    } = shard;
+    let mut ingested = 0u64;
+    for resident in residents.iter_mut() {
+        if resident.pending.is_empty() {
+            continue;
+        }
+        let batch = std::mem::take(&mut resident.pending);
+        telemetry::counter(names::GRID_BATCHES, 1);
+        let before = resident.outcomes.len();
+        let result =
+            resident
+                .session
+                .ingest_batch_into(&batch, pool, scratch, &mut resident.outcomes);
+        let done = resident.outcomes.len() - before;
+        ingested += done as u64;
+        telemetry::counter(names::GRID_ROUNDS_INGESTED, done as u64);
+        if let Err(e) = result {
+            // Round `done` failed and was consumed by the attempt (a
+            // malformed round would otherwise wedge the queue forever);
+            // the un-attempted remainder goes back in order.
+            resident.pending = batch.into_iter().skip(done + 1).collect();
+            return (
+                ingested,
+                Some(EngineError::SessionFailed {
+                    session: resident.id,
+                    round: done,
+                    source: Box::new(e),
+                }),
+            );
+        }
+    }
+    (ingested, None)
+}
+
+/// One session's slice of a [`GridCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSessionCheckpoint {
+    /// The session snapshot.
+    pub session: SessionCheckpoint,
+    /// Rounds that were queued but not yet ingested at checkpoint time.
+    pub pending: Vec<ObservationRound>,
+}
+
+/// A complete serializable grid snapshot: every resident session (in id
+/// order) with its pending rounds. Produced by [`Grid::checkpoint`],
+/// revived by [`Grid::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Shard count at checkpoint time (restore must keep it: the
+    /// session→shard map is `id % shards`).
+    pub shards: usize,
+    /// Queue capacity at checkpoint time (informational; restore may
+    /// change it).
+    pub queue_capacity: usize,
+    /// Resident sessions in id order.
+    pub sessions: Vec<GridSessionCheckpoint>,
+}

@@ -20,12 +20,19 @@
 //!    [`Engine::restore`] revives it with a bit-identity guarantee:
 //!    restore-then-ingest produces exactly the outcomes an uninterrupted
 //!    run would have.
-//! 4. **Driver layer** (`core::attack`) — the legacy batch pipeline is a
+//! 4. **Grid layer** ([`grid`]) — a sharded multi-session scheduler:
+//!    sessions are assigned to shards with dedicated `fluxpar` pool
+//!    slices, rounds queue into bounded per-session buffers with
+//!    explicit backpressure, and a drain barrier batch-ingests every
+//!    queue with one scoped worker thread per shard — bit-identical to
+//!    driving each session alone.
+//! 5. **Driver layer** (`core::attack`) — the legacy batch pipeline is a
 //!    thin adapter over this engine.
 //!
-//! All sessions share the process-wide `fluxpar` worker pool through the
-//! solver, so concurrency comes from many cheap sessions over one set of
-//! worker threads.
+//! Standalone sessions share the process-wide `fluxpar` worker pool
+//! through the solver; grid-resident sessions run on their shard's
+//! dedicated pool slice instead, so thousands of sessions never
+//! serialize on shared state.
 //!
 //! # Quickstart
 //!
@@ -80,11 +87,13 @@
 mod checkpoint;
 mod engine;
 mod error;
+pub mod grid;
 mod session;
 
 pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
 pub use engine::{Engine, SessionConfig};
 pub use error::EngineError;
+pub use grid::{Grid, GridCheckpoint, GridConfig, GridHandle, SessionId, Submit};
 pub use session::{Session, UserState};
 
 // Re-exported so engine users can name round inputs and step outputs

@@ -7,10 +7,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use fluxprint_fluxmodel::FluxModel;
+use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::{Boundary, Point2};
 use fluxprint_netsim::ObservationRound;
 use fluxprint_smc::{SmcError, StepOutcome, Tracker};
-use fluxprint_solver::FluxObjective;
+use fluxprint_solver::{CacheScratch, FluxObjective};
 use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{EngineError, SessionCheckpoint, CHECKPOINT_VERSION};
@@ -71,11 +72,31 @@ impl Session {
     /// [`EngineError::UnknownNode`] when the round references a node the
     /// engine was not built over, and propagates solver/tracker errors.
     pub fn ingest(&mut self, round: &ObservationRound) -> Result<StepOutcome, EngineError> {
+        let mut scratch = CacheScratch::new();
+        self.ingest_in(round, fluxprint_fluxpar::pool(), &mut scratch)
+    }
+
+    /// [`ingest`](Session::ingest) on an explicit pool, reusing a
+    /// caller-owned [`CacheScratch`] across sequential solver dispatches.
+    /// Shard workers use this (and the batch variants below) to drive
+    /// many sessions on dedicated one-thread pool slices without touching
+    /// the process-wide pool or the allocator in the hot loop. Results
+    /// are bit-identical to [`ingest`](Session::ingest).
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Session::ingest).
+    pub fn ingest_in(
+        &mut self,
+        round: &ObservationRound,
+        pool: &Pool,
+        scratch: &mut CacheScratch,
+    ) -> Result<StepOutcome, EngineError> {
         // The tracker borrows `self` mutably while drawing from the RNG,
         // so the stream is copied out and back by value; the xoshiro
         // state is 4 words, making this free in practice.
         let mut rng = StdRng::from_state(self.rng.state());
-        let out = self.ingest_with(round, &mut rng);
+        let out = self.ingest_round(round, &mut rng, pool, scratch);
         self.rng = StdRng::from_state(rng.state());
         out
     }
@@ -95,24 +116,118 @@ impl Session {
         round: &ObservationRound,
         rng: &mut R,
     ) -> Result<StepOutcome, EngineError> {
+        let mut scratch = CacheScratch::new();
+        self.ingest_round(round, rng, fluxprint_fluxpar::pool(), &mut scratch)
+    }
+
+    /// Ingests a contiguous run of rounds in order, equivalent to calling
+    /// [`ingest`](Session::ingest) once per round — bit-identically so —
+    /// but sharing one objective template and (via the `_in` variants)
+    /// one [`CacheScratch`] across the whole batch when the sniffer set
+    /// is unchanged, so the per-round cost touches no allocator.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing round and returns its error; rounds
+    /// before it are fully applied (their outcomes are lost — use
+    /// [`ingest_batch_into`](Session::ingest_batch_into) to keep them)
+    /// and the session RNG has advanced past them, so the session remains
+    /// consistent and resumable.
+    pub fn ingest_batch(
+        &mut self,
+        rounds: &[ObservationRound],
+    ) -> Result<Vec<StepOutcome>, EngineError> {
+        let mut scratch = CacheScratch::new();
+        self.ingest_batch_in(rounds, fluxprint_fluxpar::pool(), &mut scratch)
+    }
+
+    /// [`ingest_batch`](Session::ingest_batch) on an explicit pool and
+    /// caller-owned scratch — the shard worker's entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest_batch`](Session::ingest_batch).
+    pub fn ingest_batch_in(
+        &mut self,
+        rounds: &[ObservationRound],
+        pool: &Pool,
+        scratch: &mut CacheScratch,
+    ) -> Result<Vec<StepOutcome>, EngineError> {
+        let mut out = Vec::with_capacity(rounds.len());
+        self.ingest_batch_into(rounds, pool, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`ingest_batch_in`](Session::ingest_batch_in), but appending
+    /// outcomes to a caller-owned vector. On error the outcomes of the
+    /// successfully ingested prefix are retained in `out`, so the caller
+    /// can tell exactly how far the batch got (`out.len()` minus its
+    /// length before the call) — the grid uses this to keep per-session
+    /// outcome logs exact across partial drains.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest_batch`](Session::ingest_batch).
+    pub fn ingest_batch_into(
+        &mut self,
+        rounds: &[ObservationRound],
+        pool: &Pool,
+        scratch: &mut CacheScratch,
+        out: &mut Vec<StepOutcome>,
+    ) -> Result<(), EngineError> {
+        let mut rng = StdRng::from_state(self.rng.state());
+        let mut result = Ok(());
+        for round in rounds {
+            match self.ingest_round(round, &mut rng, pool, scratch) {
+                Ok(outcome) => out.push(outcome),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        // Write the stream position back even on error: the ingested
+        // prefix is applied, so the RNG must stay in step with it.
+        self.rng = StdRng::from_state(rng.state());
+        result
+    }
+
+    /// One round against an explicit RNG, pool, and scratch: validate,
+    /// refresh the objective template, step the tracker with suspended
+    /// and departed users gated out.
+    fn ingest_round<R: Rng + ?Sized>(
+        &mut self,
+        round: &ObservationRound,
+        rng: &mut R,
+        pool: &Pool,
+        scratch: &mut CacheScratch,
+    ) -> Result<StepOutcome, EngineError> {
         round.validate()?;
         let _span = telemetry::span(names::SPAN_ENGINE_INGEST);
         telemetry::counter(names::ENGINE_ROUNDS, 1);
-        let objective = self.objective_for(round)?;
+        self.refresh_template(round)?;
         let mask: Vec<bool> = self.users.iter().map(|&s| s == UserState::Active).collect();
+        // `refresh_template` just succeeded, so the template is present;
+        // the error arm is unreachable but cheaper than a panic path.
+        let (_, objective) = self
+            .template
+            .as_ref()
+            .ok_or(EngineError::BadConfig { field: "template" })?;
         let out = self
             .tracker
-            .step_gated(round.time, &objective, &mask, rng)?;
+            .step_gated_in(round.time, objective, &mask, rng, pool, scratch)?;
         self.rounds_ingested += 1;
         Ok(out)
     }
 
-    /// Resolves a round into an objective, reusing the cached sniffer-set
-    /// template when the id set is unchanged since the previous round.
-    fn objective_for(&mut self, round: &ObservationRound) -> Result<FluxObjective, EngineError> {
-        if let Some((ids, template)) = &self.template {
+    /// Resolves a round into the cached sniffer-set template: when the id
+    /// set is unchanged since the previous round only the measurement
+    /// buffer is overwritten (no allocation); churn rebuilds the template.
+    fn refresh_template(&mut self, round: &ObservationRound) -> Result<(), EngineError> {
+        if let Some((ids, template)) = &mut self.template {
             if *ids == round.ids {
-                return Ok(template.with_measurements(round.fluxes.clone())?);
+                template.set_measurements(&round.fluxes)?;
+                return Ok(());
             }
             telemetry::counter(names::ENGINE_CHURN_EVENTS, 1);
         }
@@ -131,8 +246,8 @@ impl Session {
             positions,
             round.fluxes.clone(),
         )?;
-        self.template = Some((round.ids.clone(), objective.clone()));
-        Ok(objective)
+        self.template = Some((round.ids.clone(), objective));
+        Ok(())
     }
 
     /// Adds a new user to the session mid-run, seeded with the tracker's

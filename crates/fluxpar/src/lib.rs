@@ -28,8 +28,24 @@
 //!
 //! Thread count comes from the `FLUXPRINT_THREADS` environment variable
 //! when set to a positive integer, else [`std::thread::available_parallelism`].
+//! A set-but-invalid value (empty, non-numeric, or zero) is ignored with a
+//! `fluxpar.threads_env_ignored` telemetry count; binaries should surface
+//! [`threads_env_warning`] on stderr at startup.
 //! Nested dispatches (a worker closure calling back into a pool) run
 //! sequentially on the worker thread — parallelism does not multiply.
+//!
+//! # Shard workers and nested dispatch
+//!
+//! The nested-dispatch guard is keyed on a thread-local set only inside
+//! `map_*` worker closures. Threads spawned *directly* with
+//! [`std::thread::scope`] — e.g. the per-shard drain workers of
+//! `fluxprint-engine`'s grid — are **not** pool workers, so a dispatch
+//! they make on their own [`Pool`] slice still fans out. The intended
+//! sharding pattern is therefore: split the budget with [`Pool::split`],
+//! hand each shard thread its own slice, and let slices of one thread
+//! take the sequential fast path (no spawns at all) while the shard
+//! threads themselves provide the parallelism. Shard threads must call
+//! [`telemetry::flush`] before exiting, exactly as pool workers do.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -68,14 +84,43 @@ impl Pool {
 
     /// A pool sized from `FLUXPRINT_THREADS`, defaulting to
     /// [`std::thread::available_parallelism`] (1 if unavailable).
+    ///
+    /// A set-but-invalid override (empty, non-numeric, or zero) falls back
+    /// to the platform default and bumps the
+    /// `fluxpar.threads_env_ignored` counter so the silent fallback is
+    /// observable; see [`threads_env_warning`] for the binary-facing
+    /// diagnostic.
     pub fn from_env() -> Self {
         let configured = std::env::var(THREADS_ENV).ok();
+        if configured.is_some() && parse_threads(configured.as_deref()).is_none() {
+            telemetry::counter(names::FLUXPAR_THREADS_ENV_IGNORED, 1);
+        }
         let threads = parse_threads(configured.as_deref()).unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
         Self::with_threads(threads)
+    }
+
+    /// Splits this pool's thread budget into `parts` independent slices,
+    /// one per shard. Slice sizes differ by at most one (earlier slices
+    /// take the remainder) and every slice gets at least one thread, so
+    /// `parts > threads` oversubscribes rather than starving a shard.
+    ///
+    /// Slices are plain [`Pool`]s: they share no state with `self` or each
+    /// other, so shard threads dispatching on their own slice never
+    /// contend on the process-wide [`pool()`]. A slice of one thread takes
+    /// the sequential fast path on every dispatch — no spawns at all —
+    /// which is the intended configuration when the shard threads
+    /// themselves are the parallelism.
+    pub fn split(&self, parts: usize) -> Vec<Pool> {
+        let parts = parts.max(1);
+        let base = self.threads / parts;
+        let rem = self.threads % parts;
+        (0..parts)
+            .map(|p| Pool::with_threads((base + usize::from(p < rem)).max(1)))
+            .collect()
     }
 
     /// The configured worker count.
@@ -151,6 +196,32 @@ impl Pool {
         out
     }
 
+    /// Like [`map_with`](Pool::map_with), but reusing a caller-owned
+    /// scratch value when the dispatch runs sequentially (one effective
+    /// worker: nested dispatch, `len <= 1`, or a one-thread pool).
+    ///
+    /// On the sequential path `f` runs against `scratch` directly and the
+    /// allocations it grew survive into the caller's next dispatch — this
+    /// is what makes batched ingestion allocation-free on one-thread shard
+    /// slices. On the parallel path per-worker state comes from `init`
+    /// exactly as in [`map_with`](Pool::map_with) and `scratch` is
+    /// untouched. The existing scratch contract makes the two paths
+    /// interchangeable: state may be reused across items and calls but
+    /// must never change the value returned for an item, so results are
+    /// bit-identical either way.
+    pub fn map_reusing<S, R, FS, F>(&self, len: usize, scratch: &mut S, init: FS, f: F) -> Vec<R>
+    where
+        R: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        if self.effective_workers(len) <= 1 {
+            telemetry::counter(names::FLUXPAR_TASKS, len as u64);
+            return (0..len).map(|i| f(scratch, i)).collect();
+        }
+        self.map_with(len, init, f)
+    }
+
     /// Maps `f` over contiguous chunks of `0..len` of size `chunk_size`
     /// (the last chunk may be short), returning one result per chunk in
     /// chunk order.
@@ -201,6 +272,24 @@ pub fn pool() -> &'static Pool {
 fn parse_threads(value: Option<&str>) -> Option<usize> {
     let n: usize = value?.trim().parse().ok()?;
     (n >= 1).then_some(n)
+}
+
+/// A human-readable diagnostic when `FLUXPRINT_THREADS` is set but will
+/// be ignored (empty, non-numeric, or zero), else `None`.
+///
+/// Libraries never print (see the `no-println` lint); binaries should
+/// call this once at startup and forward the message to stderr so a
+/// mistyped override does not silently fall back to the platform
+/// default. The matching telemetry signal is the
+/// `fluxpar.threads_env_ignored` counter bumped by [`Pool::from_env`].
+pub fn threads_env_warning() -> Option<String> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    match parse_threads(Some(&raw)) {
+        Some(_) => None,
+        None => Some(format!(
+            "{THREADS_ENV}={raw:?} is not a positive integer; using the platform default"
+        )),
+    }
 }
 
 /// Splits `0..len` into `parts` contiguous ranges whose lengths differ by
@@ -321,6 +410,62 @@ mod tests {
         assert_eq!(parse_threads(Some(" 12 ")), Some(12));
         assert!(Pool::from_env().threads() >= 1);
         assert!(pool().threads() >= 1);
+    }
+
+    #[test]
+    fn split_divides_the_budget_without_starving_any_slice() {
+        let sizes = |total: usize, parts: usize| -> Vec<usize> {
+            Pool::with_threads(total)
+                .split(parts)
+                .iter()
+                .map(Pool::threads)
+                .collect()
+        };
+        assert_eq!(sizes(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(sizes(7, 4), vec![2, 2, 2, 1]);
+        assert_eq!(sizes(4, 4), vec![1, 1, 1, 1]);
+        // Oversubscription: more shards than threads still yields one
+        // thread per shard, never zero.
+        assert_eq!(sizes(2, 5), vec![1, 1, 1, 1, 1]);
+        assert_eq!(sizes(3, 1), vec![3]);
+        assert_eq!(Pool::with_threads(6).split(0).len(), 1);
+    }
+
+    #[test]
+    fn map_reusing_matches_map_with_and_reuses_sequentially() {
+        let f = |scratch: &mut Vec<f64>, i: usize| {
+            scratch.clear();
+            scratch.extend((0..16).map(|j| noisy(i * 16 + j)));
+            scratch.iter().sum::<f64>()
+        };
+        let reference = Pool::with_threads(1).map_with(60, Vec::new, f);
+        // Sequential path: the caller's scratch is used and keeps its
+        // grown allocation across the call.
+        let mut scratch: Vec<f64> = Vec::new();
+        let got = Pool::with_threads(1).map_reusing(60, &mut scratch, Vec::new, f);
+        assert!(scratch.capacity() >= 16);
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+        // Parallel path: falls back to per-worker init, same bits.
+        let mut scratch: Vec<f64> = Vec::new();
+        let got = Pool::with_threads(8).map_reusing(60, &mut scratch, Vec::new, f);
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn threads_env_warning_reports_only_invalid_values() {
+        // The env var is process-global; tests in this binary run in
+        // parallel, so only exercise the parser-level contract here via
+        // parse_threads and check the warning against the current env.
+        match std::env::var(THREADS_ENV) {
+            Ok(raw) if parse_threads(Some(&raw)).is_none() => {
+                assert!(threads_env_warning().is_some());
+            }
+            _ => assert!(threads_env_warning().is_none()),
+        }
     }
 
     #[test]

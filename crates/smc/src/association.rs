@@ -96,6 +96,35 @@ pub fn associate_with(
     config: &SmcConfig,
     pool: &Pool,
 ) -> Result<Association, SmcError> {
+    let mut scratch = CacheScratch::new();
+    associate_in(
+        objective,
+        candidates,
+        explore_from,
+        config,
+        pool,
+        &mut scratch,
+    )
+}
+
+/// [`associate_with`] reusing a caller-owned [`CacheScratch`] on
+/// sequential dispatches (the scratch contract guarantees reuse never
+/// changes results). Shard workers driving batched ingestion on a
+/// one-thread pool slice pass one scratch across a whole batch of
+/// rounds, keeping the hot loop allocation-free; parallel dispatches
+/// fall back to per-worker scratch exactly as before.
+///
+/// # Errors
+///
+/// As for [`associate`].
+pub fn associate_in(
+    objective: &FluxObjective,
+    candidates: &[Vec<Point2>],
+    explore_from: &[usize],
+    config: &SmcConfig,
+    pool: &Pool,
+    scratch: &mut CacheScratch,
+) -> Result<Association, SmcError> {
     if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
         return Err(SmcError::ZeroUsers);
     }
@@ -135,6 +164,7 @@ pub fn associate_with(
                 explore_penalty,
                 config.explore_accept_ratio,
                 pool,
+                scratch,
             )?;
             if best
                 .as_ref()
@@ -186,7 +216,7 @@ pub fn associate_with(
             .collect();
         let cond = cache.conditioner(&others, 0);
         let scanned: Result<Vec<f64>, SmcError> = pool
-            .map_with(limit, CacheScratch::new, |scratch, c| {
+            .map_reusing(limit, scratch, CacheScratch::new, |scratch, c| {
                 cache
                     .evaluate_conditioned(&cond, (i, c), scratch)
                     .map_err(SmcError::from)
@@ -235,6 +265,7 @@ fn selected_slots(selected: &[usize], chosen: &[Option<usize>]) -> Vec<Slot> {
 
 /// Scans user `i`'s candidates conditioned on the selected sources (in
 /// parallel) and returns its admissible bid.
+#[allow(clippy::too_many_arguments)]
 fn best_bid(
     cache: &ScoringCache,
     cond: &Conditioner,
@@ -243,9 +274,10 @@ fn best_bid(
     explore_penalty: f64,
     explore_accept_ratio: f64,
     pool: &Pool,
+    scratch: &mut CacheScratch,
 ) -> Result<Bid, SmcError> {
     let scanned: Result<Vec<f64>, SmcError> = pool
-        .map_with(cache.size(i), CacheScratch::new, |scratch, c| {
+        .map_reusing(cache.size(i), scratch, CacheScratch::new, |scratch, c| {
             cache
                 .evaluate_conditioned(cond, (i, c), scratch)
                 .map_err(SmcError::from)

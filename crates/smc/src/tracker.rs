@@ -5,13 +5,14 @@ use std::sync::Arc;
 use rand::Rng;
 
 use fluxprint_fluxmodel::FluxModel;
+use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::{deployment, Boundary, Point2};
-use fluxprint_solver::FluxObjective;
+use fluxprint_solver::{CacheScratch, FluxObjective};
 use fluxprint_stats::WeightedAlias;
 use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{
-    associate, weighted_mean, FilterStrategy, SmcConfig, SmcError, TrackerState, UserTrackState,
+    associate_in, weighted_mean, FilterStrategy, SmcConfig, SmcError, TrackerState, UserTrackState,
     WeightedSample,
 };
 
@@ -233,7 +234,15 @@ impl Tracker {
         objective: &FluxObjective,
         rng: &mut R,
     ) -> Result<StepOutcome, SmcError> {
-        self.step_impl(t, objective, None, rng)
+        let mut scratch = CacheScratch::new();
+        self.step_impl(
+            t,
+            objective,
+            None,
+            rng,
+            fluxprint_fluxpar::pool(),
+            &mut scratch,
+        )
     }
 
     /// Like [`step`](Tracker::step), but only users with
@@ -253,12 +262,42 @@ impl Tracker {
         participating: &[bool],
         rng: &mut R,
     ) -> Result<StepOutcome, SmcError> {
+        let mut scratch = CacheScratch::new();
+        self.step_gated_in(
+            t,
+            objective,
+            participating,
+            rng,
+            fluxprint_fluxpar::pool(),
+            &mut scratch,
+        )
+    }
+
+    /// [`step_gated`](Tracker::step_gated) on an explicit pool, reusing a
+    /// caller-owned [`CacheScratch`] across sequential dispatches — the
+    /// grid's batched-ingestion entry point, where a shard worker steps
+    /// many rounds on a one-thread pool slice and one scratch serves the
+    /// whole batch. Results are bit-identical to
+    /// [`step_gated`](Tracker::step_gated) at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_gated`](Tracker::step_gated).
+    pub fn step_gated_in<R: Rng + ?Sized>(
+        &mut self,
+        t: f64,
+        objective: &FluxObjective,
+        participating: &[bool],
+        rng: &mut R,
+        pool: &Pool,
+        scratch: &mut CacheScratch,
+    ) -> Result<StepOutcome, SmcError> {
         if participating.len() != self.users.len() {
             return Err(SmcError::BadConfig {
                 field: "participating",
             });
         }
-        self.step_impl(t, objective, Some(participating), rng)
+        self.step_impl(t, objective, Some(participating), rng, pool, scratch)
     }
 
     fn step_impl<R: Rng + ?Sized>(
@@ -267,6 +306,8 @@ impl Tracker {
         objective: &FluxObjective,
         participating: Option<&[bool]>,
         rng: &mut R,
+        pool: &Pool,
+        scratch: &mut CacheScratch,
     ) -> Result<StepOutcome, SmcError> {
         if t.is_nan() || t <= self.last_step_time {
             return Err(SmcError::TimeNotAdvancing {
@@ -412,7 +453,14 @@ impl Tracker {
         // Detection + association: forward selection of active sources
         // with motion-consistency preference (see the `association`
         // module). Unselected users receive the paper's Null update.
-        let assoc = associate(objective, &candidates, &explore_from, &self.config)?;
+        let assoc = associate_in(
+            objective,
+            &candidates,
+            &explore_from,
+            &self.config,
+            pool,
+            scratch,
+        )?;
 
         let mut active = vec![false; k];
         let mut stretches = vec![0.0; k];

@@ -119,6 +119,33 @@ impl FluxObjective {
         })
     }
 
+    /// Swaps in a new observation window over the same sniffer set
+    /// without reallocating: the measurement buffer is overwritten in
+    /// place. This is the batched-ingestion fast path — a session
+    /// replaying a contiguous run of rounds over an unchanged sniffer
+    /// membership touches no allocator at all. Validation happens before
+    /// any write, so on error the objective is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::LengthMismatch`] when the new measurement
+    /// count differs from the sniffer count and
+    /// [`SolverError::BadMeasurement`] for negative or non-finite values.
+    pub fn set_measurements(&mut self, measurements: &[f64]) -> Result<(), SolverError> {
+        if measurements.len() != self.positions.len() {
+            return Err(SolverError::LengthMismatch {
+                positions: self.positions.len(),
+                measurements: measurements.len(),
+            });
+        }
+        if let Some(index) = measurements.iter().position(|&m| !m.is_finite() || m < 0.0) {
+            return Err(SolverError::BadMeasurement { index });
+        }
+        self.measurements.clear();
+        self.measurements.extend_from_slice(measurements);
+        Ok(())
+    }
+
     /// Number of observations (sniffed nodes).
     pub fn len(&self) -> usize {
         self.positions.len()

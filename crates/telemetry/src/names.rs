@@ -55,6 +55,9 @@ pub const SWEEP_TRIALS: &str = "core.sweep.trials";
 pub const FLUXPAR_TASKS: &str = "fluxpar.tasks";
 /// Worker threads spawned by parallel pool dispatches.
 pub const FLUXPAR_THREADS: &str = "fluxpar.threads";
+/// `FLUXPRINT_THREADS` overrides ignored because the value was
+/// malformed or zero (the pool fell back to the platform default).
+pub const FLUXPAR_THREADS_ENV_IGNORED: &str = "fluxpar.threads_env_ignored";
 
 /// Tracking sessions opened by the streaming engine.
 pub const ENGINE_SESSIONS: &str = "engine.sessions";
@@ -70,12 +73,26 @@ pub const ENGINE_RESTORES: &str = "engine.restores";
 /// Users joined to live sessions after creation.
 pub const ENGINE_USERS_JOINED: &str = "engine.users.joined";
 
+/// Sessions resident across all grids (opened or restored into a shard).
+pub const GRID_SESSIONS_RESIDENT: &str = "grid.sessions.resident";
+/// Rounds accepted into per-session ingest queues.
+pub const GRID_ROUNDS_QUEUED: &str = "grid.rounds.queued";
+/// Rounds ingested by shard drains (batched tracker steps).
+pub const GRID_ROUNDS_INGESTED: &str = "grid.rounds.ingested";
+/// Submissions refused because the session's queue was full.
+pub const GRID_BACKPRESSURE_EVENTS: &str = "grid.backpressure.events";
+/// Contiguous batches handed to `Session::ingest_batch` by drains.
+pub const GRID_BATCHES: &str = "grid.batches";
+
 /// Per-round prediction candidate counts (distribution across rounds).
 pub const HIST_SMC_ROUND_SAMPLES: &str = "smc.round.samples_predicted";
 /// Per-round count of users detected active.
 pub const HIST_SMC_ROUND_ACTIVE: &str = "smc.round.active_users";
 /// Winning combination residual `‖F̂ − F′‖` per round.
 pub const HIST_SMC_ROUND_RESIDUAL: &str = "smc.round.residual";
+/// Rounds queued per shard at the start of each grid drain (shard-level
+/// backlog distribution).
+pub const HIST_GRID_QUEUE_DEPTH: &str = "grid.shard.queue_depth";
 
 /// Span: one multi-start random position search.
 pub const SPAN_RANDOM_SEARCH: &str = "solver.random_search";
@@ -93,6 +110,8 @@ pub const SPAN_SIMULATE_FLUX: &str = "netsim.simulate_flux";
 pub const SPAN_SWEEP_POINT: &str = "core.sweep_point";
 /// Span: one streaming-engine round ingestion.
 pub const SPAN_ENGINE_INGEST: &str = "engine.ingest";
+/// Span: one grid drain barrier (all shards, all queued rounds).
+pub const SPAN_GRID_DRAIN: &str = "grid.drain";
 
 /// Every counter in the catalog (exported zero-valued when untouched).
 pub const COUNTERS: &[&str] = &[
@@ -118,12 +137,18 @@ pub const COUNTERS: &[&str] = &[
     SWEEP_TRIALS,
     FLUXPAR_TASKS,
     FLUXPAR_THREADS,
+    FLUXPAR_THREADS_ENV_IGNORED,
     ENGINE_SESSIONS,
     ENGINE_ROUNDS,
     ENGINE_CHURN_EVENTS,
     ENGINE_CHECKPOINTS,
     ENGINE_RESTORES,
     ENGINE_USERS_JOINED,
+    GRID_SESSIONS_RESIDENT,
+    GRID_ROUNDS_QUEUED,
+    GRID_ROUNDS_INGESTED,
+    GRID_BACKPRESSURE_EVENTS,
+    GRID_BATCHES,
 ];
 
 /// Every histogram in the catalog.
@@ -131,6 +156,7 @@ pub const HISTOGRAMS: &[&str] = &[
     HIST_SMC_ROUND_SAMPLES,
     HIST_SMC_ROUND_ACTIVE,
     HIST_SMC_ROUND_RESIDUAL,
+    HIST_GRID_QUEUE_DEPTH,
 ];
 
 /// Every span root in the catalog. Nested paths (`a/b`) appear in
@@ -144,6 +170,7 @@ pub const SPANS: &[&str] = &[
     SPAN_SIMULATE_FLUX,
     SPAN_SWEEP_POINT,
     SPAN_ENGINE_INGEST,
+    SPAN_GRID_DRAIN,
 ];
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ const ROUNDS: usize = 10;
 
 /// Builds one Figure-7 scenario: `kind` is a straight-track user count
 /// (`"1"`, `"2"`, `"3"`) or `"crossing"`. Public so the golden-fixture
-/// test can pin `run_tracking_reference` on the exact fig7 inputs.
+/// test can pin `run_tracking` on the exact fig7 inputs.
 pub fn tracking_scenario(kind: &str, seed: u64) -> (fluxprint_core::Scenario, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let field = Rect::square(FIELD_SIDE).expect("valid field");

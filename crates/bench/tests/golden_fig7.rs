@@ -1,11 +1,12 @@
-//! Golden fixture for the legacy reference pipeline.
+//! Golden fixture for the tracking pipeline.
 //!
-//! Pins the full serialized [`fluxprint_core::run_tracking_reference`]
-//! report for the Figure-7 two-user case (first trial's seeds, quick
-//! prediction count) against a committed fixture. The comparison is an
-//! exact string match: any drift in the simulator, solver, tracker, or
-//! RNG consumption — however small — fails loudly. Combined with the
-//! engine-equivalence oracle, this anchors the whole modern stack
+//! Pins the full serialized [`fluxprint_core::run_tracking`] report for
+//! the Figure-7 two-user case (first trial's seeds, quick prediction
+//! count) against a committed fixture. The comparison is an exact string
+//! match: any drift in the simulator, solver, tracker, or RNG
+//! consumption — however small — fails loudly. The fixture was blessed
+//! from the pre-engine batch loop (retired after the engine adapter was
+//! proven bit-identical to it), so it anchors the whole modern stack
 //! (engine, grid, batched ingestion) to one committed artifact.
 //!
 //! To re-bless after an *intentional* numeric change:
@@ -19,7 +20,7 @@
 
 use fluxprint_bench::fig7::tracking_scenario;
 use fluxprint_bench::RunSpec;
-use fluxprint_core::{run_tracking_reference, AttackConfig};
+use fluxprint_core::{run_tracking, AttackConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,14 +30,14 @@ const FIXTURE: &str = concat!(
 );
 
 #[test]
-fn fig7_reference_matches_golden_fixture() {
+fn fig7_tracking_matches_golden_fixture() {
     let spec = RunSpec::quick();
     let (scenario, k) = tracking_scenario("2", spec.rng_seed(8000));
     assert_eq!(k, 2);
     let mut rng = StdRng::seed_from_u64(spec.rng_seed(9000));
     let mut config = AttackConfig::default();
     config.smc.n_predictions = 400;
-    let report = run_tracking_reference(&scenario, &config, &mut rng).expect("tracking runs");
+    let report = run_tracking(&scenario, &config, &mut rng).expect("tracking runs");
     let got = format!(
         "{}\n",
         serde_json::to_string_pretty(&report).expect("report serializes")
@@ -50,7 +51,7 @@ fn fig7_reference_matches_golden_fixture() {
         std::fs::read_to_string(FIXTURE).expect("fixture exists — bless with GOLDEN_BLESS=1");
     assert_eq!(
         got, want,
-        "fig7 reference output drifted from the golden fixture; if the \
+        "fig7 tracking output drifted from the golden fixture; if the \
          change is intentional, re-bless with GOLDEN_BLESS=1 and commit \
          the new fixture"
     );

@@ -7,7 +7,7 @@ use fluxprint_engine::{Engine, SessionConfig};
 use fluxprint_fluxmodel::FluxModel;
 use fluxprint_geometry::Point2;
 use fluxprint_netsim::{Network, NoiseModel, Sniffer};
-use fluxprint_smc::{SmcConfig, StepOutcome, Tracker};
+use fluxprint_smc::{SmcConfig, StepOutcome};
 use fluxprint_solver::{random_search, FluxObjective, RandomSearchConfig, SinkFit};
 
 use crate::{metrics, CoreError, Countermeasure, Scenario};
@@ -324,9 +324,10 @@ fn score_round(
 /// This is a thin batch adapter over the streaming engine: it opens one
 /// [`fluxprint_engine::Session`], packages each simulated window as an
 /// [`fluxprint_netsim::ObservationRound`], and ingests them in time
-/// order. The pre-engine monolithic loop is kept as
-/// [`run_tracking_reference`] and the two are asserted bit-identical in
-/// the `engine_equivalence` integration test.
+/// order. The output contract is pinned by the committed golden fixture
+/// in `crates/bench/tests/golden_fig7.rs`, and the `engine_equivalence`
+/// integration test asserts that an interrupted (checkpoint/restore)
+/// session reproduces this uninterrupted loop bit-for-bit.
 ///
 /// # Errors
 ///
@@ -348,7 +349,8 @@ pub fn run_tracking<R: Rng + ?Sized>(
     // `open_session_with` + `ingest_with` draw from the caller's RNG in
     // exactly the legacy call order (tracker prior, sniffer build, then
     // per round: simulate, defend, observe, step), which is what keeps
-    // this adapter bit-identical to `run_tracking_reference`.
+    // this adapter bit-identical to the retired pre-engine batch loop —
+    // the golden fig7 fixture pins that stream for good.
     let mut session = engine.open_session_with(&session_config, rng)?;
     let sniffer = config.sniffer.build(&scenario.network, rng)?;
 
@@ -363,56 +365,6 @@ pub fn run_tracking<R: Rng + ?Sized>(
             sniffer.observe_round(t, &flux, config.noise, rng)
         };
         let outcome = session.ingest_with(&round, rng)?;
-        rounds.push(score_round(scenario, t, outcome)?);
-        t += window;
-    }
-    Ok(TrackingReport { k, rounds })
-}
-
-/// The pre-engine tracking pipeline: network, sniffer, solver, and
-/// tracker driven in one closed batch loop. Kept as the equivalence
-/// oracle for [`run_tracking`] — the engine adapter must reproduce this
-/// function's output bit-for-bit given the same scenario, configuration,
-/// and RNG stream.
-///
-/// # Errors
-///
-/// Propagates simulation, solver, and tracker failures.
-pub fn run_tracking_reference<R: Rng + ?Sized>(
-    scenario: &Scenario,
-    config: &AttackConfig,
-    rng: &mut R,
-) -> Result<TrackingReport, CoreError> {
-    let (t_start, t_end) = scenario.time_span();
-    let window = scenario.window;
-    let k = config.assumed_k.unwrap_or(scenario.k());
-    let mut tracker = Tracker::new(
-        k,
-        scenario.network.boundary_arc(),
-        config.model,
-        config.smc,
-        t_start - window,
-        rng,
-    )?;
-    let sniffer = config.sniffer.build(&scenario.network, rng)?;
-
-    let mut rounds = Vec::new();
-    let mut t = t_start;
-    while t <= t_end {
-        let mut flux = scenario.simulate_window(t, rng)?;
-        config.defense.apply(&scenario.network, &mut flux, rng)?;
-        let measured = if config.smooth {
-            sniffer.observe_smoothed(&scenario.network, &flux, config.noise, rng)
-        } else {
-            sniffer.observe(&flux, config.noise, rng)
-        };
-        let objective = FluxObjective::new(
-            scenario.network.boundary_arc(),
-            config.model,
-            sniffer.positions().to_vec(),
-            measured,
-        )?;
-        let outcome = tracker.step(t, &objective, rng)?;
         rounds.push(score_round(scenario, t, outcome)?);
         t += window;
     }

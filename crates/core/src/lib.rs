@@ -53,8 +53,8 @@ pub mod spec;
 pub mod sweep;
 
 pub use attack::{
-    run_instant_localization, run_tracking, run_tracking_reference, AttackConfig, InstantReport,
-    SnifferSpec, TrackingReport, TrackingRound,
+    run_instant_localization, run_tracking, AttackConfig, InstantReport, SnifferSpec,
+    TrackingReport, TrackingRound,
 };
 pub use countermeasure::Countermeasure;
 pub use error::CoreError;

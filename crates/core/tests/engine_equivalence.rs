@@ -1,7 +1,10 @@
-//! Equivalence oracle for the streaming engine: the engine-backed
-//! `run_tracking` adapter and a hand-driven `Session` (including a
-//! mid-trace checkpoint/restore cycle) must reproduce the legacy
-//! monolithic batch loop bit-for-bit.
+//! Equivalence guarantees for the streaming engine: a hand-driven
+//! `Session` that is checkpointed to JSON mid-trace, dropped, and
+//! restored must reproduce the uninterrupted `run_tracking` adapter
+//! bit-for-bit, and the adapter itself must be a pure function of
+//! (scenario, config, seed). The adapter's absolute output stream is
+//! pinned separately by the committed golden fixture in
+//! `crates/bench/tests/golden_fig7.rs`.
 //!
 //! CI runs this file at `FLUXPRINT_THREADS=1` and `=4`; bit-identity must
 //! hold at every thread count.
@@ -9,9 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fluxprint_core::{
-    run_tracking, run_tracking_reference, AttackConfig, Scenario, ScenarioBuilder, TrackingReport,
-};
+use fluxprint_core::{run_tracking, AttackConfig, Scenario, ScenarioBuilder, TrackingReport};
 use fluxprint_engine::{Engine, SessionConfig};
 use fluxprint_geometry::Point2;
 use fluxprint_mobility::{CollectionSchedule, Trajectory, UserMotion};
@@ -72,26 +73,26 @@ fn assert_reports_bit_identical(a: &TrackingReport, b: &TrackingReport) {
 }
 
 #[test]
-fn engine_adapter_matches_the_legacy_batch_path() {
+fn run_tracking_is_a_pure_function_of_the_seed() {
     let scenario = scenario(21);
     let config = quick_config();
 
     let mut rng = StdRng::seed_from_u64(42);
-    let engine_report = run_tracking(&scenario, &config, &mut rng).unwrap();
+    let first = run_tracking(&scenario, &config, &mut rng).unwrap();
 
     let mut rng = StdRng::seed_from_u64(42);
-    let legacy_report = run_tracking_reference(&scenario, &config, &mut rng).unwrap();
+    let second = run_tracking(&scenario, &config, &mut rng).unwrap();
 
-    assert_reports_bit_identical(&engine_report, &legacy_report);
+    assert_reports_bit_identical(&first, &second);
 }
 
 #[test]
-fn checkpointed_session_drive_matches_the_legacy_batch_path() {
+fn checkpointed_session_drive_matches_the_uninterrupted_adapter() {
     let scenario = scenario(33);
     let config = quick_config();
 
     let mut rng = StdRng::seed_from_u64(77);
-    let legacy = run_tracking_reference(&scenario, &config, &mut rng).unwrap();
+    let uninterrupted = run_tracking(&scenario, &config, &mut rng).unwrap();
 
     // Drive the engine by hand, replicating the adapter's RNG call order,
     // but snapshot the session to JSON mid-trace, drop it, and restore.
@@ -107,7 +108,7 @@ fn checkpointed_session_drive_matches_the_legacy_batch_path() {
     let mut session = engine.open_session_with(&session_config, &mut rng).unwrap();
     let sniffer = config.sniffer.build(&scenario.network, &mut rng).unwrap();
 
-    let checkpoint_after = legacy.rounds.len() / 2;
+    let checkpoint_after = uninterrupted.rounds.len() / 2;
     let mut t = t_start;
     let mut i = 0;
     while t <= t_end {
@@ -123,7 +124,7 @@ fn checkpointed_session_drive_matches_the_legacy_batch_path() {
         };
         let outcome = session.ingest_with(&round, &mut rng).unwrap();
 
-        let want = &legacy.rounds[i];
+        let want = &uninterrupted.rounds[i];
         assert_eq!(outcome.time.to_bits(), want.time.to_bits());
         assert_eq!(outcome.active, want.active);
         for (eo, ew) in outcome.estimates.iter().zip(&want.estimates) {
@@ -145,5 +146,5 @@ fn checkpointed_session_drive_matches_the_legacy_batch_path() {
         t += window;
         i += 1;
     }
-    assert_eq!(i, legacy.rounds.len());
+    assert_eq!(i, uninterrupted.rounds.len());
 }

@@ -251,11 +251,13 @@ impl Grid {
         let results: Vec<(u64, Option<EngineError>)> = if self.shards.len() <= 1 {
             self.shards.iter_mut().map(drain_shard).collect()
         } else {
+            // fluxlint: allow(thread-confinement) — sanctioned drain fan-out
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
                     .map(|shard| {
+                        // fluxlint: allow(thread-confinement) — shard-ordered join
                         scope.spawn(move || {
                             let r = drain_shard(shard);
                             // Scope exit does not wait for TLS destructors;

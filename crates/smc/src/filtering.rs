@@ -163,13 +163,19 @@ fn exact_enumeration(
 ) -> Result<CandidateScores, SmcError> {
     let sizes: Vec<usize> = (0..k).map(|i| cache.size(i)).collect();
     let chunk_count = total.div_ceil(EXACT_CHUNK);
+    // fluxlint: region(hot-path) — the per-combination enumeration loop;
+    // per-chunk setup is waived, per-combination work must stay allocation
+    // free.
     let chunks: Vec<Result<ExactChunk, SmcError>> =
         pool.map_with(chunk_count, CacheScratch::new, |scratch, ch| {
             let start = ch * EXACT_CHUNK;
             let end = total.min(start + EXACT_CHUNK);
+            // fluxlint: allow(hot-path-alloc) — per-chunk setup, amortized
             let mut combo = vec![0usize; k];
             decode_combo(start, &sizes, &mut combo);
+            // fluxlint: allow(hot-path-alloc) — per-chunk setup, amortized
             let mut slots: Vec<Slot> = combo.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+            // fluxlint: allow(hot-path-alloc) — per-chunk setup, amortized
             let mut minima: Vec<Vec<f64>> = sizes.iter().map(|&s| vec![f64::INFINITY; s]).collect();
             let mut best: Option<(f64, usize)> = None;
             for lin in start..end {
@@ -194,6 +200,7 @@ fn exact_enumeration(
             };
             Ok(ExactChunk { minima, best })
         });
+    // fluxlint: endregion(hot-path)
 
     // Chunk-ordered merge: elementwise minima are order-invariant, and
     // the strict `<` on chunk bests keeps the first (lowest linear index)
@@ -251,11 +258,14 @@ fn conditional_scan(
     // The probe re-enters at the user's own slot: combination column
     // order is user order, which the active-set tie-breaks see.
     let cond = cache.conditioner(&base, i);
+    // fluxlint: region(hot-path) — one conditioned solve per candidate;
+    // all state lives in the pooled scratch.
     pool.map_with(cache.size(i), CacheScratch::new, |scratch, c| {
         cache
             .evaluate_conditioned(&cond, (i, c), scratch)
             .map_err(SmcError::from)
     })
+    // fluxlint: endregion(hot-path)
     .into_iter()
     .collect()
 }

@@ -38,6 +38,10 @@ use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{FluxObjective, SinkFit, SolverError};
 
+// fluxlint: region(hot-path) — combination scoring: the SMC filter calls
+// into this cache thousands of times per observation window, so steady
+// state must not allocate.
+
 /// A combination slot: `(user index, candidate index within that user)`.
 pub type Slot = (usize, usize);
 
@@ -92,7 +96,9 @@ impl CacheScratch {
             nnls: NnlsScratch::new(),
             gram: Matrix::zeros(1, 1),
             gram_k: 1,
+            // fluxlint: allow(hot-path-alloc) — one-time scratch construction
             atb: Vec::new(),
+            // fluxlint: allow(hot-path-alloc) — buffer is reused across evals
             combo: Vec::new(),
         }
     }
@@ -154,6 +160,7 @@ impl FluxObjective {
         telemetry::counter(names::SOLVER_GRAM_BUILD, 1);
         let n = self.len();
         let mut offsets = Vec::with_capacity(candidates.len() + 1);
+        // fluxlint: allow(hot-path-alloc) — cache build runs once per window
         let mut positions = Vec::new();
         offsets.push(0);
         for set in candidates {
@@ -278,6 +285,7 @@ impl<'a> ScoringCache<'a> {
     /// `insert_at ≤ base.len()`).
     pub fn conditioner(&self, base: &[Slot], insert_at: usize) -> Conditioner {
         let kb = base.len();
+        // fluxlint: allow(hot-path-alloc) — built once, probed many times
         let mut base_gram = vec![0.0; kb * kb];
         for (r, &a) in base.iter().enumerate() {
             base_gram[r * kb + r] = self.diag[self.global(a)];
@@ -289,6 +297,7 @@ impl<'a> ScoringCache<'a> {
             }
         }
         Conditioner {
+            // fluxlint: allow(hot-path-alloc) — amortized across all probes
             base: base.to_vec(),
             base_gram,
             insert_at: insert_at.min(kb),
@@ -357,7 +366,9 @@ impl<'a> ScoringCache<'a> {
     ) -> Result<SinkFit, SolverError> {
         let residual = self.evaluate_combo(combo, scratch)?;
         Ok(SinkFit {
+            // fluxlint: allow(hot-path-alloc) — winner packaging, once a round
             positions: combo.iter().map(|&s| self.position(s)).collect(),
+            // fluxlint: allow(hot-path-alloc) — winner packaging, once a round
             stretches: scratch.stretches().to_vec(),
             residual,
         })
@@ -425,6 +436,8 @@ impl<'a> ScoringCache<'a> {
         Ok(r2.sqrt())
     }
 }
+
+// fluxlint: endregion(hot-path)
 
 #[cfg(test)]
 mod tests {

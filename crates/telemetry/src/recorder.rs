@@ -7,7 +7,7 @@
 //! into the global registry when the thread exits (merge-on-drop), so hot
 //! paths only ever touch thread-local memory.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::histogram::Histogram;
 
@@ -78,9 +78,9 @@ impl OpenSpan {
 /// and the live span stack.
 #[derive(Debug, Default)]
 pub struct Recorder {
-    counters: HashMap<&'static str, u64>,
-    histograms: HashMap<&'static str, Histogram>,
-    spans: HashMap<String, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
     stack: Vec<&'static str>,
 }
 
@@ -154,16 +154,16 @@ impl Recorder {
         histograms: &mut std::collections::BTreeMap<String, Histogram>,
         spans: &mut std::collections::BTreeMap<String, SpanStat>,
     ) {
-        for (name, value) in self.counters.drain() {
+        for (name, value) in std::mem::take(&mut self.counters) {
             *counters.entry(name.to_string()).or_insert(0) += value;
         }
-        for (name, histogram) in self.histograms.drain() {
+        for (name, histogram) in std::mem::take(&mut self.histograms) {
             histograms
                 .entry(name.to_string())
                 .or_default()
                 .merge(&histogram);
         }
-        for (path, stat) in self.spans.drain() {
+        for (path, stat) in std::mem::take(&mut self.spans) {
             spans.entry(path).or_default().merge(&stat);
         }
     }

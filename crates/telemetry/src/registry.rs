@@ -2,7 +2,7 @@
 //!
 //! Hot-path calls ([`counter`], [`record`], [`span`]) touch only a
 //! thread-local [`Recorder`] — no locks, no atomics — so instrumented
-//! inner loops pay a hash-map update per event. Each thread's recorder is
+//! inner loops pay one ordered-map update per event. Each thread's recorder is
 //! merged into the global registry when the thread exits (the scoped
 //! sweep threads in `fluxprint-core` end every trial batch this way) or
 //! when [`flush`] is called explicitly; [`snapshot`] flushes the calling

@@ -1,0 +1,473 @@
+//! Baseline support: `--diff-baseline` fails CI only on *new* findings.
+//!
+//! A committed `lint_baseline.json` records the findings the team has
+//! accepted (ideally none). In diff mode the current run is compared
+//! against it: findings not in the baseline are **new** and gate the
+//! build; baseline entries with no matching finding are **stale** and
+//! reported as a prompt to re-run `--write-baseline`, but do not fail.
+//! Matching keys on `(file, rule, function)` rather than line numbers,
+//! so unrelated edits that shift code around do not churn the ratchet.
+//!
+//! The file format is ordinary JSON, parsed by the minimal reader below —
+//! the xtask crate stays dependency-free so the lint gate can never be
+//! the thing that fails to build.
+
+use std::collections::BTreeMap;
+
+use crate::report::Outcome;
+use crate::rules::Finding;
+
+/// One accepted finding in the baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line recorded when the baseline was written (informative
+    /// only; matching ignores it).
+    pub line: usize,
+    /// Rule name, e.g. `nondet-order`.
+    pub rule: String,
+    /// Enclosing item path, empty at module top level.
+    pub function: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Accepted findings, as written.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Result of diffing a lint outcome against a baseline.
+#[derive(Debug)]
+pub struct Diff {
+    /// Findings not covered by the baseline; these gate the build.
+    pub new: Vec<Finding>,
+    /// Baseline entries no longer matched by any finding; refresh the
+    /// baseline to ratchet down.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Diff {
+    /// Whether the run introduces no new findings.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty()
+    }
+}
+
+fn key_of(file: &str, rule: &str, function: &str) -> String {
+    format!("{file}\u{1f}{rule}\u{1f}{function}")
+}
+
+/// Compares an outcome's surviving findings against the baseline.
+pub fn diff(baseline: &Baseline, outcome: &Outcome) -> Diff {
+    let mut budget: BTreeMap<String, usize> = BTreeMap::new();
+    for e in &baseline.entries {
+        *budget
+            .entry(key_of(&e.file, &e.rule, &e.function))
+            .or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    for f in &outcome.findings {
+        let key = key_of(&f.file, f.rule.name(), f.function.as_deref().unwrap_or(""));
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(f.clone()),
+        }
+    }
+    let mut stale = Vec::new();
+    for e in &baseline.entries {
+        let key = key_of(&e.file, &e.rule, &e.function);
+        if let Some(n) = budget.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                stale.push(e.clone());
+            }
+        }
+    }
+    Diff { new, stale }
+}
+
+/// Renders an outcome's surviving findings as a baseline file.
+pub fn render(outcome: &Outcome) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"function\": {}}}",
+            crate::report::escape(&f.file),
+            f.line,
+            crate::report::escape(f.rule.name()),
+            crate::report::escape(f.function.as_deref().unwrap_or("")),
+        ));
+    }
+    if !outcome.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parses a baseline file. Malformed input is an *internal* error for
+/// the CLI (exit 3), never a finding.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let value = Json::parse(text)?;
+    let obj = value.as_object().ok_or("baseline root must be an object")?;
+    let findings = obj
+        .iter()
+        .find(|(k, _)| k == "findings")
+        .map(|(_, v)| v)
+        .ok_or("baseline is missing the `findings` array")?;
+    let items = findings
+        .as_array()
+        .ok_or("baseline `findings` must be an array")?;
+    let mut entries = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let obj = item
+            .as_object()
+            .ok_or_else(|| format!("findings[{i}] must be an object"))?;
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let text_field = |name: &str| -> Result<String, String> {
+            field(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("findings[{i}].{name} must be a string"))
+        };
+        entries.push(BaselineEntry {
+            file: text_field("file")?,
+            rule: text_field("rule")?,
+            function: field("function")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            line: field("line").and_then(Json::as_usize).unwrap_or(0),
+        });
+    }
+    Ok(Baseline { entries })
+}
+
+/// A minimal JSON value, just enough to read baseline files.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("trailing content at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            // fluxlint: allow(float-eq) — exact integrality test: line numbers must be whole
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, want: char) -> Result<(), String> {
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{want}` at offset {}", *pos))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_object(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some('"') => parse_string(chars, pos).map(Json::String),
+        Some('t') => parse_literal(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_literal(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_literal(chars, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+        other => Err(format!("unexpected {other:?} at offset {}", *pos)),
+    }
+}
+
+fn parse_literal(chars: &[char], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    for want in word.chars() {
+        if chars.get(*pos) != Some(&want) {
+            return Err(format!("invalid literal at offset {}", *pos));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if chars.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+    {
+        *pos += 1;
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| format!("invalid number `{text}` at offset {start}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(chars, pos, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                let esc = chars.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars
+                                .get(*pos)
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("invalid \\u escape")?;
+                            code = code * 16 + d;
+                            *pos += 1;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{other}`")),
+                }
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '{')?;
+    let mut fields = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_string(chars, pos)?;
+        expect(chars, pos, ':')?;
+        let value = parse_value(chars, pos)?;
+        fields.push((key, value));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(file: &str, line: usize, rule: Rule, function: Option<&str>) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            source: "s".to_string(),
+            function: function.map(str::to_string),
+        }
+    }
+
+    fn outcome(findings: Vec<Finding>) -> Outcome {
+        Outcome {
+            findings,
+            waived: Vec::new(),
+            files_scanned: 1,
+            manifests_checked: 1,
+        }
+    }
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let out = outcome(vec![
+            finding("crates/a/src/l.rs", 3, Rule::NoPanic, Some("T::m")),
+            finding("crates/b/src/l.rs", 9, Rule::NondetOrder, None),
+        ]);
+        let text = render(&out);
+        let baseline = parse(&text).expect("round trip");
+        assert_eq!(baseline.entries.len(), 2);
+        assert_eq!(baseline.entries[0].function, "T::m");
+        assert_eq!(baseline.entries[1].rule, "nondet-order");
+        let d = diff(&baseline, &out);
+        assert!(d.is_clean() && d.stale.is_empty());
+    }
+
+    #[test]
+    fn diff_matches_on_function_not_line() {
+        let baseline = parse(
+            r#"{"version": 1, "findings": [
+                {"file": "crates/a/src/l.rs", "line": 3, "rule": "no-panic", "function": "T::m"}
+            ]}"#,
+        )
+        .expect("valid");
+        // Same finding, drifted to another line: still covered.
+        let drifted = outcome(vec![finding(
+            "crates/a/src/l.rs",
+            40,
+            Rule::NoPanic,
+            Some("T::m"),
+        )]);
+        assert!(diff(&baseline, &drifted).is_clean());
+        // A different function is a new finding.
+        let moved = outcome(vec![finding(
+            "crates/a/src/l.rs",
+            3,
+            Rule::NoPanic,
+            Some("T::n"),
+        )]);
+        let d = diff(&baseline, &moved);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_consume_baseline_budget() {
+        let two = outcome(vec![
+            finding("crates/a/src/l.rs", 3, Rule::NoPanic, Some("f")),
+            finding("crates/a/src/l.rs", 8, Rule::NoPanic, Some("f")),
+        ]);
+        let baseline = parse(&render(&two)).expect("valid");
+        assert!(diff(&baseline, &two).is_clean());
+        // A third identical-key finding exceeds the accepted budget.
+        let three = outcome(vec![
+            finding("crates/a/src/l.rs", 3, Rule::NoPanic, Some("f")),
+            finding("crates/a/src/l.rs", 8, Rule::NoPanic, Some("f")),
+            finding("crates/a/src/l.rs", 21, Rule::NoPanic, Some("f")),
+        ]);
+        assert_eq!(diff(&baseline, &three).new.len(), 1);
+        // And dropping one leaves a stale entry without failing.
+        let one = outcome(vec![finding(
+            "crates/a/src/l.rs",
+            3,
+            Rule::NoPanic,
+            Some("f"),
+        )]);
+        let d = diff(&baseline, &one);
+        assert!(d.is_clean());
+        assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors_not_findings() {
+        for text in [
+            "",
+            "[]",
+            "{\"version\": 1}",
+            "{\"findings\": {}}",
+            "{\"findings\": [{\"file\": 3}]}",
+            "{\"findings\": [] ",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, -2.5, "x\nA", true, null, {"b": false}]}"#)
+            .expect("valid json");
+        let obj = v.as_object().unwrap();
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[2].as_str(), Some("x\nA"));
+        assert_eq!(arr[1], Json::Number(-2.5));
+    }
+}

@@ -137,6 +137,83 @@ pub fn mask_source(src: &str) -> MaskedSource {
     }
 }
 
+/// One token of the masked code view, tagged with its 0-based line.
+///
+/// The scope scanner ([`crate::scope`]) consumes this stream to track
+/// brace nesting and item headers. Numbers, lifetimes and whitespace are
+/// skipped — nothing structural hangs off them — and string/char literal
+/// contents are already spaces in the masked view, so only their
+/// delimiter punctuation survives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword.
+    Ident {
+        /// The identifier text.
+        text: String,
+        /// 0-based line the token starts on.
+        line: usize,
+    },
+    /// A single punctuation character.
+    Punct {
+        /// The character.
+        ch: char,
+        /// 0-based line the token sits on.
+        line: usize,
+    },
+}
+
+impl Token {
+    /// The line (0-based) the token starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Token::Ident { line, .. } | Token::Punct { line, .. } => *line,
+        }
+    }
+}
+
+/// Tokenizes the masked code view into a flat stream.
+pub fn tokens(masked_code: &str) -> Vec<Token> {
+    let chars: Vec<char> = masked_code.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            // Numeric literal (possibly `1.0e-3` or a range start `0..`);
+            // consume the alphanumeric/dot run and emit nothing.
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                i += 1;
+            }
+        } else if c == '\'' && i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+            // Lifetime: skip the quote and its label.
+            i += 1;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+        } else {
+            out.push(Token::Punct { ch: c, line });
+            i += 1;
+        }
+    }
+    out
+}
+
 /// Masks an escape-aware string starting at the opening quote `open`;
 /// returns the index just past the closing quote.
 fn mask_escaped_string(chars: &[char], code: &mut [char], open: usize) -> usize {
@@ -253,5 +330,38 @@ mod tests {
     fn waiver_inside_string_stays_in_code_view() {
         let m = mask_source(r#"let w = "// fluxlint: allow(no-panic) — x";"#);
         assert!(!m.comments.contains("fluxlint"));
+    }
+
+    #[test]
+    fn token_stream_keeps_idents_and_puncts_with_lines() {
+        let m = mask_source("fn f() {\n    g(1.0e-3);\n}\n");
+        let toks = tokens(&m.code);
+        let idents: Vec<(&str, usize)> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Ident { text, line } => Some((text.as_str(), *line)),
+                Token::Punct { .. } => None,
+            })
+            .collect();
+        // The numeric literal is skipped entirely.
+        assert_eq!(idents, vec![("fn", 0), ("f", 0), ("g", 1)]);
+        let braces: Vec<usize> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Punct { ch: '{', line } | Token::Punct { ch: '}', line } => Some(*line),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(braces, vec![0, 2]);
+    }
+
+    #[test]
+    fn token_stream_skips_lifetimes_and_masked_literals() {
+        let m = mask_source("impl<'a> Foo<'a> { fn c(&self) -> char { 'x' } }");
+        let toks = tokens(&m.code);
+        assert!(toks.iter().all(|t| match t {
+            Token::Ident { text, .. } => text != "a" && text != "x",
+            Token::Punct { .. } => true,
+        }));
     }
 }

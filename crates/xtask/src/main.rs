@@ -1,61 +1,148 @@
 //! Command-line entry for the workspace task driver.
 //!
 //! ```text
-//! cargo run -p fluxprint-xtask -- lint [--json] [--root <dir>]
+//! cargo run -p fluxprint-xtask -- lint [--format human|json] [--root <dir>]
+//!                                      [--diff-baseline <file>]
+//!                                      [--write-baseline <file>]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! Exit codes:
+//!
+//! * `0` — clean (no findings; in diff mode, no *new* findings)
+//! * `1` — findings reported (diff mode: new findings vs. the baseline)
+//! * `2` — usage error (unknown command or flag)
+//! * `3` — internal error (unreadable file, malformed baseline)
+//!
+//! CI keys off the distinction: a `1` means the tree regressed, a `3`
+//! means the lint run itself is broken and needs a human.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fluxprint_xtask::{report, run_lint};
+use fluxprint_xtask::{baseline, report, run_lint};
+
+/// Why a run could not produce a verdict; decides the exit code.
+enum Failure {
+    /// The invocation itself is wrong (exit 2).
+    Usage(String),
+    /// The run could not complete: I/O or a bad baseline (exit 3).
+    Internal(String),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(message) => {
+        Err(Failure::Usage(message)) => {
             eprintln!("xtask: {message}");
             ExitCode::from(2)
+        }
+        Err(Failure::Internal(message)) => {
+            eprintln!("xtask: internal error: {message}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, Failure> {
+    let usage = "usage: cargo run -p fluxprint-xtask -- lint [--format human|json] \
+                 [--root <dir>] [--diff-baseline <file>] [--write-baseline <file>]";
     let mut args = args.iter().map(String::as_str);
     match args.next() {
         Some("lint") => {}
-        Some(other) => return Err(format!("unknown command `{other}`; try `lint`")),
-        None => return Err("usage: cargo run -p fluxprint-xtask -- lint [--json]".to_string()),
+        Some(other) => {
+            return Err(Failure::Usage(format!(
+                "unknown command `{other}`; try `lint`"
+            )))
+        }
+        None => return Err(Failure::Usage(usage.to_string())),
     }
 
-    let mut as_json = false;
+    let mut format = Format::Human;
+    let mut diff_baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     // Default root: the workspace directory two levels above this crate,
     // so the command works regardless of the caller's working directory.
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .map(PathBuf::from)
-        .ok_or_else(|| "cannot locate workspace root".to_string())?;
+        .ok_or_else(|| Failure::Internal("cannot locate workspace root".to_string()))?;
+    let value_of = |flag: &str, args: &mut dyn Iterator<Item = &str>| {
+        args.next()
+            .map(PathBuf::from)
+            .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+    };
     while let Some(arg) = args.next() {
         match arg {
-            "--json" => as_json = true,
-            "--root" => {
-                root = PathBuf::from(
-                    args.next()
-                        .ok_or_else(|| "--root needs a directory".to_string())?,
-                );
+            "--json" => format = Format::Json,
+            "--format" => {
+                format = match args.next() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(Failure::Usage(format!(
+                            "--format expects `human` or `json`, got {other:?}"
+                        )))
+                    }
+                };
             }
-            other => return Err(format!("unknown flag `{other}`")),
+            "--root" => root = value_of("--root", &mut args)?,
+            "--diff-baseline" => diff_baseline = Some(value_of("--diff-baseline", &mut args)?),
+            "--write-baseline" => write_baseline = Some(value_of("--write-baseline", &mut args)?),
+            other => return Err(Failure::Usage(format!("unknown flag `{other}`\n{usage}"))),
         }
     }
+    if diff_baseline.is_some() && write_baseline.is_some() {
+        return Err(Failure::Usage(
+            "--diff-baseline and --write-baseline are mutually exclusive".to_string(),
+        ));
+    }
 
-    let outcome = run_lint(&root).map_err(|e| format!("lint walk failed: {e}"))?;
-    if as_json {
-        println!("{}", report::json(&outcome));
-    } else {
-        print!("{}", report::human(&outcome));
+    let outcome =
+        run_lint(&root).map_err(|e| Failure::Internal(format!("lint walk failed: {e}")))?;
+
+    if let Some(path) = write_baseline {
+        std::fs::write(&path, baseline::render(&outcome)).map_err(|e| {
+            Failure::Internal(format!("cannot write baseline {}: {e}", path.display()))
+        })?;
+        eprintln!(
+            "xtask: wrote {} finding(s) to {}",
+            outcome.findings.len(),
+            path.display()
+        );
+        // Writing a baseline *accepts* the current findings: exit clean.
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = diff_baseline {
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            Failure::Internal(format!("cannot read baseline {}: {e}", path.display()))
+        })?;
+        let accepted = baseline::parse(&text).map_err(|e| {
+            Failure::Internal(format!("malformed baseline {}: {e}", path.display()))
+        })?;
+        let diff = baseline::diff(&accepted, &outcome);
+        match format {
+            Format::Json => println!("{}", report::diff_json(&diff)),
+            Format::Human => print!("{}", report::diff_human(&diff)),
+        }
+        return Ok(if diff.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+
+    match format {
+        Format::Json => println!("{}", report::json(&outcome)),
+        Format::Human => print!("{}", report::human(&outcome)),
     }
     Ok(if outcome.is_clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,253 @@
+//! Region markers: opt-in spans that arm region-scoped rules.
+//!
+//! A region is declared in working comments and closed explicitly:
+//!
+//! ```text
+//! // fluxlint: region(hot-path)
+//! fn evaluate(&self) { .. }
+//! // fluxlint: endregion(hot-path)
+//! ```
+//!
+//! The only recognized region today is `hot-path`, which arms the
+//! `hot-path-alloc` rule between the markers. Regions nest; `endregion`
+//! may repeat the name (checked when it does) or be bare. Marker
+//! problems — an unknown region name, an `endregion` with nothing open,
+//! a mismatched name, or a region left open at end of file — surface as
+//! `lint-hygiene` findings so a typo cannot silently disarm a rule.
+//! Like waivers, markers are parsed from the comment view of the file
+//! ([`crate::lexer`]), and doc comments (`///`, `//!`) that merely
+//! describe the syntax do not parse.
+
+/// Region names the rules understand.
+pub const KNOWN_REGIONS: [&str; 1] = ["hot-path"];
+
+/// One declared region, 1-based inclusive line span (marker lines
+/// included; they are comments, so no code hides on them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// The region name, e.g. `hot-path`.
+    pub name: String,
+    /// Line of the opening marker.
+    pub start: usize,
+    /// Line of the closing marker, or the last line when unclosed.
+    pub end: usize,
+}
+
+/// A defective marker, reported as a `lint-hygiene` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionError {
+    /// 1-based line of the offending marker.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts all regions (and marker problems) from the comment view.
+pub fn collect_regions(comment_view: &str) -> (Vec<Region>, Vec<RegionError>) {
+    let mut regions = Vec::new();
+    let mut errors = Vec::new();
+    let mut open: Vec<(String, usize)> = Vec::new();
+    let mut last_line = 0usize;
+
+    for (idx, line) in comment_view.lines().enumerate() {
+        let line_no = idx + 1;
+        last_line = line_no;
+        let comment = line.trim_start();
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = line.find("fluxlint") else {
+            continue;
+        };
+        let rest = line[at + "fluxlint".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        if let Some(args) = rest.strip_prefix("endregion") {
+            match parse_name(args) {
+                Ok(name) => match open.pop() {
+                    Some((open_name, start)) => {
+                        if let Some(name) = &name {
+                            if *name != open_name {
+                                errors.push(RegionError {
+                                    line: line_no,
+                                    message: format!(
+                                        "`endregion({name})` does not match the open \
+                                         `region({open_name})`"
+                                    ),
+                                });
+                            }
+                        }
+                        regions.push(Region {
+                            name: open_name,
+                            start,
+                            end: line_no,
+                        });
+                    }
+                    None => errors.push(RegionError {
+                        line: line_no,
+                        message: "`endregion` with no region open".to_string(),
+                    }),
+                },
+                Err(message) => errors.push(RegionError {
+                    line: line_no,
+                    message,
+                }),
+            }
+        } else if let Some(args) = rest.strip_prefix("region") {
+            match parse_name(args) {
+                Ok(Some(name)) => {
+                    if !KNOWN_REGIONS.contains(&name.as_str()) {
+                        errors.push(RegionError {
+                            line: line_no,
+                            message: format!(
+                                "unknown region `{name}`; known regions: {}",
+                                KNOWN_REGIONS.join(", ")
+                            ),
+                        });
+                    }
+                    open.push((name, line_no));
+                }
+                Ok(None) => errors.push(RegionError {
+                    line: line_no,
+                    message: "region marker needs a name: `region(<name>)`".to_string(),
+                }),
+                Err(message) => errors.push(RegionError {
+                    line: line_no,
+                    message,
+                }),
+            }
+        }
+        // Anything else after the marker prefix belongs to the waiver
+        // parser.
+    }
+
+    for (name, start) in open.drain(..).rev() {
+        errors.push(RegionError {
+            line: start,
+            message: format!(
+                "`region({name})` is never closed; add `// fluxlint: endregion({name})`"
+            ),
+        });
+        // The region still arms its rule through end of file, so leaving
+        // it open is conservative rather than silently disarming.
+        regions.push(Region {
+            name,
+            start,
+            end: last_line.max(start),
+        });
+    }
+    regions.sort_by_key(|r| (r.start, r.end));
+    (regions, errors)
+}
+
+/// Parses the optional `(<name>)` after `region`/`endregion`. `Ok(None)`
+/// when absent (legal for `endregion` only — callers decide).
+fn parse_name(args: &str) -> Result<Option<String>, String> {
+    let args = args.trim_start();
+    if !args.starts_with('(') {
+        return Ok(None);
+    }
+    let inner = args[1..]
+        .split_once(')')
+        .map(|(inner, _)| inner.trim())
+        .ok_or_else(|| "unterminated region name; expected `(<name>)`".to_string())?;
+    if inner.is_empty() {
+        return Err("empty region name".to_string());
+    }
+    Ok(Some(inner.to_string()))
+}
+
+/// One flag per line (0-based index, matching `lines()` enumeration):
+/// `true` where the line lies inside a region called `name`.
+pub fn region_line_flags(name: &str, regions: &[Region], line_count: usize) -> Vec<bool> {
+    let mut flags = vec![false; line_count.max(1)];
+    for r in regions.iter().filter(|r| r.name == name) {
+        for flag in flags
+            .iter_mut()
+            .take(r.end.min(line_count))
+            .skip(r.start.saturating_sub(1))
+        {
+            *flag = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+
+    fn collect(src: &str) -> (Vec<Region>, Vec<RegionError>) {
+        collect_regions(&mask_source(src).comments)
+    }
+
+    #[test]
+    fn region_spans_from_marker_to_marker() {
+        let src = "a();\n// fluxlint: region(hot-path)\nb();\n// fluxlint: endregion\nc();\n";
+        let (regions, errors) = collect(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(
+            regions,
+            vec![Region {
+                name: "hot-path".into(),
+                start: 2,
+                end: 4
+            }]
+        );
+        let flags = region_line_flags("hot-path", &regions, 5);
+        assert_eq!(flags, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn named_endregion_must_match() {
+        let src = "// fluxlint: region(hot-path)\n// fluxlint: endregion(hot-path)\n";
+        let (_, errors) = collect(src);
+        assert!(errors.is_empty());
+        let src = "// fluxlint: region(hot-path)\n// fluxlint: endregion(cold-path)\n";
+        let (_, errors) = collect(src);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("does not match"));
+    }
+
+    #[test]
+    fn unclosed_region_errors_and_extends_to_eof() {
+        let src = "// fluxlint: region(hot-path)\na();\nb();\n";
+        let (regions, errors) = collect(src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 1);
+        assert!(errors[0].message.contains("never closed"));
+        assert_eq!(regions[0].end, 3);
+    }
+
+    #[test]
+    fn stray_endregion_and_unknown_name_are_errors() {
+        let (_, errors) = collect("// fluxlint: endregion\n");
+        assert!(errors[0].message.contains("no region open"));
+        let (_, errors) = collect("// fluxlint: region(hot-loop)\n// fluxlint: endregion\n");
+        assert!(errors[0].message.contains("unknown region"));
+        let (_, errors) = collect("// fluxlint: region()\n");
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn regions_nest_and_doc_comments_do_not_parse() {
+        let src = "// fluxlint: region(hot-path)\n// fluxlint: region(hot-path)\n\
+                   // fluxlint: endregion\n// fluxlint: endregion\n";
+        let (regions, errors) = collect(src);
+        assert!(errors.is_empty());
+        assert_eq!(regions.len(), 2);
+        let doc = "/// `// fluxlint: region(hot-path)`\n//! fluxlint: endregion\n";
+        let (regions, errors) = collect(doc);
+        assert!(regions.is_empty() && errors.is_empty());
+    }
+
+    #[test]
+    fn markers_inside_strings_have_no_effect() {
+        let src = "let s = \"// fluxlint: region(hot-path)\";\n";
+        let (regions, errors) = collect(src);
+        assert!(regions.is_empty() && errors.is_empty());
+    }
+}

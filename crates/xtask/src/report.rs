@@ -1,16 +1,19 @@
-//! Report rendering: a human diff-style listing and a JSON document.
+//! Report rendering: a human diff-style listing, a JSON document, and
+//! the baseline-diff views.
 
 use std::fmt::Write as _;
 
+use crate::baseline::Diff;
 use crate::rules::{Finding, Rule};
+use crate::waiver::WaivedFinding;
 
 /// Outcome of a full lint run.
 #[derive(Debug)]
 pub struct Outcome {
     /// Findings that survived waivers, sorted by file then line.
     pub findings: Vec<Finding>,
-    /// Number of findings suppressed by valid waivers.
-    pub waived: usize,
+    /// Findings suppressed by valid waivers, with their justifications.
+    pub waived: Vec<WaivedFinding>,
     /// Number of Rust sources scanned.
     pub files_scanned: usize,
     /// Number of manifests checked.
@@ -24,18 +27,18 @@ impl Outcome {
     }
 }
 
+fn location(f: &Finding) -> String {
+    match f.function.as_deref() {
+        Some(function) => format!("{}:{} [{}] in `{function}`", f.file, f.line, f.rule.name()),
+        None => format!("{}:{} [{}]", f.file, f.line, f.rule.name()),
+    }
+}
+
 /// Renders the human-oriented report.
 pub fn human(outcome: &Outcome) -> String {
     let mut out = String::new();
     for f in &outcome.findings {
-        let _ = writeln!(
-            out,
-            "{}:{} [{}] {}",
-            f.file,
-            f.line,
-            f.rule.name(),
-            f.message
-        );
+        let _ = writeln!(out, "{} {}", location(f), f.message);
         if !f.source.is_empty() {
             let _ = writeln!(out, "    | {}", f.source);
         }
@@ -57,45 +60,144 @@ pub fn human(outcome: &Outcome) -> String {
         per_rule,
         outcome.files_scanned,
         outcome.manifests_checked,
-        outcome.waived,
+        outcome.waived.len(),
     );
     out
 }
 
-/// Renders the machine-oriented JSON report (stable key order).
+fn json_finding(out: &mut String, f: &Finding, waiver: Option<&str>) {
+    let _ = write!(
+        out,
+        "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"function\": {}, \"message\": {}, \
+         \"source\": {}, \"waived\": {}",
+        escape(&f.file),
+        f.line,
+        escape(f.rule.name()),
+        f.function
+            .as_deref()
+            .map_or_else(|| "null".to_string(), escape),
+        escape(&f.message),
+        escape(&f.source),
+        waiver.is_some(),
+    );
+    if let Some(reason) = waiver {
+        let _ = write!(out, ", \"waiver_reason\": {}", escape(reason));
+    }
+    out.push('}');
+}
+
+/// Renders the machine-oriented JSON report (stable key order): the
+/// surviving findings, the waived findings with their justifications,
+/// and a summary block.
 pub fn json(outcome: &Outcome) -> String {
     let mut out = String::from("{\n  \"findings\": [");
     for (i, f) in outcome.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"source\": {}}}",
-            escape(&f.file),
-            f.line,
-            escape(f.rule.name()),
-            escape(&f.message),
-            escape(&f.source),
-        );
+        out.push_str("\n    ");
+        json_finding(&mut out, f, None);
     }
     if !outcome.findings.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"waived\": [");
+    for (i, w) in outcome.waived.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        json_finding(&mut out, &w.finding, Some(&w.reason));
+    }
+    if !outcome.waived.is_empty() {
+        out.push_str("\n  ");
+    }
     let _ = write!(
         out,
-        "],\n  \"summary\": {{\"findings\": {}, \"waived\": {}, \"files_scanned\": {}, \"manifests_checked\": {}}}\n}}",
+        "],\n  \"summary\": {{\"findings\": {}, \"waived\": {}, \"files_scanned\": {}, \
+         \"manifests_checked\": {}}}\n}}",
         outcome.findings.len(),
-        outcome.waived,
+        outcome.waived.len(),
         outcome.files_scanned,
         outcome.manifests_checked,
     );
     out
 }
 
+/// Renders the human-oriented baseline diff.
+pub fn diff_human(diff: &Diff) -> String {
+    let mut out = String::new();
+    for f in &diff.new {
+        let _ = writeln!(out, "NEW {} {}", location(f), f.message);
+        if !f.source.is_empty() {
+            let _ = writeln!(out, "    | {}", f.source);
+        }
+    }
+    for e in &diff.stale {
+        let _ = writeln!(
+            out,
+            "stale baseline entry: {}:{} [{}]{} no longer matches; refresh with --write-baseline",
+            e.file,
+            e.line,
+            e.rule,
+            if e.function.is_empty() {
+                String::new()
+            } else {
+                format!(" in `{}`", e.function)
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fluxlint diff: {} new finding(s), {} stale baseline entr(ies)",
+        diff.new.len(),
+        diff.stale.len(),
+    );
+    out
+}
+
+/// Renders the machine-oriented baseline diff.
+pub fn diff_json(diff: &Diff) -> String {
+    let mut out = String::from("{\n  \"new\": [");
+    for (i, f) in diff.new.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        json_finding(&mut out, f, None);
+    }
+    if !diff.new.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stale\": [");
+    for (i, e) in diff.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"function\": {}}}",
+            escape(&e.file),
+            e.line,
+            escape(&e.rule),
+            escape(&e.function),
+        );
+    }
+    if !diff.stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"summary\": {{\"new\": {}, \"stale\": {}}}\n}}",
+        diff.new.len(),
+        diff.stale.len(),
+    );
+    out
+}
+
 /// Minimal JSON string escaping (the only JSON writer xtask needs; the
 /// driver stays dependency-free on purpose).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -127,8 +229,19 @@ mod tests {
                 rule: Rule::NoPanic,
                 message: "`.unwrap(..)` panics on the error path".into(),
                 source: "x.unwrap();".into(),
+                function: Some("Tracker::step".into()),
             }],
-            waived: 2,
+            waived: vec![WaivedFinding {
+                finding: Finding {
+                    file: "crates/core/src/a.rs".into(),
+                    line: 9,
+                    rule: Rule::FloatEq,
+                    message: "`==` on a float-typed expression".into(),
+                    source: "a == b".into(),
+                    function: None,
+                },
+                reason: "exact sentinel comparison".into(),
+            }],
             files_scanned: 10,
             manifests_checked: 11,
         }
@@ -137,24 +250,50 @@ mod tests {
     #[test]
     fn human_report_lists_findings_and_summary() {
         let text = human(&sample());
-        assert!(text.contains("crates/core/src/a.rs:3 [no-panic]"));
+        assert!(text.contains("crates/core/src/a.rs:3 [no-panic] in `Tracker::step`"));
         assert!(text.contains("| x.unwrap();"));
         assert!(text.contains("1 finding(s)"));
-        assert!(text.contains("2 waived"));
+        assert!(text.contains("1 waived"));
     }
 
     #[test]
     fn json_report_escapes_and_summarizes() {
         let text = json(&sample());
         assert!(text.contains("\"rule\": \"no-panic\""));
-        assert!(text.contains("\"waived\": 2"));
+        assert!(text.contains("\"function\": \"Tracker::step\""));
+        assert!(text.contains("\"waived\": false"));
+        assert!(text.contains("\"waived\": true"));
+        assert!(text.contains("\"waiver_reason\": \"exact sentinel comparison\""));
+        assert!(text.contains("\"function\": null"));
         assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         let empty = json(&Outcome {
             findings: vec![],
-            waived: 0,
+            waived: vec![],
             files_scanned: 0,
             manifests_checked: 0,
         });
         assert!(empty.contains("\"findings\": []"));
+        assert!(empty.contains("\"waived\": []"));
+    }
+
+    #[test]
+    fn diff_reports_new_and_stale() {
+        let sample = sample();
+        let diff = Diff {
+            new: sample.findings.clone(),
+            stale: vec![crate::baseline::BaselineEntry {
+                file: "crates/smc/src/b.rs".into(),
+                line: 7,
+                rule: "nondet-order".into(),
+                function: "scan".into(),
+            }],
+        };
+        let text = diff_human(&diff);
+        assert!(text.contains("NEW crates/core/src/a.rs:3"));
+        assert!(text.contains("stale baseline entry: crates/smc/src/b.rs:7"));
+        assert!(text.contains("1 new finding(s), 1 stale baseline entr(ies)"));
+        let js = diff_json(&diff);
+        assert!(js.contains("\"new\": ["));
+        assert!(js.contains("\"summary\": {\"new\": 1, \"stale\": 1}"));
     }
 }

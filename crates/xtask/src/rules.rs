@@ -1,7 +1,8 @@
 //! The fluxlint rule set.
 //!
-//! Five rules, each scanning the masked code view of a file (comments and
-//! literal contents already blanked) line by line:
+//! Nine rules, each scanning the masked code view of a file (comments and
+//! literal contents already blanked) line by line, with scope context
+//! from [`crate::scope`] and region context from [`crate::region`]:
 //!
 //! * `no-panic` — `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`,
 //!   `todo!`, `unimplemented!` are banned in library code under
@@ -19,11 +20,30 @@
 //!   structured output goes through `fluxprint-telemetry` or a returned
 //!   value, never straight to stdout (the `bench` harness and `xtask`
 //!   itself are exempt — they own the terminal; test code is exempt).
+//! * `thread-confinement` — `thread::spawn` / `thread::scope` /
+//!   `JoinHandle` / `.spawn(..)` outside `crates/fluxpar`: all
+//!   parallelism flows through the deterministic pool, so bit-identity
+//!   cannot depend on ad-hoc thread topology (the sanctioned
+//!   `engine::grid` drain path carries reviewed waivers).
+//! * `nondet-order` — `HashMap` / `HashSet` in library crates (iteration
+//!   order varies between runs and processes; use `BTreeMap`/`BTreeSet`
+//!   or sort explicitly), plus `thread::current()` identity and
+//!   `available_parallelism` outside fluxpar (scheduling- and
+//!   host-dependent values must never feed results).
+//! * `relaxed-atomics` — `Ordering::Relaxed` and `static mut` outside
+//!   fluxpar: unsynchronized cross-thread state is invisible to the
+//!   replay oracles until it flakes.
+//! * `hot-path-alloc` — `Vec::new` / `vec!` / `.to_vec()` /
+//!   `.collect()` / `.clone()` inside a declared
+//!   `// fluxlint: region(hot-path)` span: per-evaluation allocation
+//!   belongs in reusable scratch state. Armed only inside regions.
 //! * `lint-hygiene` — every workspace crate manifest must opt into the
 //!   shared `[workspace.lints]` table via `[lints] workspace = true`
-//!   (checked in [`check_manifest`], not here).
+//!   (checked in [`check_manifest`]); defective waivers and region
+//!   markers also report under this rule.
 
-use crate::scope::test_line_flags;
+use crate::region;
+use crate::scope::{item_paths, test_line_flags};
 
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +56,14 @@ pub enum Rule {
     FloatEq,
     /// Direct stdout/stderr printing in library code.
     NoPrintln,
+    /// Thread primitives outside the deterministic fluxpar pool.
+    ThreadConfinement,
+    /// Iteration-order or scheduling-dependent values in library code.
+    NondetOrder,
+    /// Unsynchronized atomics or mutable statics outside fluxpar.
+    RelaxedAtomics,
+    /// Allocation inside a declared `hot-path` region.
+    HotPathAlloc,
     /// Crate manifest does not inherit the shared workspace lint table.
     LintHygiene,
 }
@@ -48,28 +76,29 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::FloatEq => "float-eq",
             Rule::NoPrintln => "no-println",
+            Rule::ThreadConfinement => "thread-confinement",
+            Rule::NondetOrder => "nondet-order",
+            Rule::RelaxedAtomics => "relaxed-atomics",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::LintHygiene => "lint-hygiene",
         }
     }
 
     /// Parses a rule name as written in a waiver comment.
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "no-panic" => Some(Rule::NoPanic),
-            "determinism" => Some(Rule::Determinism),
-            "float-eq" => Some(Rule::FloatEq),
-            "no-println" => Some(Rule::NoPrintln),
-            "lint-hygiene" => Some(Rule::LintHygiene),
-            _ => None,
-        }
+        Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 
     /// All rules, for reports and tests.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::NoPanic,
         Rule::Determinism,
         Rule::FloatEq,
         Rule::NoPrintln,
+        Rule::ThreadConfinement,
+        Rule::NondetOrder,
+        Rule::RelaxedAtomics,
+        Rule::HotPathAlloc,
         Rule::LintHygiene,
     ];
 }
@@ -87,6 +116,11 @@ pub struct Finding {
     pub message: String,
     /// The offending source line, trimmed.
     pub source: String,
+    /// `::`-joined path of the innermost enclosing named item
+    /// (`Type::method`, `module::fn`), `None` at module top level or for
+    /// manifest findings. Baseline matching keys on this instead of the
+    /// line number, so unrelated edits do not churn the baseline.
+    pub function: Option<String>,
 }
 
 /// Where a file sits in the workspace, which decides rule applicability.
@@ -136,12 +170,47 @@ impl FileContext {
         // root package is CLI glue.
         matches!(self.crate_name.as_deref(), Some(name) if name != "bench" && name != "xtask")
     }
+
+    fn thread_confinement_applies(&self) -> bool {
+        // fluxpar *is* the sanctioned thread layer; bench and xtask are
+        // terminal-owning harnesses outside the determinism contract.
+        // Everything else — including the root CLI glue — must route
+        // parallelism through the pool.
+        !matches!(
+            self.crate_name.as_deref(),
+            Some("fluxpar") | Some("bench") | Some("xtask")
+        )
+    }
+
+    fn nondet_order_applies(&self) -> bool {
+        // Hash-order hazards apply to every library crate, fluxpar
+        // included — its result merging must be slot-ordered too.
+        !matches!(self.crate_name.as_deref(), Some("bench") | Some("xtask"))
+    }
+
+    fn thread_identity_applies(&self) -> bool {
+        // The scheduling-dependent half of nondet-order: fluxpar is the
+        // one place allowed to read `available_parallelism` and name
+        // worker threads.
+        self.nondet_order_applies() && self.crate_name.as_deref() != Some("fluxpar")
+    }
+
+    fn relaxed_atomics_applies(&self) -> bool {
+        !matches!(
+            self.crate_name.as_deref(),
+            Some("fluxpar") | Some("bench") | Some("xtask")
+        )
+    }
 }
 
 /// Scans one Rust source file and returns its raw (pre-waiver) findings.
 pub fn scan_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
     let masked = crate::lexer::mask_source(src);
     let in_test = test_line_flags(&masked.code);
+    let functions = item_paths(&masked.code);
+    let (regions, region_errors) = region::collect_regions(&masked.comments);
+    let line_count = masked.code.lines().count();
+    let in_hot = region::region_line_flags("hot-path", &regions, line_count);
     let original_lines: Vec<&str> = src.lines().collect();
     let mut findings = Vec::new();
 
@@ -154,6 +223,7 @@ pub fn scan_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
                 rule,
                 message,
                 source: original_lines.get(idx).unwrap_or(&"").trim().to_string(),
+                function: functions.get(idx).cloned().flatten(),
             });
         };
 
@@ -177,6 +247,41 @@ pub fn scan_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
                 push(Rule::NoPrintln, m);
             }
         }
+        if ctx.thread_confinement_applies() && !test_line {
+            for m in thread_confinement_matches(line) {
+                push(Rule::ThreadConfinement, m);
+            }
+        }
+        if ctx.nondet_order_applies() && !test_line {
+            for m in nondet_order_matches(line, ctx.thread_identity_applies()) {
+                push(Rule::NondetOrder, m);
+            }
+        }
+        if ctx.relaxed_atomics_applies() && !test_line {
+            for m in relaxed_atomics_matches(line) {
+                push(Rule::RelaxedAtomics, m);
+            }
+        }
+        if in_hot.get(idx).copied().unwrap_or(false) && !test_line {
+            for m in hot_path_alloc_matches(line) {
+                push(Rule::HotPathAlloc, m);
+            }
+        }
+    }
+
+    for e in region_errors {
+        findings.push(Finding {
+            file: ctx.path.clone(),
+            line: e.line,
+            rule: Rule::LintHygiene,
+            message: format!("defective fluxlint region marker ({})", e.message),
+            source: original_lines
+                .get(e.line.saturating_sub(1))
+                .unwrap_or(&"")
+                .trim()
+                .to_string(),
+            function: functions.get(e.line.saturating_sub(1)).cloned().flatten(),
+        });
     }
     findings
 }
@@ -206,6 +311,7 @@ pub fn check_manifest(path: &str, src: &str) -> Vec<Finding> {
             message: "crate does not inherit the shared lint table; add `[lints] workspace = true`"
                 .to_string(),
             source: String::new(),
+            function: None,
         }]
     }
 }
@@ -293,6 +399,25 @@ fn no_println_matches(line: &str) -> Vec<String> {
     out
 }
 
+/// Positions where a `::`-joined path occurs in `line` with identifier
+/// boundaries on both ends.
+fn path_positions(line: &str, path: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line.get(from..).and_then(|s| s.find(path)) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + path.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + path.len();
+    }
+    out
+}
+
 fn determinism_matches(line: &str) -> Vec<String> {
     let mut out = Vec::new();
     for ident in ["thread_rng", "from_entropy"] {
@@ -301,17 +426,113 @@ fn determinism_matches(line: &str) -> Vec<String> {
         }
     }
     for path in ["SystemTime::now", "Instant::now"] {
-        let mut from = 0;
-        while let Some(rel) = line.get(from..).and_then(|s| s.find(path)) {
-            let at = from + rel;
-            let bytes = line.as_bytes();
-            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-            let after = at + path.len();
-            let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
-            if before_ok && after_ok {
-                out.push(format!("`{path}` makes simulation timing-dependent"));
+        for _ in path_positions(line, path) {
+            out.push(format!("`{path}` makes simulation timing-dependent"));
+        }
+    }
+    out
+}
+
+fn thread_confinement_matches(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for path in ["thread::spawn", "thread::scope"] {
+        for _ in path_positions(line, path) {
+            out.push(format!(
+                "`{path}` outside fluxpar; route parallelism through the deterministic pool"
+            ));
+        }
+    }
+    for _ in ident_positions(line, "JoinHandle") {
+        out.push("`JoinHandle` held outside fluxpar; join order belongs to the pool".to_string());
+    }
+    for at in ident_positions(line, "spawn") {
+        let preceded_by_dot = matches!(prev_non_space(bytes, at), Some((_, b'.')));
+        let followed_by_call = matches!(next_non_space(bytes, at + "spawn".len()), Some((_, b'(')));
+        if preceded_by_dot && followed_by_call {
+            out.push(
+                "`.spawn(..)` outside fluxpar; route parallelism through the deterministic pool"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+fn nondet_order_matches(line: &str, thread_identity: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    for ident in ["HashMap", "HashSet"] {
+        for _ in ident_positions(line, ident) {
+            out.push(format!(
+                "`{ident}` iteration order varies between runs; use a BTree collection or sort \
+                 explicitly"
+            ));
+        }
+    }
+    if thread_identity {
+        for _ in path_positions(line, "thread::current") {
+            out.push(
+                "`thread::current()` identity is scheduling-dependent; results must not see it"
+                    .to_string(),
+            );
+        }
+        for _ in ident_positions(line, "available_parallelism") {
+            out.push(
+                "`available_parallelism` varies by host; thread count comes from fluxpar \
+                 configuration"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+fn relaxed_atomics_matches(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for _ in path_positions(line, "Ordering::Relaxed") {
+        out.push(
+            "`Ordering::Relaxed` gives no cross-thread ordering; replay cannot observe it — \
+             use `SeqCst` or go through fluxpar"
+                .to_string(),
+        );
+    }
+    for at in ident_positions(line, "static") {
+        let next_is_mut = matches!(
+            next_non_space(bytes, at + "static".len()),
+            Some((pos, b'm')) if ident_positions(&line[pos..], "mut").first() == Some(&0)
+        );
+        if next_is_mut {
+            out.push("`static mut` is unsynchronized shared state".to_string());
+        }
+    }
+    out
+}
+
+fn hot_path_alloc_matches(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for _ in path_positions(line, "Vec::new") {
+        out.push(
+            "`Vec::new` inside a hot-path region; hoist the buffer into scratch state".to_string(),
+        );
+    }
+    for at in ident_positions(line, "vec") {
+        if matches!(next_non_space(bytes, at + "vec".len()), Some((_, b'!'))) {
+            out.push("`vec!` allocates inside a hot-path region".to_string());
+        }
+    }
+    for method in ["to_vec", "collect", "clone"] {
+        for at in ident_positions(line, method) {
+            let preceded_by_dot = matches!(prev_non_space(bytes, at), Some((_, b'.')));
+            // `.collect()` and turbofished `.collect::<Vec<_>>()`.
+            let next = next_non_space(bytes, at + method.len());
+            let followed_by_call = matches!(next, Some((_, b'(')) | Some((_, b':')));
+            if preceded_by_dot && followed_by_call {
+                out.push(format!(
+                    "`.{method}(..)` allocates inside a hot-path region; reuse scratch buffers"
+                ));
             }
-            from = at + path.len();
         }
     }
     out
@@ -485,6 +706,111 @@ mod tests {
         // Identifier lookalikes and non-macro uses must not trip the rule.
         let src = "fn reprintln() {} fn f() { let println = 1; log_println(println); }\n";
         assert!(scan_source(&ctx("crates/smc/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_the_enclosing_item_path() {
+        let src = "impl Grid {\n    fn drain(&self) {\n        x.unwrap();\n    }\n}\n";
+        let f = scan_source(&ctx("crates/engine/src/a.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].function.as_deref(), Some("Grid::drain"));
+    }
+
+    #[test]
+    fn thread_confinement_flags_primitives_outside_fluxpar() {
+        let src = "fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n    let h: JoinHandle<()> = thread::spawn(work);\n}\n";
+        let f = scan_source(&ctx("crates/engine/src/a.rs"), src);
+        let rules: Vec<_> = f.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(
+            rules,
+            vec![
+                (2, Rule::ThreadConfinement), // thread::scope
+                (3, Rule::ThreadConfinement), // .spawn(
+                (5, Rule::ThreadConfinement), // JoinHandle
+                (5, Rule::ThreadConfinement), // thread::spawn
+            ],
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn thread_confinement_exempts_fluxpar_and_lookalikes() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(scan_source(&ctx("crates/fluxpar/src/a.rs"), src).is_empty());
+        let src = "fn f() { respawn(); let spawn = 1; spawner.go(); }\n";
+        assert!(scan_source(&ctx("crates/engine/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn nondet_order_flags_hash_collections_and_thread_identity() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let n = std::thread::available_parallelism();\n    let id = thread::current().id();\n}\n";
+        let f = scan_source(&ctx("crates/telemetry/src/a.rs"), src);
+        let rules: Vec<_> = f.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(
+            rules,
+            vec![
+                (1, Rule::NondetOrder),
+                (3, Rule::NondetOrder),
+                (4, Rule::NondetOrder),
+            ],
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn nondet_order_in_fluxpar_skips_thread_identity_but_not_hash_maps() {
+        let src = "fn f() { let n = available_parallelism(); }\n";
+        assert!(scan_source(&ctx("crates/fluxpar/src/a.rs"), src).is_empty());
+        let src = "fn f(m: HashMap<u32, u32>) {}\n";
+        assert_eq!(scan_source(&ctx("crates/fluxpar/src/a.rs"), src).len(), 1);
+        // BTree collections are the sanctioned alternative.
+        let src = "fn f(m: BTreeMap<u32, u32>, s: BTreeSet<u32>) {}\n";
+        assert!(scan_source(&ctx("crates/telemetry/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_atomics_flags_relaxed_ordering_and_static_mut() {
+        let src =
+            "static mut COUNTER: u32 = 0;\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let f = scan_source(&ctx("crates/core/src/a.rs"), src);
+        let rules: Vec<_> = f.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(
+            rules,
+            vec![(1, Rule::RelaxedAtomics), (2, Rule::RelaxedAtomics)],
+            "{f:#?}"
+        );
+        // SeqCst and immutable statics are fine.
+        let src = "static N: u32 = 0;\nfn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        assert!(scan_source(&ctx("crates/core/src/a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_is_armed_only_inside_regions() {
+        let outside = "fn f() { let v: Vec<u32> = xs.iter().collect(); }\n";
+        assert!(scan_source(&ctx("crates/solver/src/a.rs"), outside).is_empty());
+        let inside = "// fluxlint: region(hot-path)\nfn f() {\n    let v = Vec::new();\n    let w = vec![0; 8];\n    let c = xs.to_vec();\n    let d = ys.clone();\n}\n// fluxlint: endregion\n";
+        let f = scan_source(&ctx("crates/solver/src/a.rs"), inside);
+        let rules: Vec<_> = f.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(
+            rules,
+            vec![
+                (3, Rule::HotPathAlloc),
+                (4, Rule::HotPathAlloc),
+                (5, Rule::HotPathAlloc),
+                (6, Rule::HotPathAlloc),
+            ],
+            "{f:#?}"
+        );
+        assert!(f.iter().all(|x| x.function.as_deref() == Some("f")));
+    }
+
+    #[test]
+    fn defective_region_markers_surface_as_lint_hygiene() {
+        let src = "// fluxlint: region(hot-path)\nfn f() {}\n";
+        let f = scan_source(&ctx("crates/solver/src/a.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::LintHygiene);
+        assert!(f[0].message.contains("never closed"));
     }
 
     #[test]

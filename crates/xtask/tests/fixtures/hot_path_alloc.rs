@@ -1,0 +1,24 @@
+//! Fixture: hot-path-alloc rule, armed only inside declared regions.
+
+pub fn cold_setup(xs: &[u32]) -> Vec<u32> {
+    let copy = xs.to_vec();
+    copy.iter().map(|x| x + 1).collect()
+}
+
+// fluxlint: region(hot-path)
+pub fn hot_inner(xs: &[u32], out: &mut Vec<u32>) -> u32 {
+    let fresh: Vec<u32> = Vec::new();
+    let mac = vec![0u32; 4];
+    let copied = xs.to_vec();
+    let gathered: Vec<u32> = xs.iter().copied().collect();
+    let cloned = gathered.clone();
+    // fluxlint: allow(hot-path-alloc) — one-time priming of the scratch buffer
+    let primed = xs.to_vec();
+    drop((fresh, mac, copied, cloned, primed));
+    out.len() as u32
+}
+// fluxlint: endregion(hot-path)
+
+pub fn cold_again(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

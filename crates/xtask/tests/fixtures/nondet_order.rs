@@ -1,0 +1,33 @@
+//! Fixture: nondet-order rule.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn keyed(map: &HashMap<u32, u32>) -> Vec<u32> {
+    map.keys().copied().collect()
+}
+
+pub fn hashed_set(s: std::collections::HashSet<u32>) -> usize {
+    s.len()
+}
+
+pub fn thread_identity() -> usize {
+    let id = std::thread::current().id();
+    let n = std::thread::available_parallelism();
+    drop(id);
+    n.map(|v| v.get()).unwrap_or(1)
+}
+
+pub fn ordered(map: &BTreeMap<u32, u32>) -> usize {
+    map.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_ok_in_tests() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

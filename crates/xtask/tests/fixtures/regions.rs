@@ -1,0 +1,14 @@
+//! Fixture: defective region markers.
+
+// fluxlint: endregion
+pub fn after_stray() {}
+
+// fluxlint: region(warm-path)
+pub fn unknown_region() {}
+// fluxlint: endregion
+
+// fluxlint: region(hot-path)
+pub fn left_open() {
+    let v: Vec<u32> = Vec::new();
+    drop(v);
+}

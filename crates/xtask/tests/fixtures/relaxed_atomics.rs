@@ -1,0 +1,30 @@
+//! Fixture: relaxed-atomics rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut LEGACY: u64 = 0;
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn sound(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}
+
+static COUNT: u64 = 0;
+
+pub fn uses_count() -> u64 {
+    COUNT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_ok_in_tests() {
+        let a = AtomicU64::new(0);
+        a.store(1, Ordering::Relaxed);
+    }
+}

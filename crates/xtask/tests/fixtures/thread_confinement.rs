@@ -1,0 +1,36 @@
+//! Fixture: thread-confinement rule.
+
+pub fn spawns_directly() {
+    let h = std::thread::spawn(|| {});
+    h.join().ok();
+}
+
+pub fn scoped_threads(items: &[u32]) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| work(items));
+    });
+}
+
+pub fn holds_handle(h: std::thread::JoinHandle<()>) {
+    drop(h);
+}
+
+pub fn lookalikes() {
+    respawn();
+    let spawn = 1;
+    spawner(spawn);
+}
+
+pub fn masked() {
+    // thread::spawn in a comment must not flag, nor in a string:
+    let s = "thread::spawn";
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scoped() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}

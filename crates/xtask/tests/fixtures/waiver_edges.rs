@@ -1,0 +1,15 @@
+//! Fixture: waiver edge cases.
+
+pub fn multi_rule(x: Option<f64>) -> bool {
+    // fluxlint: allow(no-panic, float-eq) — sentinel compare of a checked value
+    x.unwrap() == 0.25
+}
+
+// fluxlint: allow(float-eq) — attribute lines between waiver and code are skipped
+#[inline]
+pub fn attributed(x: f64) -> bool { x == 0.5 }
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // fluxlint: allow(no-panics) — unknown rule name must surface
+    x.unwrap()
+}

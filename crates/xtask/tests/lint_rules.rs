@@ -8,12 +8,19 @@
 
 use fluxprint_xtask::lint_source;
 use fluxprint_xtask::rules::{check_manifest, FileContext, Finding, Rule};
+use fluxprint_xtask::waiver::FileLint;
 
 const NO_PANIC: &str = include_str!("fixtures/no_panic.rs");
 const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
 const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
 const NO_PRINTLN: &str = include_str!("fixtures/no_println.rs");
+const THREAD_CONFINEMENT: &str = include_str!("fixtures/thread_confinement.rs");
+const NONDET_ORDER: &str = include_str!("fixtures/nondet_order.rs");
+const RELAXED_ATOMICS: &str = include_str!("fixtures/relaxed_atomics.rs");
+const HOT_PATH_ALLOC: &str = include_str!("fixtures/hot_path_alloc.rs");
+const REGIONS: &str = include_str!("fixtures/regions.rs");
 const WAIVERS: &str = include_str!("fixtures/waivers.rs");
+const WAIVER_EDGES: &str = include_str!("fixtures/waiver_edges.rs");
 
 fn lib_ctx() -> FileContext {
     FileContext::from_relative_path("crates/core/src/fixture.rs").expect("library path is covered")
@@ -23,6 +30,11 @@ fn bench_ctx() -> FileContext {
     FileContext::from_relative_path("crates/bench/src/fixture.rs").expect("bench path is covered")
 }
 
+fn fluxpar_ctx() -> FileContext {
+    FileContext::from_relative_path("crates/fluxpar/src/fixture.rs")
+        .expect("fluxpar path is covered")
+}
+
 /// Sorted `(line, rule)` pairs for compact assertions.
 fn line_rules(findings: &[Finding]) -> Vec<(usize, Rule)> {
     let mut pairs: Vec<(usize, Rule)> = findings.iter().map(|f| (f.line, f.rule)).collect();
@@ -30,12 +42,16 @@ fn line_rules(findings: &[Finding]) -> Vec<(usize, Rule)> {
     pairs
 }
 
+fn lint(ctx: &FileContext, src: &str) -> FileLint {
+    lint_source(ctx, src)
+}
+
 #[test]
 fn no_panic_flags_each_construct_at_its_line() {
-    let (findings, waived) = lint_source(&lib_ctx(), NO_PANIC);
-    assert_eq!(waived, 0);
+    let file = lint(&lib_ctx(), NO_PANIC);
+    assert!(file.waived.is_empty());
     assert_eq!(
-        line_rules(&findings),
+        line_rules(&file.findings),
         vec![
             (4, Rule::NoPanic),  // .unwrap()
             (8, Rule::NoPanic),  // .expect(..)
@@ -44,23 +60,28 @@ fn no_panic_flags_each_construct_at_its_line() {
             (20, Rule::NoPanic), // todo!
         ],
         "lookalikes (unwrap_or*), comments, strings, and #[cfg(test)] \
-         code must not flag; got: {findings:#?}"
+         code must not flag; got: {:#?}",
+        file.findings
     );
 }
 
 #[test]
 fn no_panic_does_not_apply_to_the_bench_harness() {
-    let (findings, waived) = lint_source(&bench_ctx(), NO_PANIC);
-    assert!(findings.is_empty(), "bench is exempt; got: {findings:#?}");
-    assert_eq!(waived, 0);
+    let file = lint(&bench_ctx(), NO_PANIC);
+    assert!(
+        file.findings.is_empty(),
+        "bench is exempt; got: {:#?}",
+        file.findings
+    );
+    assert!(file.waived.is_empty());
 }
 
 #[test]
 fn determinism_flags_entropy_and_wall_clock_reads() {
-    let (findings, waived) = lint_source(&lib_ctx(), DETERMINISM);
-    assert_eq!(waived, 0);
+    let file = lint(&lib_ctx(), DETERMINISM);
+    assert!(file.waived.is_empty());
     assert_eq!(
-        line_rules(&findings),
+        line_rules(&file.findings),
         vec![
             (4, Rule::Determinism),  // thread_rng()
             (5, Rule::Determinism),  // from_entropy()
@@ -68,41 +89,44 @@ fn determinism_flags_entropy_and_wall_clock_reads() {
             (10, Rule::Determinism), // SystemTime::now()
         ],
         "seeded RNG construction, comments, strings, and test code must \
-         not flag; got: {findings:#?}"
+         not flag; got: {:#?}",
+        file.findings
     );
 }
 
 #[test]
 fn determinism_does_not_apply_to_the_bench_harness() {
-    let (findings, _) = lint_source(&bench_ctx(), DETERMINISM);
+    let file = lint(&bench_ctx(), DETERMINISM);
     assert!(
-        findings.is_empty(),
-        "bench legitimately times runs; got: {findings:#?}"
+        file.findings.is_empty(),
+        "bench legitimately times runs; got: {:#?}",
+        file.findings
     );
 }
 
 #[test]
 fn float_eq_needs_float_evidence_in_the_clipped_operands() {
-    let (findings, waived) = lint_source(&lib_ctx(), FLOAT_EQ);
-    assert_eq!(waived, 0);
+    let file = lint(&lib_ctx(), FLOAT_EQ);
+    assert!(file.waived.is_empty());
     assert_eq!(
-        line_rules(&findings),
+        line_rules(&file.findings),
         vec![
             (4, Rule::FloatEq),  // x == 1.0
             (8, Rule::FloatEq),  // (a as f32) == b; the integer-free `!=` also on
             (12, Rule::FloatEq), // x == f64::EPSILON
         ],
         "integer comparisons, &&-clipped conditions, and test code must \
-         not flag; got: {findings:#?}"
+         not flag; got: {:#?}",
+        file.findings
     );
 }
 
 #[test]
 fn no_println_flags_each_print_macro_at_its_line() {
-    let (findings, waived) = lint_source(&lib_ctx(), NO_PRINTLN);
-    assert_eq!(waived, 0);
+    let file = lint(&lib_ctx(), NO_PRINTLN);
+    assert!(file.waived.is_empty());
     assert_eq!(
-        line_rules(&findings),
+        line_rules(&file.findings),
         vec![
             (4, Rule::NoPrintln), // println!
             (5, Rule::NoPrintln), // eprintln!
@@ -110,41 +134,216 @@ fn no_println_flags_each_print_macro_at_its_line() {
             (7, Rule::NoPrintln), // eprint!
         ],
         "identifier lookalikes, writeln!, comments, strings, and test \
-         code must not flag; got: {findings:#?}"
+         code must not flag; got: {:#?}",
+        file.findings
     );
 }
 
 #[test]
 fn no_println_does_not_apply_to_the_bench_harness_or_xtask() {
-    let (findings, _) = lint_source(&bench_ctx(), NO_PRINTLN);
+    let file = lint(&bench_ctx(), NO_PRINTLN);
     assert!(
-        findings.is_empty(),
-        "bench owns the terminal; got: {findings:#?}"
+        file.findings.is_empty(),
+        "bench owns the terminal; got: {:#?}",
+        file.findings
     );
     let xtask_ctx = FileContext::from_relative_path("crates/xtask/src/fixture.rs")
         .expect("xtask path is covered");
-    let (findings, _) = lint_source(&xtask_ctx, NO_PRINTLN);
+    let file = lint(&xtask_ctx, NO_PRINTLN);
     assert!(
-        findings.is_empty(),
-        "xtask prints its own reports; got: {findings:#?}"
+        file.findings.is_empty(),
+        "xtask prints its own reports; got: {:#?}",
+        file.findings
     );
 }
 
 #[test]
-fn valid_waivers_suppress_and_defective_ones_are_reported() {
-    let (findings, waived) = lint_source(&lib_ctx(), WAIVERS);
+fn thread_confinement_flags_each_primitive_at_its_line() {
+    let file = lint(&lib_ctx(), THREAD_CONFINEMENT);
+    assert!(file.waived.is_empty());
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (4, Rule::ThreadConfinement),  // thread::spawn
+            (9, Rule::ThreadConfinement),  // thread::scope
+            (10, Rule::ThreadConfinement), // scope.spawn(..)
+            (14, Rule::ThreadConfinement), // JoinHandle in a signature
+        ],
+        "spawn lookalikes, comments, strings, and test code must not \
+         flag; got: {:#?}",
+        file.findings
+    );
+    // Findings attribute to their enclosing function.
+    assert_eq!(
+        file.findings[0].function.as_deref(),
+        Some("spawns_directly")
+    );
+}
+
+#[test]
+fn thread_confinement_does_not_apply_inside_fluxpar() {
+    let file = lint(&fluxpar_ctx(), THREAD_CONFINEMENT);
+    assert!(
+        file.findings.is_empty(),
+        "fluxpar is the sanctioned thread layer; got: {:#?}",
+        file.findings
+    );
+}
+
+#[test]
+fn nondet_order_flags_hash_collections_and_thread_identity() {
+    let file = lint(&lib_ctx(), NONDET_ORDER);
+    assert!(file.waived.is_empty());
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (4, Rule::NondetOrder),  // use HashMap
+            (6, Rule::NondetOrder),  // HashMap in a signature
+            (10, Rule::NondetOrder), // HashSet
+            (15, Rule::NondetOrder), // thread::current()
+            (16, Rule::NondetOrder), // available_parallelism
+        ],
+        "BTree collections and test code must not flag; got: {:#?}",
+        file.findings
+    );
+}
+
+#[test]
+fn nondet_order_in_fluxpar_skips_only_the_thread_identity_half() {
+    let file = lint(&fluxpar_ctx(), NONDET_ORDER);
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (4, Rule::NondetOrder),
+            (6, Rule::NondetOrder),
+            (10, Rule::NondetOrder),
+        ],
+        "fluxpar may size its pool but must still avoid hash ordering; \
+         got: {:#?}",
+        file.findings
+    );
+}
+
+#[test]
+fn relaxed_atomics_flags_relaxed_ordering_and_static_mut() {
+    let file = lint(&lib_ctx(), RELAXED_ATOMICS);
+    assert!(file.waived.is_empty());
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (5, Rule::RelaxedAtomics), // static mut
+            (8, Rule::RelaxedAtomics), // Ordering::Relaxed
+        ],
+        "SeqCst, immutable statics, and test code must not flag; got: {:#?}",
+        file.findings
+    );
+    let file = lint(&fluxpar_ctx(), RELAXED_ATOMICS);
+    assert!(file.findings.is_empty(), "fluxpar is exempt");
+}
+
+#[test]
+fn hot_path_alloc_is_armed_only_between_region_markers() {
+    let file = lint(&lib_ctx(), HOT_PATH_ALLOC);
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (10, Rule::HotPathAlloc), // Vec::new
+            (11, Rule::HotPathAlloc), // vec!
+            (12, Rule::HotPathAlloc), // .to_vec()
+            (13, Rule::HotPathAlloc), // .collect()
+            (14, Rule::HotPathAlloc), // .clone()
+        ],
+        "identical constructs outside the region must not flag; got: {:#?}",
+        file.findings
+    );
+    // The in-region waiver suppresses exactly one finding.
+    assert_eq!(file.waived.len(), 1);
+    assert_eq!(file.waived[0].finding.line, 16);
+    assert_eq!(file.waived[0].finding.rule, Rule::HotPathAlloc);
+    assert!(file
+        .findings
+        .iter()
+        .all(|f| f.function.as_deref() == Some("hot_inner")));
+}
+
+#[test]
+fn defective_region_markers_are_lint_hygiene_findings() {
+    let file = lint(&lib_ctx(), REGIONS);
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (3, Rule::LintHygiene),   // stray endregion
+            (6, Rule::LintHygiene),   // unknown region name
+            (10, Rule::LintHygiene),  // region left open at EOF
+            (12, Rule::HotPathAlloc), // ...which still arms the rule to EOF
+        ],
+        "got: {:#?}",
+        file.findings
+    );
+    let open = file
+        .findings
+        .iter()
+        .find(|f| f.line == 10)
+        .expect("unclosed-region finding");
+    assert!(open.message.contains("never closed"), "{}", open.message);
+}
+
+#[test]
+fn valid_waivers_suppress_and_defective_or_unused_ones_are_reported() {
+    let file = lint(&lib_ctx(), WAIVERS);
     // The inline waiver (line 4) and the line-above waiver (covering
     // line 9) suppress their findings.
-    assert_eq!(waived, 2);
+    assert_eq!(file.waived.len(), 2);
+    assert!(file
+        .waived
+        .iter()
+        .all(|w| w.reason == "fixture-proven invariant"));
     assert_eq!(
-        line_rules(&findings),
+        line_rules(&file.findings),
         vec![
             (13, Rule::LintHygiene), // waiver without a reason is defective
             (14, Rule::NoPanic),     // ...and suppresses nothing
+            (18, Rule::LintHygiene), // float-eq waiver covers no finding: unused
             (19, Rule::NoPanic),     // float-eq waiver does not cover no-panic
+            (23, Rule::LintHygiene), // out-of-range waiver is unused
             (25, Rule::NoPanic),     // waiver two lines up is out of range
         ],
-        "got: {findings:#?}"
+        "got: {:#?}",
+        file.findings
+    );
+    let unused = file
+        .findings
+        .iter()
+        .find(|f| f.line == 18)
+        .expect("unused-waiver finding");
+    assert!(unused.message.contains("unused"), "{}", unused.message);
+}
+
+#[test]
+fn waiver_edge_cases_cover_multi_rule_attributes_and_unknown_names() {
+    let file = lint(&lib_ctx(), WAIVER_EDGES);
+    // Line 5 carries two findings (no-panic + float-eq), both waived by
+    // the multi-rule waiver; the attribute-skipping waiver covers the
+    // float-eq on line 10.
+    assert_eq!(file.waived.len(), 3);
+    assert_eq!(
+        line_rules(&file.findings),
+        vec![
+            (13, Rule::LintHygiene), // unknown rule name surfaces as error
+            (14, Rule::NoPanic),     // ...and suppresses nothing
+        ],
+        "got: {:#?}",
+        file.findings
+    );
+    let defective = file
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::LintHygiene)
+        .expect("defective-waiver finding");
+    assert!(
+        defective.message.contains("unknown rule `no-panics`"),
+        "{}",
+        defective.message
     );
 }
 
@@ -178,6 +377,15 @@ fn manifest_hygiene_requires_the_workspace_lint_table() {
 }
 
 #[test]
+fn every_rule_name_round_trips() {
+    assert_eq!(Rule::ALL.len(), 9);
+    for rule in Rule::ALL {
+        assert_eq!(Rule::from_name(rule.name()), Some(rule));
+    }
+    assert_eq!(Rule::from_name("no-such-rule"), None);
+}
+
+#[test]
 fn the_workspace_itself_is_lint_clean() {
     // Self-hosting check: the tree this test runs in must pass its own
     // lint gate, so a finding introduced anywhere fails the test suite
@@ -194,4 +402,8 @@ fn the_workspace_itself_is_lint_clean() {
     );
     assert!(outcome.files_scanned > 50, "walker found the source tree");
     assert_eq!(outcome.manifests_checked, 15);
+    // Every surviving waiver suppresses at least one finding (stale ones
+    // would have surfaced as lint-hygiene findings above) and carries a
+    // reason — spot-check the reasons reached the outcome.
+    assert!(outcome.waived.iter().all(|w| !w.reason.is_empty()));
 }

@@ -19,7 +19,9 @@
 //! amortizes to nothing. Both drivers' outcomes are asserted
 //! bit-identical for every (S, T) cell before any number is written —
 //! the bench doubles as a grid determinism check. Results land in
-//! `BENCH_5.json`; the headline `speedup` is the S = 256, T = 4 cell.
+//! `BENCH_5.json` with per-cell `evals`/`evals_per_round` (grid-path
+//! solver cost per ingested round); the headline `speedup` is the
+//! S = 256, T = 4 cell.
 
 use std::time::Instant;
 
@@ -33,6 +35,7 @@ use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::{Point2, Rect};
 use fluxprint_netsim::{Network, NetworkBuilder, NoiseModel, ObservationRound, Sniffer};
 use fluxprint_solver::CacheScratch;
+use fluxprint_telemetry::names;
 
 /// Observation rounds per session.
 const ROUNDS: usize = 3;
@@ -207,9 +210,17 @@ pub fn run_bench_grid(out_path: &str) -> serde_json::Value {
     for &threads in &THREAD_BUDGETS {
         for &sessions in &SESSION_COUNTS {
             let (single_ms, single_out) = run_single_pool(&engine, sessions, threads, &trace);
+            let evals_before =
+                fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
             let (grid_ms, grid_out) = run_grid(&engine, sessions, threads, &trace);
+            let evals_after =
+                fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
             assert_identical(&single_out, &grid_out);
             let rounds = (sessions * trace.len()) as u64;
+            // Per-ingested-round solver cost on the grid path, averaged
+            // over the timed repetitions.
+            let evals = (evals_after - evals_before) / REPS as u64;
+            let evals_per_round = evals as f64 / rounds as f64;
             let speedup = single_ms / grid_ms;
             eprintln!(
                 "bench-grid: S={sessions:<5} T={threads} single_pool {single_ms:>9.1} ms, \
@@ -223,6 +234,8 @@ pub fn run_bench_grid(out_path: &str) -> serde_json::Value {
                 "threads": threads,
                 "shards": threads,
                 "rounds": rounds,
+                "evals": evals,
+                "evals_per_round": evals_per_round,
                 "single_pool_ms": single_ms,
                 "grid_ms": grid_ms,
                 "single_pool_rounds_per_s": rounds as f64 / (single_ms / 1e3),

@@ -12,7 +12,10 @@
 //! The two outputs are asserted bit-identical before any number is
 //! written, so the smoke doubles as an end-to-end regression check. The
 //! result lands in `BENCH_3.json` with one `{name, wall_ms, evals,
-//! threads}` record per target plus the headline `speedup`.
+//! evals_per_round, threads}` record per target plus the headline
+//! `speedup` (each filter call consumes one observation round, so
+//! `evals_per_round` is the per-call eval count — directly comparable
+//! with the registry's per-round KPI).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -153,6 +156,8 @@ pub fn run_bench_smoke(out_path: &str) -> serde_json::Value {
             "name": t.name,
             "wall_ms": t.wall_ms,
             "evals": t.evals,
+            // One filter call consumes exactly one observation round.
+            "evals_per_round": t.evals as f64,
             "threads": t.threads,
         })),
         "speedup": speedup,

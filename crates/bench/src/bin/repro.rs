@@ -1,4 +1,5 @@
-//! Regenerates every figure of the paper's evaluation section.
+//! Regenerates every figure of the paper's evaluation section, runs the
+//! ad-hoc benches, and drives the fluxreg experiment registry.
 //!
 //! Usage:
 //!
@@ -6,6 +7,9 @@
 //! repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]
 //! repro --bench-smoke [--bench-out <path>]
 //! repro --bench-grid [--bench-out <path>]
+//! repro --plan <file> [--registry <path>] [--gate] [--report <path>]
+//! repro --registry-import <file> [--registry <path>]
+//! repro --report <path> [--registry <path>]
 //!
 //! targets:
 //!   fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8a fig8b fig10a fig10b
@@ -25,6 +29,21 @@
 //! one shared pool vs a sharded grid at matched thread budgets, writing
 //! `BENCH_5.json` (default; override with `--bench-out`).
 //!
+//! `--plan` executes a declarative ablation plan (see DESIGN.md §13)
+//! through the engine/grid path and appends one registry row per job to
+//! the NDJSON registry (`registry/fluxreg.ndjson` unless `--registry`
+//! overrides it). With `--gate` the fresh rows are first compared
+//! against the latest baseline rows already in the registry under the
+//! plan's per-KPI tolerances. `--report` renders the whole registry
+//! (including this run's rows) as a trajectory table — HTML when the
+//! path ends in `.html`, markdown otherwise — and also works standalone.
+//! `--registry-import` folds a legacy result file (`BENCH_3.json`,
+//! `BENCH_5.json`, `docs/repro_results.jsonl`) into the registry; it may
+//! be repeated.
+//!
+//! Exit codes mirror fluxlint v2: `0` success / gate pass, `1` gate
+//! regression, `2` usage error, `3` internal error.
+//!
 //! `--quick` shrinks trial counts to smoke-test sizes; the EXPERIMENTS.md
 //! numbers come from full runs. `--seed` perturbs every generator's RNG
 //! stream (default 0 — the streams the recorded numbers used). `--json`
@@ -35,7 +54,10 @@
 //! covers exactly one experiment.
 
 use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
 
+use fluxprint_bench::fluxreg::{self, registry, Plan};
 use fluxprint_bench::{ablations, fig10, fig3, fig4, fig5, fig6, fig7, fig8, trace, RunSpec};
 
 type Generator = (&'static str, fn(RunSpec) -> serde_json::Value);
@@ -64,12 +86,17 @@ const GENERATORS: &[Generator] = &[
     ("ablation-noise", ablations::run_ablation_noise),
 ];
 
+const DEFAULT_REGISTRY: &str = "registry/fluxreg.ndjson";
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]"
     );
     eprintln!("       repro --bench-smoke [--bench-out <path>]");
     eprintln!("       repro --bench-grid [--bench-out <path>]");
+    eprintln!("       repro --plan <file> [--registry <path>] [--gate] [--report <path>]");
+    eprintln!("       repro --registry-import <file> [--registry <path>]");
+    eprintln!("       repro --report <path> [--registry <path>]");
     eprintln!("targets: all figures ablations");
     for (name, _) in GENERATORS {
         eprintln!("         {name}");
@@ -88,7 +115,85 @@ fn open_append(path: &str) -> std::fs::File {
         })
 }
 
-fn main() {
+/// The registry-mode flags, parsed together because they compose.
+struct RegistryMode {
+    plan: Option<String>,
+    registry: String,
+    gate: bool,
+    report: Option<String>,
+    imports: Vec<String>,
+}
+
+/// Runs the registry modes (`--registry-import`, then `--plan` with its
+/// optional `--gate`, then `--report`, in that order so the report
+/// reflects everything this invocation appended). Returns the process
+/// exit code.
+fn run_registry_mode(mode: &RegistryMode) -> Result<u8, String> {
+    let registry_path = Path::new(&mode.registry);
+
+    for import in &mode.imports {
+        let rows = fluxreg::import::import_file(Path::new(import))?;
+        eprintln!(
+            "repro: imported {count} row(s) from {import} into {registry}",
+            count = rows.len(),
+            registry = mode.registry,
+        );
+        registry::append(registry_path, &rows)?;
+    }
+
+    let mut verdict_code = 0u8;
+    if let Some(plan_path) = &mode.plan {
+        let text = std::fs::read_to_string(plan_path)
+            .map_err(|e| format!("cannot read plan {plan_path}: {e}"))?;
+        let plan = Plan::from_json(&text).map_err(|e| format!("plan {plan_path}: {e}"))?;
+        eprintln!(
+            "repro: running plan {name} ({hash}, {jobs} job(s))",
+            name = plan.name,
+            hash = plan.hash,
+            jobs = plan.jobs().len(),
+        );
+        // Baseline = whatever the registry held before this run.
+        let baseline = registry::load(registry_path)?;
+        let commit = trace::git_describe();
+        let rows = fluxreg::runner::run_plan(&plan, commit.as_deref())?;
+        registry::append(registry_path, &rows)?;
+        eprintln!(
+            "repro: appended {count} row(s) to {registry}",
+            count = rows.len(),
+            registry = mode.registry,
+        );
+        if mode.gate {
+            let report = fluxreg::evaluate(&plan, &baseline, &rows);
+            print!("{}", report.render());
+            verdict_code = report.verdict().exit_code();
+        }
+    }
+
+    if let Some(report_path) = &mode.report {
+        let rows = registry::load(registry_path)?;
+        let rendered = if report_path.ends_with(".html") {
+            fluxreg::report::html(&rows)
+        } else {
+            fluxreg::report::markdown(&rows)
+        };
+        if let Some(parent) = Path::new(report_path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(report_path, rendered)
+            .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+        eprintln!(
+            "repro: wrote trajectory report for {count} row(s) to {report_path}",
+            count = rows.len(),
+        );
+    }
+
+    Ok(verdict_code)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -100,6 +205,13 @@ fn main() {
     let mut bench_smoke = false;
     let mut bench_grid = false;
     let mut bench_out: Option<String> = None;
+    let mut mode = RegistryMode {
+        plan: None,
+        registry: DEFAULT_REGISTRY.to_string(),
+        gate: false,
+        report: None,
+        imports: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -113,12 +225,32 @@ fn main() {
             "--bench-smoke" => bench_smoke = true,
             "--bench-grid" => bench_grid = true,
             "--bench-out" => bench_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--plan" => mode.plan = Some(it.next().unwrap_or_else(|| usage())),
+            "--registry" => mode.registry = it.next().unwrap_or_else(|| usage()),
+            "--gate" => mode.gate = true,
+            "--report" => mode.report = Some(it.next().unwrap_or_else(|| usage())),
+            "--registry-import" => mode.imports.push(it.next().unwrap_or_else(|| usage())),
             name if target.is_none() => target = Some(name.to_string()),
             _ => usage(),
         }
     }
     if let Some(warning) = fluxprint_fluxpar::threads_env_warning() {
         eprintln!("repro: {warning}");
+    }
+    let registry_mode = mode.plan.is_some() || mode.report.is_some() || !mode.imports.is_empty();
+    if registry_mode {
+        // Registry modes do not compose with figure targets or benches,
+        // and --gate without --plan has nothing to gate.
+        if target.is_some() || bench_smoke || bench_grid || (mode.gate && mode.plan.is_none()) {
+            usage();
+        }
+        return match run_registry_mode(&mode) {
+            Ok(code) => ExitCode::from(code),
+            Err(message) => {
+                eprintln!("repro: error: {message}");
+                ExitCode::from(3)
+            }
+        };
     }
     if bench_smoke || bench_grid {
         if target.is_some() || (bench_smoke && bench_grid) {
@@ -131,7 +263,7 @@ fn main() {
             let out = bench_out.as_deref().unwrap_or("BENCH_5.json");
             fluxprint_bench::bench_grid::run_bench_grid(out);
         }
-        return;
+        return ExitCode::SUCCESS;
     }
     let target = target.unwrap_or_else(|| usage());
 
@@ -182,4 +314,5 @@ fn main() {
                 .expect("write telemetry block");
         }
     }
+    ExitCode::SUCCESS
 }

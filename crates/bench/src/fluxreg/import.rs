@@ -1,0 +1,261 @@
+//! Folding pre-registry history into registry rows.
+//!
+//! Three legacy shapes exist, all from earlier PRs:
+//!
+//! * `BENCH_3.json` — the PR-3 filter smoke (`"bench":
+//!   "filter_candidates"`): one row, per-target wall times and the
+//!   headline speedup as KPIs.
+//! * `BENCH_5.json` — the PR-5 many-sink sweep (`"bench":
+//!   "grid_many_sink"`): one row per sweep cell, the cell's `(sessions,
+//!   threads, shards)` as params.
+//! * `docs/repro_results.jsonl` — recorded full-run figure/ablation
+//!   results: one row per record, the figure or ablation id as a param
+//!   and every numeric top-level scalar as a KPI (nested series stay in
+//!   the original file; the registry carries the comparable scalars).
+//!
+//! Imported rows get `source: "import:<kind>"`, seed 0 (the recorded
+//! runs used the default stream), no commit (it was not recorded at the
+//! time), and a plan hash derived from a canonical pseudo-plan naming
+//! the import kind — so history groups cleanly in reports without
+//! colliding with any real plan.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde_json::{json, Value};
+
+use super::plan::plan_hash;
+use super::registry::Row;
+
+fn pseudo_plan_hash(kind: &str) -> String {
+    plan_hash(&json!({ "name": format!("import-{kind}"), "import": true }))
+}
+
+fn import_row(kind: &str, params: BTreeMap<String, Value>, kpis: BTreeMap<String, f64>) -> Row {
+    Row {
+        plan: format!("import-{kind}"),
+        plan_hash: pseudo_plan_hash(kind),
+        seed: 0,
+        commit: None,
+        source: format!("import:{kind}"),
+        params,
+        kpis,
+        run_meta: Value::Null,
+        telemetry: Value::Null,
+    }
+}
+
+/// Numeric top-level scalars of an object (non-finite values skipped).
+fn scalar_kpis(value: &Value) -> BTreeMap<String, f64> {
+    value
+        .as_object()
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    Value::Number(n) if n.as_f64().is_finite() => Some((k.clone(), n.as_f64())),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn import_bench_smoke(value: &Value) -> Result<Vec<Row>, String> {
+    let targets = value["targets"]
+        .as_array()
+        .ok_or_else(|| "bench smoke record lacks targets".to_string())?;
+    let mut params = BTreeMap::new();
+    for key in ["n_candidates", "k"] {
+        if let Some(v) = value.get(key) {
+            params.insert(key.to_string(), v.clone());
+        }
+    }
+    let mut kpis = BTreeMap::new();
+    for target in targets {
+        let name = target["name"]
+            .as_str()
+            .ok_or_else(|| "bench smoke target lacks a name".to_string())?;
+        for (kpi, v) in scalar_kpis(target) {
+            if kpi != "threads" {
+                kpis.insert(format!("{name}_{kpi}"), v);
+            }
+        }
+    }
+    if let Some(speedup) = value["speedup"].as_f64() {
+        kpis.insert("speedup".to_string(), speedup);
+    }
+    Ok(vec![import_row("bench-smoke", params, kpis)])
+}
+
+fn import_bench_grid(value: &Value) -> Result<Vec<Row>, String> {
+    let targets = value["targets"]
+        .as_array()
+        .ok_or_else(|| "bench grid record lacks targets".to_string())?;
+    targets
+        .iter()
+        .map(|cell| {
+            let mut params = BTreeMap::new();
+            for key in ["sessions", "threads", "shards"] {
+                let v = cell
+                    .get(key)
+                    .filter(|v| !v.is_null())
+                    .ok_or_else(|| format!("bench grid cell lacks {key}"))?;
+                params.insert(key.to_string(), v.clone());
+            }
+            let kpis = scalar_kpis(cell)
+                .into_iter()
+                .filter(|(k, _)| !params.contains_key(k))
+                .collect();
+            Ok(import_row("bench-grid", params, kpis))
+        })
+        .collect()
+}
+
+fn import_results_line(value: &Value) -> Option<Row> {
+    let (key, id) = if let Some(figure) = value["figure"].as_str() {
+        ("figure", figure)
+    } else if let Some(ablation) = value["ablation"].as_str() {
+        ("ablation", ablation)
+    } else {
+        return None;
+    };
+    let mut params = BTreeMap::new();
+    params.insert(key.to_string(), Value::String(id.to_string()));
+    let kpis = scalar_kpis(value);
+    Some(import_row("repro-results", params, kpis))
+}
+
+/// Imports one legacy file, detecting its shape from the content.
+///
+/// # Errors
+///
+/// Unreadable files, unrecognised shapes, or malformed records.
+pub fn import_file(path: &Path) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    // Whole-file JSON first: the BENCH_* shapes are single objects.
+    if let Ok(value) = serde_json::from_str::<Value>(&text) {
+        match value["bench"].as_str() {
+            Some("filter_candidates") => return import_bench_smoke(&value),
+            Some("grid_many_sink") => return import_bench_grid(&value),
+            _ => {}
+        }
+    }
+    // Otherwise: NDJSON results (figure/ablation records; run_meta and
+    // unrecognised records are skipped, not errors — the results file
+    // interleaves shapes).
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{}:{}: not JSON: {e}", path.display(), i + 1))?;
+        if let Some(row) = import_results_line(&value) {
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "{}: no importable records (expected BENCH_* JSON or figure/ablation NDJSON)",
+            path.display()
+        ));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke_folds_to_one_row_with_per_target_kpis() {
+        let dir = std::env::temp_dir().join("fluxreg_import_smoke");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_3.json");
+        std::fs::write(
+            &path,
+            r#"{"bench":"filter_candidates","n_candidates":200,"k":3,
+                "targets":[{"name":"column_path","wall_ms":8.6,"evals":2401,"threads":1},
+                           {"name":"gram_cache","wall_ms":2.4,"evals":2401,"threads":1}],
+                "speedup":3.5}"#,
+        )
+        .unwrap();
+        let rows = import_file(&path).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.source, "import:bench-smoke");
+        assert_eq!(row.params["n_candidates"], json!(200));
+        assert_eq!(row.kpis["column_path_wall_ms"], 8.6);
+        assert_eq!(row.kpis["gram_cache_wall_ms"], 2.4);
+        assert_eq!(row.kpis["speedup"], 3.5);
+        assert!(!row.kpis.contains_key("gram_cache_threads"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_grid_folds_to_one_row_per_cell() {
+        let dir = std::env::temp_dir().join("fluxreg_import_grid");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_5.json");
+        std::fs::write(
+            &path,
+            r#"{"bench":"grid_many_sink","rounds_per_session":3,"reps":2,
+                "targets":[
+                  {"sessions":1,"threads":1,"shards":1,"rounds":3,"grid_ms":0.25,"speedup":1.0},
+                  {"sessions":256,"threads":4,"shards":4,"rounds":768,"grid_ms":70.2,"speedup":4.2}],
+                "headline":{"sessions":256,"threads":4,"speedup":4.2}}"#,
+        )
+        .unwrap();
+        let rows = import_file(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].params["sessions"], json!(256));
+        assert_eq!(rows[1].kpis["speedup"], 4.2);
+        assert!(
+            !rows[1].kpis.contains_key("sessions"),
+            "params are not KPIs"
+        );
+        // Cells share one key-space: identical plan hash, distinct params.
+        assert_eq!(rows[0].plan_hash, rows[1].plan_hash);
+        assert_ne!(rows[0].key(), rows[1].key());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_ndjson_folds_figures_and_ablations_skipping_series() {
+        let dir = std::env::temp_dir().join("fluxreg_import_results");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repro_results.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"figure\":\"4\",\"mean_error\":0.356,\"rows\":[{\"trial\":0}]}\n",
+                "{\"type\":\"run_meta\",\"target\":\"fig5\"}\n",
+                "{\"ablation\":\"filter\",\"agreement\":0.75,\"speedup\":4.5}\n",
+            ),
+        )
+        .unwrap();
+        let rows = import_file(&path).unwrap();
+        assert_eq!(rows.len(), 2, "run_meta lines are skipped");
+        assert_eq!(rows[0].params["figure"], json!("4"));
+        assert_eq!(rows[0].kpis["mean_error"], 0.356);
+        assert!(!rows[0].kpis.contains_key("rows"), "nested series dropped");
+        assert_eq!(rows[1].params["ablation"], json!("filter"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unrecognised_files_are_rejected() {
+        let dir = std::env::temp_dir().join("fluxreg_import_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.json");
+        std::fs::write(&path, "{\"nothing\":1}").unwrap();
+        assert!(import_file(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,313 @@
+//! Plan execution through the engine/grid path.
+//!
+//! Each job builds a deterministic scenario from its parameters — a
+//! perturbed-grid network, a sniffer set, and `rounds` observation
+//! windows of `users` mobile users under the requested noise — then
+//! drives `sessions` tracking sessions through a [`Grid`] with the
+//! requested shard/thread budget. KPIs split into two classes:
+//!
+//! * **Deterministic** (gateable with tight tolerances): `mean_error`
+//!   (identity-free accuracy vs. ground truth, via `core::metrics`),
+//!   `mean_residual` and `active_fraction` (engine [`OutcomeKpis`]),
+//!   `evals_per_round` (objective evaluations per ingested round), and
+//!   `rounds`. These are bit-stable for a fixed seed at any thread
+//!   count (DESIGN.md §9/§11).
+//! * **Wall-clock** (`wall_ms`, `rounds_per_s`): recorded for the
+//!   trajectory; gate them only with generous relative tolerances.
+//!
+//! The telemetry registry is reset per job, so the folded snapshot
+//! embedded in each row covers exactly that job.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+
+use fluxprint_core::metrics::mean_trajectory_error;
+use fluxprint_engine::{Engine, Grid, GridConfig, OutcomeKpis, SessionConfig, StepOutcome, Submit};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_netsim::{Network, NetworkBuilder, NoiseModel, ObservationRound, Sniffer};
+use fluxprint_smc::SmcConfig;
+use fluxprint_telemetry::names;
+
+use super::plan::{Job, Plan};
+use super::registry::Row;
+use crate::trace;
+
+/// Runs every job of the plan and returns its registry rows, in job
+/// order. `commit` is recorded verbatim as row provenance.
+///
+/// # Errors
+///
+/// Invalid parameter combinations or an engine failure mid-job, as
+/// strings (the repro binary maps them to exit 3).
+pub fn run_plan(plan: &Plan, commit: Option<&str>) -> Result<Vec<Row>, String> {
+    plan.jobs()
+        .iter()
+        .map(|job| run_job(plan, job, commit))
+        .collect()
+}
+
+/// A parameter value as JSON, integral values as integers (`2`, not
+/// `2.0`) so row params canonicalise identically run-to-run.
+fn param_json(v: f64) -> Value {
+    // fluxlint: allow(float-eq) — fract() == 0.0 is an exact integrality test, not a value comparison
+    if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+        json!(v as i64)
+    } else {
+        json!(v)
+    }
+}
+
+fn network_for(job: &Job) -> Result<Network, String> {
+    let mut rng = StdRng::seed_from_u64(0xF1A6 ^ job.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    NetworkBuilder::new()
+        .field(Rect::square(30.0).map_err(|e| format!("field: {e}"))?)
+        .perturbed_grid(12, 12, 0.3)
+        .radius(4.0)
+        .build(&mut rng)
+        .map_err(|e| format!("network build: {e}"))
+}
+
+/// Ground-truth user states for one round: position and stretch per user.
+fn truth_at(users: usize, t: f64) -> Vec<(Point2, f64)> {
+    (0..users)
+        .map(|k| {
+            let col = (k % 4) as f64;
+            let row = (k / 4) as f64;
+            let pos = Point2::new(5.0 + 3.5 * col + 1.3 * t, 6.0 + 5.0 * row + 0.4 * t);
+            (pos, 1.0 + 0.25 * k as f64)
+        })
+        .collect()
+}
+
+/// The shared observation trace plus the per-round truth positions.
+fn trace_for(
+    job: &Job,
+    net: &Network,
+) -> Result<(Vec<ObservationRound>, Vec<Vec<Point2>>), String> {
+    let mut rng = StdRng::seed_from_u64(0x51FF ^ job.seed.wrapping_mul(0xD134_2543_DE82_EF95));
+    let sniffer = Sniffer::random_count(net, job.count("sniffers"), &mut rng)
+        .map_err(|e| format!("sniffer: {e}"))?;
+    let sigma = job.value("noise_sigma");
+    let noise = if sigma > 0.0 {
+        NoiseModel::RelativeGaussian { sigma }
+    } else {
+        NoiseModel::None
+    };
+    let users = job.count("users");
+    let mut rounds = Vec::new();
+    let mut truths = Vec::new();
+    for i in 1..=job.count("rounds") {
+        let t = i as f64;
+        let truth = truth_at(users, t);
+        let flux = net
+            .simulate_flux(&truth, &mut rng)
+            .map_err(|e| format!("flux: {e}"))?;
+        rounds.push(sniffer.observe_round_smoothed(t, net, &flux, noise, &mut rng));
+        truths.push(truth.iter().map(|&(p, _)| p).collect());
+    }
+    Ok((rounds, truths))
+}
+
+fn session_seed(job: &Job, s: usize) -> u64 {
+    1000 + job.seed.wrapping_mul(7919) + s as u64
+}
+
+/// Drives the job's fleet once and returns per-session outcomes.
+fn drive(
+    engine: &Engine,
+    job: &Job,
+    trace: &[ObservationRound],
+) -> Result<Vec<Vec<StepOutcome>>, String> {
+    let grid_config = GridConfig {
+        shards: job.count("shards"),
+        queue_capacity: trace.len().max(1),
+        threads: job.count("threads"),
+    };
+    let config = SessionConfig {
+        users: job.count("users"),
+        smc: SmcConfig {
+            n_predictions: job.count("n_predictions"),
+            keep_m: job.count("keep_m"),
+            ..Default::default()
+        },
+        start_time: 0.0,
+    };
+    let sessions = job.count("sessions");
+    let mut grid = Grid::open(engine.clone(), &grid_config).map_err(|e| format!("{e}"))?;
+    let ids: Vec<_> = (0..sessions)
+        .map(|s| grid.open_session(&config, session_seed(job, s)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("open session: {e}"))?;
+    for round in trace {
+        for &id in &ids {
+            match grid
+                .submit(id, round.clone())
+                .map_err(|e| format!("submit: {e}"))?
+            {
+                Submit::Queued => {}
+                Submit::Backpressure(_) => {
+                    return Err("queue sized for the whole trace backpressured".to_string())
+                }
+            }
+        }
+    }
+    grid.join().map_err(|e| format!("drain: {e}"))?;
+    ids.iter()
+        .map(|&id| grid.take_outcomes(id).map_err(|e| format!("outcomes: {e}")))
+        .collect()
+}
+
+fn run_job(plan: &Plan, job: &Job, commit: Option<&str>) -> Result<Row, String> {
+    for required in ["sessions", "rounds", "users", "threads", "shards"] {
+        if job.count(required) == 0 {
+            return Err(format!("parameter {required:?} must be at least 1"));
+        }
+    }
+    fluxprint_telemetry::reset();
+    let net = network_for(job)?;
+    let (trace_rounds, truths) = trace_for(job, &net)?;
+    let engine =
+        Engine::for_network(&net, FluxModel::default()).map_err(|e| format!("engine: {e}"))?;
+
+    let reps = job.count("reps").max(1);
+    let mut wall_ms = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        outcomes = drive(&engine, job, &trace_rounds)?;
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let total_rounds = (job.count("sessions") * trace_rounds.len()) as f64;
+    let evals = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    let evals_per_round = evals as f64 / (reps as f64 * total_rounds);
+
+    let mut engine_kpis = OutcomeKpis::default();
+    let mut error_sum = 0.0;
+    let mut error_sessions = 0usize;
+    for session_outcomes in &outcomes {
+        engine_kpis.fold(session_outcomes);
+        let pairs: Vec<(Vec<Point2>, Vec<Point2>)> = session_outcomes
+            .iter()
+            .zip(&truths)
+            .map(|(outcome, truth)| (outcome.estimates.clone(), truth.clone()))
+            .collect();
+        let err = mean_trajectory_error(&pairs).map_err(|e| format!("accuracy: {e}"))?;
+        if err.is_finite() {
+            error_sum += err;
+            error_sessions += 1;
+        }
+    }
+
+    let mut kpis = BTreeMap::new();
+    let mut kpi = |name: &str, value: f64| {
+        if value.is_finite() {
+            kpis.insert(name.to_string(), value);
+        }
+    };
+    kpi("rounds", total_rounds);
+    kpi("wall_ms", wall_ms);
+    kpi("rounds_per_s", total_rounds / (wall_ms / 1e3));
+    kpi("evals_per_round", evals_per_round);
+    if error_sessions > 0 {
+        kpi("mean_error", error_sum / error_sessions as f64);
+    }
+    kpi("mean_residual", engine_kpis.mean_residual());
+    kpi("active_fraction", engine_kpis.active_fraction());
+
+    let prov = trace::thread_provenance();
+    let telemetry: Value = serde_json::from_str(&fluxprint_telemetry::snapshot().to_inline_json())
+        .map_err(|e| format!("telemetry fold: {e}"))?;
+    Ok(Row {
+        plan: plan.name.clone(),
+        plan_hash: plan.hash.clone(),
+        seed: job.seed,
+        commit: commit.map(str::to_string),
+        source: "plan".to_string(),
+        params: job
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), param_json(*v)))
+            .collect(),
+        kpis,
+        run_meta: json!({
+            "target": format!("plan:{}", plan.name),
+            "effort": "plan",
+            "seed": job.seed,
+            "git": commit.map_or(Value::Null, |c| Value::String(c.to_string())),
+            "threads": prov.threads,
+            "threads_env": prov.env.as_deref().map_or(Value::Null, |e| Value::String(e.to_string())),
+            "threads_env_status": prov.status,
+        }),
+        telemetry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::plan::Plan;
+    use super::*;
+
+    fn tiny_plan() -> Plan {
+        Plan::from_json(
+            r#"{
+                "name": "runner-tiny",
+                "fixed": { "sessions": 2, "rounds": 2, "n_predictions": 24, "keep_m": 4,
+                           "sniffers": 16, "threads": 1, "shards": 1 },
+                "seeds": [0]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tiny_plan_produces_a_complete_deterministic_row() {
+        let plan = tiny_plan();
+        let rows = run_plan(&plan, Some("test-commit")).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.plan_hash, plan.hash);
+        assert_eq!(row.commit.as_deref(), Some("test-commit"));
+        assert_eq!(row.kpis["rounds"], 4.0);
+        for kpi in [
+            "mean_error",
+            "mean_residual",
+            "evals_per_round",
+            "rounds_per_s",
+        ] {
+            assert!(row.kpis.contains_key(kpi), "missing KPI {kpi}");
+        }
+        assert!(row.kpis["evals_per_round"] > 0.0);
+        // The folded telemetry snapshot rode along.
+        assert!(row.telemetry["counters"]["engine.rounds"].as_u64().unwrap() >= 4);
+
+        // Deterministic KPIs reproduce exactly on a re-run.
+        let again = run_plan(&plan, Some("test-commit")).unwrap();
+        for kpi in [
+            "mean_error",
+            "mean_residual",
+            "evals_per_round",
+            "rounds",
+            "active_fraction",
+        ] {
+            assert_eq!(
+                row.kpis.get(kpi),
+                again[0].kpis.get(kpi),
+                "KPI {kpi} is not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_counts_are_rejected() {
+        let plan =
+            Plan::from_json(r#"{ "name": "bad", "fixed": { "sessions": 0 }, "seeds": [0] }"#)
+                .unwrap();
+        assert!(run_plan(&plan, None).is_err());
+    }
+}

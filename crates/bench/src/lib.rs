@@ -27,6 +27,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fluxreg;
 pub mod trace;
 
 /// Effort level for a reproduction run.

@@ -28,15 +28,52 @@ pub fn git_describe() -> Option<String> {
     (!trimmed.is_empty()).then(|| trimmed.to_string())
 }
 
+/// Worker-thread provenance: the effective pool width plus the state of
+/// the `FLUXPRINT_THREADS` override, so every exported record says not
+/// just how many threads ran but *why*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadProvenance {
+    /// Effective width of the process-wide worker pool.
+    pub threads: usize,
+    /// Raw `FLUXPRINT_THREADS` value, when set.
+    pub env: Option<String>,
+    /// `"unset"`, `"applied"`, or `"ignored"` (set but unusable — the
+    /// pool fell back to the platform default).
+    pub status: &'static str,
+}
+
+/// Reads the current thread provenance (forces pool initialisation).
+pub fn thread_provenance() -> ThreadProvenance {
+    let env = std::env::var(fluxprint_fluxpar::THREADS_ENV).ok();
+    let status = match (&env, fluxprint_fluxpar::threads_env_warning()) {
+        (None, _) => "unset",
+        (Some(_), None) => "applied",
+        (Some(_), Some(_)) => "ignored",
+    };
+    ThreadProvenance {
+        threads: fluxprint_fluxpar::pool().threads(),
+        env,
+        status,
+    }
+}
+
 /// The run-metadata NDJSON record that heads every exported block (and
-/// every `--json` results file): target name, effort, run seed, and the
-/// git describe string (`null` when unavailable).
+/// every `--json` results file): target name, effort, run seed, the git
+/// describe string (`null` when unavailable), and the worker-thread
+/// provenance — enough to make any downstream row self-describing.
 pub fn run_meta_line(target: &str, effort: Effort, seed: u64) -> String {
     let git = git_describe().map_or_else(|| "null".to_string(), |d| json_string(&d));
+    let prov = thread_provenance();
+    let env = prov
+        .env
+        .as_deref()
+        .map_or_else(|| "null".to_string(), json_string);
     format!(
-        "{{\"type\":\"run_meta\",\"target\":{},\"effort\":{},\"seed\":{seed},\"git\":{git}}}",
+        "{{\"type\":\"run_meta\",\"target\":{},\"effort\":{},\"seed\":{seed},\"git\":{git},\"threads\":{},\"threads_env\":{env},\"threads_env_status\":{}}}",
         json_string(target),
         json_string(effort.name()),
+        prov.threads,
+        json_string(prov.status),
     )
 }
 
@@ -65,6 +102,24 @@ mod tests {
         assert_eq!(value["seed"], serde_json::json!(7));
         // `git` is either a string or null depending on the environment.
         assert!(value["git"].as_str().is_some() || value["git"].is_null());
+        // Thread provenance is always present and self-consistent.
+        let threads = value["threads"].as_u64().expect("threads recorded");
+        assert!(threads >= 1);
+        let status = value["threads_env_status"].as_str().expect("status");
+        match status {
+            "unset" => assert!(value["threads_env"].is_null()),
+            "applied" | "ignored" => assert!(value["threads_env"].as_str().is_some()),
+            other => panic!("unexpected threads_env_status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_provenance_matches_the_pool() {
+        let prov = thread_provenance();
+        assert_eq!(prov.threads, fluxprint_fluxpar::pool().threads());
+        if prov.env.is_none() {
+            assert_eq!(prov.status, "unset");
+        }
     }
 
     #[test]

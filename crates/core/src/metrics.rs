@@ -91,6 +91,35 @@ pub fn optimal_labeling(estimates: &[Point2], truths: &[Point2]) -> Result<Vec<u
     Ok(min_cost_assignment(&cost)?)
 }
 
+/// Mean matched error over a whole trajectory: each round's estimates
+/// are matched to that round's ground truth ([`mean_matched_error`]) and
+/// the per-round means are averaged. This is the accuracy KPI the
+/// experiment registry gates on — one scalar per run, identity-free,
+/// deterministic for a fixed seed.
+///
+/// Rounds where either side is empty are skipped (a round with no truth
+/// carries no accuracy information); `NaN` is returned when *no* round
+/// was scorable, so callers can distinguish "perfect" from "unmeasured".
+///
+/// # Errors
+///
+/// Propagates [`matched_errors`] failures from the assignment solver.
+pub fn mean_trajectory_error(rounds: &[(Vec<Point2>, Vec<Point2>)]) -> Result<f64, CoreError> {
+    let mut sum = 0.0;
+    let mut scored = 0usize;
+    for (estimates, truths) in rounds {
+        if estimates.is_empty() || truths.is_empty() {
+            continue;
+        }
+        sum += mean_matched_error(estimates, truths)?;
+        scored += 1;
+    }
+    if scored == 0 {
+        return Ok(f64::NAN);
+    }
+    Ok(sum / scored as f64)
+}
+
 /// Counts identity swaps across a sequence of rounds: the number of times
 /// the optimal estimate→truth labeling changes between consecutive rounds.
 ///
@@ -188,6 +217,25 @@ mod tests {
         assert_eq!(optimal_labeling(&swapped, &truths).unwrap(), vec![1, 0]);
         assert!(optimal_labeling(&[], &[]).is_err());
         assert!(optimal_labeling(&direct, &truths[..1]).is_err());
+    }
+
+    #[test]
+    fn trajectory_error_averages_scorable_rounds_only() {
+        let t = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let rounds = vec![
+            (
+                vec![Point2::new(1.0, 0.0), Point2::new(10.0, 0.0)], // mean 0.5
+                t.clone(),
+            ),
+            (vec![], t.clone()), // skipped
+            (
+                vec![Point2::new(0.0, 0.0), Point2::new(11.5, 0.0)], // mean 0.75
+                t.clone(),
+            ),
+        ];
+        let err = mean_trajectory_error(&rounds).unwrap();
+        assert!((err - 0.625).abs() < 1e-12, "err {err}");
+        assert!(mean_trajectory_error(&[]).unwrap().is_nan());
     }
 
     #[test]

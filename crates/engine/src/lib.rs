@@ -88,12 +88,14 @@ mod checkpoint;
 mod engine;
 mod error;
 pub mod grid;
+pub mod kpi;
 mod session;
 
 pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
 pub use engine::{Engine, SessionConfig};
 pub use error::EngineError;
 pub use grid::{Grid, GridCheckpoint, GridConfig, GridHandle, SessionId, Submit};
+pub use kpi::OutcomeKpis;
 pub use session::{Session, UserState};
 
 // Re-exported so engine users can name round inputs and step outputs

@@ -76,6 +76,59 @@ impl Snapshot {
         }
         out
     }
+
+    /// Serialises the snapshot *folded*: one JSON object
+    /// `{"counters":{...},"histograms":{...},"spans":{...}}` with no
+    /// newlines, suitable for embedding as a sub-object of a larger
+    /// record (the experiment registry stores one folded snapshot per
+    /// row). Zero-valued counters and empty histograms are *dropped* —
+    /// unlike [`to_ndjson`](Snapshot::to_ndjson), the folded form is a
+    /// compact payload inside another schema, not the catalog-padded
+    /// diffable export. Key order is deterministic (name order).
+    pub fn to_inline_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in self.counters.iter().filter(|(_, v)| **v != 0) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{value}", json_string(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, histogram) in self.histograms.iter().filter(|(_, h)| h.count() != 0) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                json_string(name),
+                histogram.count(),
+                json_number(histogram.sum()),
+                json_optional(histogram.min()),
+                json_optional(histogram.max()),
+                json_optional(histogram.mean()),
+            ));
+        }
+        out.push_str("},\"spans\":{");
+        first = true;
+        for (path, stat) in self.spans.iter().filter(|(_, s)| s.count != 0) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                json_string(path),
+                stat.count,
+                stat.total_ns,
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
@@ -183,6 +236,28 @@ mod tests {
         assert!(line.contains("\"min_ns\":100"));
         assert!(line.contains("\"max_ns\":300"));
         assert!(line.contains("\"mean_ns\":200"));
+    }
+
+    #[test]
+    fn inline_json_folds_to_one_line_and_drops_zero_entries() {
+        let text = sample().to_inline_json();
+        assert!(!text.contains('\n'));
+        assert!(text.starts_with("{\"counters\":{"));
+        assert!(text.ends_with("}}"));
+        // Non-zero entries are present…
+        assert!(text.contains("\"solver.objective.evals\":42"));
+        assert!(text.contains("\"smc.round.samples_predicted\""));
+        assert!(text.contains("\"solver.briefing\":{\"count\":2,\"total_ns\":400}"));
+        // …zero-valued padding is folded away.
+        assert!(!text.contains("smc.steps"));
+        assert!(!text.contains("active_users"));
+        assert_eq!(text, sample().to_inline_json());
+    }
+
+    #[test]
+    fn inline_json_of_empty_snapshot_keeps_section_keys() {
+        let text = Snapshot::default().to_inline_json();
+        assert_eq!(text, "{\"counters\":{},\"histograms\":{},\"spans\":{}}");
     }
 
     #[test]

@@ -47,6 +47,10 @@ const THREAD_BUDGETS: [usize; 3] = [1, 4, 8];
 const REPS: usize = 2;
 /// The headline cell.
 const HEADLINE: (usize, usize) = (256, 4);
+/// Trace length for the warm-start comparison: long enough to cover a
+/// full escape cycle (`WARM_ESCAPE_EVERY` = 8), so the measured cost
+/// includes the cold first round and the periodic escape sweep.
+const WARM_ROUNDS: usize = 8;
 
 fn bench_network() -> Network {
     let mut rng = StdRng::seed_from_u64(0x9A1D);
@@ -58,7 +62,7 @@ fn bench_network() -> Network {
         .expect("valid network")
 }
 
-fn session_config() -> SessionConfig {
+fn session_config(warm: bool) -> SessionConfig {
     SessionConfig {
         users: 1,
         smc: fluxprint_smc::SmcConfig {
@@ -67,14 +71,15 @@ fn session_config() -> SessionConfig {
             ..Default::default()
         },
         start_time: 0.0,
+        warm,
     }
 }
 
 /// The shared trace: one user walking east past a fixed 24-sniffer set.
-fn bench_trace(net: &Network) -> Vec<ObservationRound> {
+fn bench_trace(net: &Network, rounds: usize) -> Vec<ObservationRound> {
     let mut rng = StdRng::seed_from_u64(0x51FF);
     let sniffer = Sniffer::random_count(net, 24, &mut rng).expect("valid sniffer");
-    (1..=ROUNDS)
+    (1..=rounds)
         .map(|i| {
             let t = i as f64;
             let user = (Point2::new(8.0 + 1.5 * t, 15.0), 2.0);
@@ -95,19 +100,19 @@ fn session_seed(s: usize) -> u64 {
 /// only.
 fn run_single_pool(
     engine: &Engine,
+    config: &SessionConfig,
     sessions: usize,
     threads: usize,
     trace: &[ObservationRound],
 ) -> (f64, Vec<Vec<StepOutcome>>) {
     let pool = Pool::with_threads(threads);
-    let config = session_config();
     let mut wall_ms = f64::INFINITY;
     let mut outcomes = Vec::new();
     for _ in 0..REPS {
         let mut fleet: Vec<_> = (0..sessions)
             .map(|s| {
                 engine
-                    .open_session(&config, session_seed(s))
+                    .open_session(config, session_seed(s))
                     .expect("session opens")
             })
             .collect();
@@ -132,6 +137,7 @@ fn run_single_pool(
 /// submission and the drain barrier.
 fn run_grid(
     engine: &Engine,
+    config: &SessionConfig,
     sessions: usize,
     threads: usize,
     trace: &[ObservationRound],
@@ -141,14 +147,13 @@ fn run_grid(
         queue_capacity: trace.len(),
         threads,
     };
-    let config = session_config();
     let mut wall_ms = f64::INFINITY;
     let mut outcomes = Vec::new();
     for _ in 0..REPS {
         let mut grid = Grid::open(engine.clone(), &grid_config).expect("grid opens");
         let ids: Vec<_> = (0..sessions)
             .map(|s| {
-                grid.open_session(&config, session_seed(s))
+                grid.open_session(config, session_seed(s))
                     .expect("session opens")
             })
             .collect();
@@ -198,21 +203,23 @@ fn assert_identical(single: &[Vec<StepOutcome>], grid: &[Vec<StepOutcome>]) {
 /// Runs the sweep and writes `out_path` (JSON). Returns the written value.
 pub fn run_bench_grid(out_path: &str) -> serde_json::Value {
     let net = bench_network();
-    let trace = bench_trace(&net);
+    let trace = bench_trace(&net, ROUNDS);
     let engine = Engine::for_network(&net, FluxModel::default()).expect("engine builds");
+    let cold = session_config(false);
 
     // Warm up code paths once so the first cell is not charged for them.
-    let _ = run_single_pool(&engine, 1, 1, &trace);
-    let _ = run_grid(&engine, 1, 1, &trace);
+    let _ = run_single_pool(&engine, &cold, 1, 1, &trace);
+    let _ = run_grid(&engine, &cold, 1, 1, &trace);
 
     let mut targets = Vec::new();
     let mut headline = None;
     for &threads in &THREAD_BUDGETS {
         for &sessions in &SESSION_COUNTS {
-            let (single_ms, single_out) = run_single_pool(&engine, sessions, threads, &trace);
+            let (single_ms, single_out) =
+                run_single_pool(&engine, &cold, sessions, threads, &trace);
             let evals_before =
                 fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
-            let (grid_ms, grid_out) = run_grid(&engine, sessions, threads, &trace);
+            let (grid_ms, grid_out) = run_grid(&engine, &cold, sessions, threads, &trace);
             let evals_after =
                 fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
             assert_identical(&single_out, &grid_out);
@@ -246,6 +253,32 @@ pub fn run_bench_grid(out_path: &str) -> serde_json::Value {
     }
 
     let headline = headline.expect("headline cell is part of the sweep");
+
+    // Warm-start comparison at the headline cell, over a trace long
+    // enough to cover one full escape cycle. Both drivers run the warm
+    // fleet and are asserted bit-identical first (warm determinism check),
+    // then cold vs. warm grid eval counts give the reduction factor.
+    let warm_trace = bench_trace(&net, WARM_ROUNDS);
+    let warm_config = session_config(true);
+    let (sessions, threads) = HEADLINE;
+    let (_, warm_single_out) =
+        run_single_pool(&engine, &warm_config, sessions, threads, &warm_trace);
+    let evals_0 = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    let (cold_ms, _) = run_grid(&engine, &cold, sessions, threads, &warm_trace);
+    let evals_1 = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    let (warm_ms, warm_grid_out) = run_grid(&engine, &warm_config, sessions, threads, &warm_trace);
+    let evals_2 = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    assert_identical(&warm_single_out, &warm_grid_out);
+    let warm_rounds = (sessions * warm_trace.len()) as f64;
+    let cold_epr = ((evals_1 - evals_0) / REPS as u64) as f64 / warm_rounds;
+    let warm_epr = ((evals_2 - evals_1) / REPS as u64) as f64 / warm_rounds;
+    let reduction = cold_epr / warm_epr;
+    eprintln!(
+        "bench-grid: warm S={sessions} T={threads} R={WARM_ROUNDS}: \
+         {cold_epr:.1} -> {warm_epr:.1} evals/round ({reduction:.2}x fewer), \
+         grid {cold_ms:.1} -> {warm_ms:.1} ms"
+    );
+
     let value = json!({
         "bench": "grid_many_sink",
         "rounds_per_session": ROUNDS,
@@ -255,6 +288,16 @@ pub fn run_bench_grid(out_path: &str) -> serde_json::Value {
             "sessions": HEADLINE.0,
             "threads": HEADLINE.1,
             "speedup": headline,
+        },
+        "warm": {
+            "sessions": sessions,
+            "threads": threads,
+            "rounds_per_session": WARM_ROUNDS,
+            "cold_evals_per_round": cold_epr,
+            "warm_evals_per_round": warm_epr,
+            "eval_reduction": reduction,
+            "cold_grid_ms": cold_ms,
+            "warm_grid_ms": warm_ms,
         },
     });
     std::fs::write(out_path, format!("{value:#}\n")).expect("write bench output");

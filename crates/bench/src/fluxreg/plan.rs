@@ -35,6 +35,8 @@ use serde_json::Value;
 /// * `noise_sigma` — relative Gaussian observation noise (0 = exact).
 /// * `sniffers` — compromised-node count.
 /// * `reps` — timed repetitions per job (minimum wall time is reported).
+/// * `warm` — nonzero enables warm-started solving (posterior-seeded
+///   shrunk candidate search with periodic escape sweeps; 0 = cold).
 pub const KNOWN_PARAMS: &[(&str, f64)] = &[
     ("sessions", 1.0),
     ("threads", 1.0),
@@ -46,6 +48,7 @@ pub const KNOWN_PARAMS: &[(&str, f64)] = &[
     ("noise_sigma", 0.0),
     ("sniffers", 24.0),
     ("reps", 1.0),
+    ("warm", 0.0),
 ];
 
 /// Which direction of KPI movement counts as a regression.

@@ -136,6 +136,7 @@ fn drive(
             ..Default::default()
         },
         start_time: 0.0,
+        warm: job.count("warm") > 0,
     };
     let sessions = job.count("sessions");
     let mut grid = Grid::open(engine.clone(), &grid_config).map_err(|e| format!("{e}"))?;

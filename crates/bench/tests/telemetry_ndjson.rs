@@ -214,6 +214,7 @@ fn drive_engine_session() {
             ..Default::default()
         },
         start_time: 0.0,
+        warm: false,
     };
     let mut session = engine.open_session(&config, 3).expect("session opens");
     for i in 1..=3u32 {

@@ -345,6 +345,9 @@ pub fn run_tracking<R: Rng + ?Sized>(
         users: k,
         smc: config.smc,
         start_time: t_start - window,
+        // The legacy batch pipeline this adapter reproduces predates
+        // warm-started solving; cold keeps the fig7 fixture exact.
+        warm: false,
     };
     // `open_session_with` + `ingest_with` draw from the caller's RNG in
     // exactly the legacy call order (tracker prior, sniffer build, then

@@ -103,6 +103,7 @@ fn checkpointed_session_drive_matches_the_uninterrupted_adapter() {
         users: scenario.k(),
         smc: config.smc,
         start_time: t_start - window,
+        warm: false,
     };
     let mut rng = StdRng::seed_from_u64(77);
     let mut session = engine.open_session_with(&session_config, &mut rng).unwrap();

@@ -17,10 +17,17 @@ use serde::{Deserialize, Serialize};
 
 use fluxprint_smc::TrackerState;
 
-use crate::{EngineError, UserState};
+use crate::{EngineError, UserState, WarmState};
 
-/// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// The checkpoint format version this build writes. Restore accepts
+/// every version from [`CHECKPOINT_VERSION_MIN`] up to this one:
+/// version 2 added the optional `warm` field, and a v1 checkpoint
+/// deserializes with `warm: None` — i.e. a cold session, exactly what
+/// every v1 session was.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// The oldest checkpoint format version restore still accepts.
+pub const CHECKPOINT_VERSION_MIN: u32 = 1;
 
 /// A complete serializable session snapshot.
 ///
@@ -41,6 +48,10 @@ pub struct SessionCheckpoint {
     pub users: Vec<UserState>,
     /// Observation rounds ingested so far.
     pub rounds_ingested: u64,
+    /// Warm-start state — `Some` iff the session runs warm. Added in
+    /// format version 2; absent in v1 checkpoints, which restore as
+    /// cold sessions (`None`).
+    pub warm: Option<WarmState>,
 }
 
 impl SessionCheckpoint {
@@ -54,7 +65,7 @@ impl SessionCheckpoint {
     /// Returns [`EngineError::UnsupportedVersion`] or
     /// [`EngineError::BadCheckpoint`] naming the offending field.
     pub fn validate(&self) -> Result<(), EngineError> {
-        if self.version != CHECKPOINT_VERSION {
+        if !(CHECKPOINT_VERSION_MIN..=CHECKPOINT_VERSION).contains(&self.version) {
             return Err(EngineError::UnsupportedVersion {
                 found: self.version,
                 supported: CHECKPOINT_VERSION,
@@ -63,6 +74,11 @@ impl SessionCheckpoint {
         self.decode_rng()?;
         if self.users.len() != self.tracker.users.len() {
             return Err(EngineError::BadCheckpoint { field: "users" });
+        }
+        if let Some(warm) = &self.warm {
+            if warm.hot.len() != self.users.len() {
+                return Err(EngineError::BadCheckpoint { field: "warm" });
+            }
         }
         Ok(())
     }
@@ -117,6 +133,7 @@ mod tests {
             rng: SessionCheckpoint::encode_rng([1, u64::MAX, 0x0123_4567_89ab_cdef, 42]),
             users: vec![UserState::Active],
             rounds_ingested: 3,
+            warm: None,
         }
     }
 
@@ -133,14 +150,37 @@ mod tests {
     fn validate_accepts_good_and_rejects_bad() {
         checkpoint().validate().unwrap();
 
+        // The previous format version still validates (forward
+        // migration: v1 checkpoints restore as cold sessions).
         let mut cp = checkpoint();
-        cp.version = 2;
+        cp.version = CHECKPOINT_VERSION_MIN;
+        cp.validate().unwrap();
+
+        let mut cp = checkpoint();
+        cp.version = CHECKPOINT_VERSION + 1;
         assert!(matches!(
             cp.validate(),
             Err(EngineError::UnsupportedVersion {
-                found: 2,
+                found,
                 supported: CHECKPOINT_VERSION
-            })
+            }) if found == CHECKPOINT_VERSION + 1
+        ));
+
+        let mut cp = checkpoint();
+        cp.version = 0;
+        assert!(matches!(
+            cp.validate(),
+            Err(EngineError::UnsupportedVersion { found: 0, .. })
+        ));
+
+        let mut cp = checkpoint();
+        cp.warm = Some(WarmState {
+            rounds_since_escape: 1,
+            hot: vec![true, false],
+        });
+        assert!(matches!(
+            cp.validate(),
+            Err(EngineError::BadCheckpoint { field: "warm" })
         ));
 
         let mut cp = checkpoint();

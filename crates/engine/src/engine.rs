@@ -11,7 +11,7 @@ use fluxprint_netsim::Network;
 use fluxprint_smc::{SmcConfig, Tracker};
 use fluxprint_telemetry::{self as telemetry, names};
 
-use crate::{EngineError, Session, SessionCheckpoint, UserState};
+use crate::{EngineError, Session, SessionCheckpoint, UserState, WarmState};
 
 /// Parameters for one tracking session.
 #[derive(Debug, Clone)]
@@ -24,6 +24,12 @@ pub struct SessionConfig {
     pub smc: SmcConfig,
     /// Time origin: the first ingested round must be strictly later.
     pub start_time: f64,
+    /// Warm-started solving: carry per-user hot flags across rounds so
+    /// tracked users search a shrunk candidate set seeded from their
+    /// posterior, with a full-width escape sweep every
+    /// [`WARM_ESCAPE_EVERY`](crate::WARM_ESCAPE_EVERY) rounds. Off by
+    /// default — the cold path is the equivalence oracle.
+    pub warm: bool,
 }
 
 impl Default for SessionConfig {
@@ -32,6 +38,7 @@ impl Default for SessionConfig {
             users: 1,
             smc: SmcConfig::default(),
             start_time: 0.0,
+            warm: false,
         }
     }
 }
@@ -167,6 +174,7 @@ impl Engine {
             users: vec![UserState::Active; config.users],
             rounds_ingested: 0,
             template: None,
+            warm: config.warm.then(|| WarmState::cold(config.users)),
         })
     }
 
@@ -200,6 +208,7 @@ impl Engine {
             users: checkpoint.users.clone(),
             rounds_ingested: checkpoint.rounds_ingested,
             template: None,
+            warm: checkpoint.warm.clone(),
         })
     }
 

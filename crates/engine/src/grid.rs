@@ -39,7 +39,10 @@ use fluxprint_smc::StepOutcome;
 use fluxprint_solver::CacheScratch;
 use fluxprint_telemetry::{self as telemetry, names};
 
-use crate::{Engine, EngineError, Session, SessionCheckpoint, SessionConfig, CHECKPOINT_VERSION};
+use crate::{
+    Engine, EngineError, Session, SessionCheckpoint, SessionConfig, CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION_MIN,
+};
 
 /// Configuration for [`Grid::open`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -422,7 +425,7 @@ impl Grid {
         config: &GridConfig,
         checkpoint: &GridCheckpoint,
     ) -> Result<GridHandle, EngineError> {
-        if checkpoint.version != CHECKPOINT_VERSION {
+        if !(CHECKPOINT_VERSION_MIN..=CHECKPOINT_VERSION).contains(&checkpoint.version) {
             return Err(EngineError::UnsupportedVersion {
                 found: checkpoint.version,
                 supported: CHECKPOINT_VERSION,

@@ -62,6 +62,7 @@
 //!     users: 1,
 //!     smc: SmcConfig { n_predictions: 200, ..Default::default() },
 //!     start_time: 0.0,
+//!     warm: false,
 //! };
 //! let mut session = engine.open_session(&config, 7)?;
 //!
@@ -91,12 +92,12 @@ pub mod grid;
 pub mod kpi;
 mod session;
 
-pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION, CHECKPOINT_VERSION_MIN};
 pub use engine::{Engine, SessionConfig};
 pub use error::EngineError;
 pub use grid::{Grid, GridCheckpoint, GridConfig, GridHandle, SessionId, Submit};
 pub use kpi::OutcomeKpis;
-pub use session::{Session, UserState};
+pub use session::{Session, UserState, WarmState, WARM_ESCAPE_EVERY, WARM_SHRINK};
 
 // Re-exported so engine users can name round inputs and step outputs
 // without depending on the producer crates directly.

@@ -10,11 +10,48 @@ use fluxprint_fluxmodel::FluxModel;
 use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::{Boundary, Point2};
 use fluxprint_netsim::ObservationRound;
-use fluxprint_smc::{SmcError, StepOutcome, Tracker};
+use fluxprint_smc::{SmcError, StepOutcome, Tracker, WarmDirective};
 use fluxprint_solver::{CacheScratch, FluxObjective};
 use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{EngineError, SessionCheckpoint, CHECKPOINT_VERSION};
+
+/// Candidate-budget divisor for hot users on warm rounds: a hot user
+/// searches `n_predictions / WARM_SHRINK` candidates (posterior samples
+/// first, fresh motion-disc draws after) instead of the full budget.
+pub const WARM_SHRINK: usize = 4;
+
+/// A warm session runs one full-width escape sweep (an exactly-cold
+/// round: full candidate budget, exploration candidates, cold solves)
+/// every this many rounds, so a user the bounded search mis-tracks is
+/// recovered on a fixed cadence.
+pub const WARM_ESCAPE_EVERY: u32 = 8;
+
+/// The cross-round warm-start state a session carries between rounds.
+///
+/// This is the *only* behavior-bearing warm state — the solver-side
+/// cache store is bit-transparent (reuse returns the same floats a
+/// rebuild would) and deliberately stays out of checkpoints — so
+/// serializing these two fields is what makes restore-then-ingest
+/// bit-identical to an uninterrupted warm run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmState {
+    /// Rounds ingested since the last escape sweep (or session start).
+    pub rounds_since_escape: u32,
+    /// Per-user hot flags, parallel to the session's users: `true` means
+    /// the user was active last round and gets the bounded fast path.
+    pub hot: Vec<bool>,
+}
+
+impl WarmState {
+    /// Fresh warm state for `users` users: nobody hot, cadence at zero.
+    pub fn cold(users: usize) -> Self {
+        WarmState {
+            rounds_since_escape: 0,
+            hot: vec![false; users],
+        }
+    }
+}
 
 /// Lifecycle state of one tracked user within a session.
 ///
@@ -57,6 +94,10 @@ pub struct Session {
     /// data: it is rebuilt on demand and deliberately excluded from
     /// checkpoints.
     pub(crate) template: Option<(Vec<fluxprint_netsim::NodeId>, FluxObjective)>,
+    /// Warm-start state — `Some` iff the session runs warm. Unlike the
+    /// template this *is* checkpointed: hot flags and the escape cadence
+    /// change which search each round runs.
+    pub(crate) warm: Option<WarmState>,
 }
 
 impl Session {
@@ -213,11 +254,64 @@ impl Session {
             .template
             .as_ref()
             .ok_or(EngineError::BadConfig { field: "template" })?;
-        let out = self
-            .tracker
-            .step_gated_in(round.time, objective, &mask, rng, pool, scratch)?;
+        let out = match &mut self.warm {
+            None => self
+                .tracker
+                .step_gated_in(round.time, objective, &mask, rng, pool, scratch)?,
+            Some(warm) => {
+                // The directive exists only when the bounded search has
+                // something to bound: off-cadence, with at least one hot
+                // participating user. Escape sweeps and hotless rounds
+                // pass `None`, which the tracker runs exactly cold.
+                let escape = warm.rounds_since_escape + 1 >= WARM_ESCAPE_EVERY;
+                let any_hot = !escape
+                    && warm
+                        .hot
+                        .iter()
+                        .zip(&mask)
+                        .any(|(&hot, &participates)| hot && participates);
+                let directive = any_hot.then_some(WarmDirective {
+                    hot: &warm.hot,
+                    shrink: WARM_SHRINK,
+                });
+                if escape {
+                    telemetry::counter(names::ENGINE_WARM_ESCAPES, 1);
+                } else if any_hot {
+                    telemetry::counter(names::ENGINE_WARM_ROUNDS, 1);
+                }
+                let out = self.tracker.step_gated_warm_in(
+                    round.time, objective, &mask, directive, rng, pool, scratch,
+                )?;
+                warm.rounds_since_escape = if escape {
+                    0
+                } else {
+                    warm.rounds_since_escape + 1
+                };
+                // A user is hot next round iff it matched an observation
+                // this round; anyone the fit lost falls back to the full
+                // search immediately rather than waiting for the sweep.
+                for (hot, (&active, &participates)) in
+                    warm.hot.iter_mut().zip(out.active.iter().zip(&mask))
+                {
+                    *hot = active && participates;
+                }
+                out
+            }
+        };
         self.rounds_ingested += 1;
         Ok(out)
+    }
+
+    /// Drops all warm-start heat: called on any lifecycle or geometry
+    /// churn, because hot flags and the carried posterior speak for a
+    /// user/sniffer population that no longer exists. The next warm
+    /// round after an invalidation runs exactly cold and re-earns its
+    /// heat from fresh activity.
+    fn invalidate_warm(&mut self) {
+        if let Some(warm) = &mut self.warm {
+            telemetry::counter(names::ENGINE_WARM_INVALIDATIONS, 1);
+            *warm = WarmState::cold(self.users.len());
+        }
     }
 
     /// Resolves a round into the cached sniffer-set template: when the id
@@ -230,6 +324,9 @@ impl Session {
                 return Ok(());
             }
             telemetry::counter(names::ENGINE_CHURN_EVENTS, 1);
+            // Sniffer churn moves the geometry the carried posterior was
+            // fit against; the heat goes with the template.
+            self.invalidate_warm();
         }
         let mut positions = Vec::with_capacity(round.ids.len());
         for &id in &round.ids {
@@ -258,6 +355,7 @@ impl Session {
         telemetry::counter(names::ENGINE_USERS_JOINED, 1);
         let index = self.tracker.add_user(&mut self.rng);
         self.users.push(UserState::Active);
+        self.invalidate_warm();
         index
     }
 
@@ -272,6 +370,7 @@ impl Session {
         match *self.user_state_mut(index)? {
             UserState::Active => {
                 self.users[index] = UserState::Suspended;
+                self.invalidate_warm();
                 Ok(())
             }
             UserState::Suspended => Err(EngineError::BadLifecycle {
@@ -295,6 +394,7 @@ impl Session {
         match *self.user_state_mut(index)? {
             UserState::Suspended => {
                 self.users[index] = UserState::Active;
+                self.invalidate_warm();
                 Ok(())
             }
             UserState::Active => Err(EngineError::BadLifecycle {
@@ -320,6 +420,7 @@ impl Session {
             }),
             _ => {
                 self.users[index] = UserState::Departed;
+                self.invalidate_warm();
                 Ok(())
             }
         }
@@ -344,6 +445,7 @@ impl Session {
             rng: SessionCheckpoint::encode_rng(self.rng.state()),
             users: self.users.clone(),
             rounds_ingested: self.rounds_ingested,
+            warm: self.warm.clone(),
         }
     }
 
@@ -375,6 +477,12 @@ impl Session {
     /// Lifecycle state per user, in user-index order.
     pub fn user_states(&self) -> &[UserState] {
         &self.users
+    }
+
+    /// Warm-start state, `Some` iff the session runs warm. Useful for
+    /// asserting invalidation behavior and inspecting the escape cadence.
+    pub fn warm(&self) -> Option<&WarmState> {
+        self.warm.as_ref()
     }
 
     /// Current point estimate for user `index` (for suspended or departed

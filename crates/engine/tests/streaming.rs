@@ -30,6 +30,7 @@ fn config(users: usize) -> SessionConfig {
             ..Default::default()
         },
         start_time: 0.0,
+        warm: false,
     }
 }
 

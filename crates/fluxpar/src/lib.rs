@@ -30,7 +30,9 @@
 //! when set to a positive integer, else [`std::thread::available_parallelism`].
 //! A set-but-invalid value (empty, non-numeric, or zero) is ignored with a
 //! `fluxpar.threads_env_ignored` telemetry count; binaries should surface
-//! [`threads_env_warning`] on stderr at startup.
+//! [`threads_env_warning_once`] on stderr at startup. Both the counter
+//! and the warning are latched to fire at most once per process, however
+//! many pools re-derive themselves from the environment.
 //! Nested dispatches (a worker closure calling back into a pool) run
 //! sequentially on the worker thread — parallelism does not multiply.
 //!
@@ -49,6 +51,7 @@
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 use fluxprint_telemetry::{self as telemetry, names};
@@ -88,11 +91,16 @@ impl Pool {
     /// A set-but-invalid override (empty, non-numeric, or zero) falls back
     /// to the platform default and bumps the
     /// `fluxpar.threads_env_ignored` counter so the silent fallback is
-    /// observable; see [`threads_env_warning`] for the binary-facing
-    /// diagnostic.
+    /// observable. The bump is latched process-wide: re-deriving pools
+    /// (grid shards, [`Pool::default`]) re-checks the env but cannot
+    /// inflate the count. See [`threads_env_warning_once`] for the
+    /// binary-facing diagnostic.
     pub fn from_env() -> Self {
         let configured = std::env::var(THREADS_ENV).ok();
-        if configured.is_some() && parse_threads(configured.as_deref()).is_none() {
+        if configured.is_some()
+            && parse_threads(configured.as_deref()).is_none()
+            && !ENV_IGNORED_COUNTED.swap(true, Ordering::Relaxed)
+        {
             telemetry::counter(names::FLUXPAR_THREADS_ENV_IGNORED, 1);
         }
         let threads = parse_threads(configured.as_deref()).unwrap_or_else(|| {
@@ -274,14 +282,29 @@ fn parse_threads(value: Option<&str>) -> Option<usize> {
     (n >= 1).then_some(n)
 }
 
+/// Process-wide latch: the `fluxpar.threads_env_ignored` counter fires
+/// at most once per process, however many [`Pool::from_env`] /
+/// [`Pool::default`] calls re-derive pools (grid shard setup, repeated
+/// sub-pool construction). The env var cannot change meaningfully
+/// mid-process, so repeat bumps were pure noise.
+static ENV_IGNORED_COUNTED: AtomicBool = AtomicBool::new(false);
+
+/// Matching latch for the binary-facing stderr warning
+/// ([`threads_env_warning_once`]); kept separate from the counter latch
+/// so internal pool construction never swallows the user-visible
+/// message.
+static ENV_WARNING_EMITTED: AtomicBool = AtomicBool::new(false);
+
 /// A human-readable diagnostic when `FLUXPRINT_THREADS` is set but will
 /// be ignored (empty, non-numeric, or zero), else `None`.
 ///
-/// Libraries never print (see the `no-println` lint); binaries should
-/// call this once at startup and forward the message to stderr so a
-/// mistyped override does not silently fall back to the platform
-/// default. The matching telemetry signal is the
-/// `fluxpar.threads_env_ignored` counter bumped by [`Pool::from_env`].
+/// This is a pure query — it is stable across calls and is what
+/// provenance reporting uses to classify the override. Binaries that
+/// *print* the diagnostic should go through
+/// [`threads_env_warning_once`] instead so the message reaches stderr
+/// exactly once per process. The matching telemetry signal is the
+/// `fluxpar.threads_env_ignored` counter bumped (once per process) by
+/// [`Pool::from_env`].
 pub fn threads_env_warning() -> Option<String> {
     let raw = std::env::var(THREADS_ENV).ok()?;
     match parse_threads(Some(&raw)) {
@@ -290,6 +313,16 @@ pub fn threads_env_warning() -> Option<String> {
             "{THREADS_ENV}={raw:?} is not a positive integer; using the platform default"
         )),
     }
+}
+
+/// [`threads_env_warning`] behind a process-wide latch: the first call
+/// that would produce a message returns it, every later call returns
+/// `None`. Binaries forward the result to stderr at startup; entry
+/// points that can run several times in one process (plan runners,
+/// batched benches) then cannot repeat the warning per invocation.
+pub fn threads_env_warning_once() -> Option<String> {
+    let warning = threads_env_warning()?;
+    (!ENV_WARNING_EMITTED.swap(true, Ordering::Relaxed)).then_some(warning)
 }
 
 /// Splits `0..len` into `parts` contiguous ranges whose lengths differ by
@@ -460,12 +493,37 @@ mod tests {
         // The env var is process-global; tests in this binary run in
         // parallel, so only exercise the parser-level contract here via
         // parse_threads and check the warning against the current env.
+        // The query form is latch-free: repeat calls agree.
         match std::env::var(THREADS_ENV) {
             Ok(raw) if parse_threads(Some(&raw)).is_none() => {
                 assert!(threads_env_warning().is_some());
+                assert!(threads_env_warning().is_some());
             }
-            _ => assert!(threads_env_warning().is_none()),
+            _ => {
+                assert!(threads_env_warning().is_none());
+                assert!(threads_env_warning().is_none());
+            }
         }
+    }
+
+    #[test]
+    fn env_ignored_counter_and_warning_latch_once_per_process() {
+        // However many pools re-derive from the environment, the
+        // process-wide latches allow at most one counter bump…
+        let _ = Pool::from_env();
+        let _ = Pool::default();
+        let _ = Pool::from_env();
+        let counted = fluxprint_telemetry::snapshot()
+            .counter(fluxprint_telemetry::names::FLUXPAR_THREADS_ENV_IGNORED);
+        assert!(counted <= 1, "counter fired {counted} times");
+        // …and at most one emitted warning (other tests may have taken
+        // the latch first; two Somes in a row is the only failure mode).
+        let first = threads_env_warning_once();
+        let second = threads_env_warning_once();
+        assert!(
+            first.is_none() || second.is_none(),
+            "warning emitted twice: {first:?} / {second:?}"
+        );
     }
 
     #[test]

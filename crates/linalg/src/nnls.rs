@@ -158,6 +158,129 @@ pub fn nnls_gram_into(
     atb: &[f64],
     scratch: &mut NnlsScratch,
 ) -> Result<usize, LinalgError> {
+    validate_gram(gram, atb)?;
+    active_set(gram, atb, scratch)
+}
+
+/// A warm-started solve result: the solution plus whether the seeded
+/// support survived its KKT check (a *warm hit*) or the solve fell back
+/// to the cold active-set loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmSolve {
+    /// The solve result (same fields as the cold entry points).
+    pub solution: NnlsSolution,
+    /// `true` when the seeded support was accepted without iteration.
+    pub warm_hit: bool,
+}
+
+/// Warm-started [`nnls`]: seeds the active-set solve from `support`
+/// (`support[i] == true` ⇒ column `i` is expected in the optimal passive
+/// set — typically the previous round's support on a nearby problem).
+///
+/// The seeded passive set is solved once; the result is accepted only
+/// if it is strictly feasible **and** satisfies the full KKT conditions
+/// (every zero-bound gradient within tolerance). Otherwise the solve
+/// falls back to the cold loop, so the output is always a valid NNLS
+/// solution: an accepted warm solve whose final passive set matches the
+/// cold path's is bit-identical to it, and a rejected seed reproduces
+/// [`nnls`] exactly.
+///
+/// # Errors
+///
+/// As for [`nnls`], plus [`LinalgError::ShapeMismatch`] when
+/// `support.len() != a.cols()`.
+pub fn nnls_warm(a: &Matrix, b: &[f64], support: &[bool]) -> Result<WarmSolve, LinalgError> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (b.len(), 1),
+            op: "nnls_warm",
+        });
+    }
+    if support.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (support.len(), 1),
+            op: "nnls_warm support",
+        });
+    }
+    let gram = a.gram();
+    let atb = a.tr_matvec(b)?;
+    let mut scratch = NnlsScratch::new();
+    let (iterations, warm_hit) = active_set_warm(&gram, &atb, &mut scratch, support)?;
+    let ax = a.matvec(&scratch.x)?;
+    let residual_norm = ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    Ok(WarmSolve {
+        solution: NnlsSolution {
+            x: scratch.x,
+            residual_norm,
+            iterations,
+        },
+        warm_hit,
+    })
+}
+
+/// Warm-started [`nnls_gram`]: as [`nnls_warm`] but from the precomputed
+/// normal equations, with the residual reconstructed through the Gram
+/// identity (same caveats as [`nnls_gram`]).
+///
+/// # Errors
+///
+/// As for [`nnls_gram`], plus [`LinalgError::ShapeMismatch`] when
+/// `support.len() != gram.rows()`.
+pub fn nnls_gram_warm(
+    gram: &Matrix,
+    atb: &[f64],
+    btb: f64,
+    support: &[bool],
+) -> Result<WarmSolve, LinalgError> {
+    let mut scratch = NnlsScratch::new();
+    let (iterations, warm_hit) = nnls_gram_warm_into(gram, atb, support, &mut scratch)?;
+    let residual_norm = gram_residual(gram, atb, btb, &scratch)?;
+    Ok(WarmSolve {
+        solution: NnlsSolution {
+            x: scratch.x,
+            residual_norm,
+            iterations,
+        },
+        warm_hit,
+    })
+}
+
+/// Allocation-free warm-started solve on the caller's scratch: seeds the
+/// passive set from `support`, accepts on a full KKT check, and falls
+/// back to the cold active-set loop otherwise. Returns
+/// `(outer iterations, warm_hit)`; the coefficients are left in
+/// [`NnlsScratch::solution`].
+///
+/// # Errors
+///
+/// As for [`nnls_gram_into`], plus [`LinalgError::ShapeMismatch`] when
+/// `support.len() != gram.rows()`.
+pub fn nnls_gram_warm_into(
+    gram: &Matrix,
+    atb: &[f64],
+    support: &[bool],
+    scratch: &mut NnlsScratch,
+) -> Result<(usize, bool), LinalgError> {
+    validate_gram(gram, atb)?;
+    if support.len() != atb.len() {
+        return Err(LinalgError::ShapeMismatch {
+            left: gram.shape(),
+            right: (support.len(), 1),
+            op: "nnls_gram_warm support",
+        });
+    }
+    active_set_warm(gram, atb, scratch, support)
+}
+
+fn validate_gram(gram: &Matrix, atb: &[f64]) -> Result<(), LinalgError> {
     let (rows, cols) = gram.shape();
     if rows != cols {
         return Err(LinalgError::NotSquare {
@@ -171,7 +294,7 @@ pub fn nnls_gram_into(
             op: "nnls_gram",
         });
     }
-    active_set(gram, atb, scratch)
+    Ok(())
 }
 
 /// Residual via the Gram identity at the scratch's current solution.
@@ -188,6 +311,68 @@ fn gram_residual(
     }
     Ok(r2.max(0.0).sqrt())
 }
+
+// fluxlint: region(hot-path) — warm-started solve entry: runs once per
+// combination evaluation in warm mode, so the seeded attempt must reuse
+// the caller's scratch and allocate nothing on the accept path.
+
+/// Warm-started active-set core: solve the seeded passive set once,
+/// accept on strict feasibility + full KKT, otherwise fall back to the
+/// cold loop. Returns `(outer iterations, warm_hit)`.
+///
+/// On a warm hit the solution is the unique minimizer over the seeded
+/// passive set, which is exactly what the cold loop computes when it
+/// terminates with the same passive set — the two are bit-identical in
+/// that (nondegenerate) case because [`solve_passive`] is a pure
+/// function of `(gram, atb, idx)`. Degenerate problems (duplicate
+/// columns) may satisfy KKT at several vertices, so cross-path
+/// bit-identity is only guaranteed via the fallback.
+fn active_set_warm(
+    gram: &Matrix,
+    atb: &[f64],
+    scratch: &mut NnlsScratch,
+    support: &[bool],
+) -> Result<(usize, bool), LinalgError> {
+    let n = atb.len();
+    if n == 0 || support.iter().all(|&s| !s) {
+        // Nothing to seed: the cold loop starts from the empty set anyway.
+        return active_set(gram, atb, scratch).map(|iters| (iters, false));
+    }
+    scratch.x.clear();
+    scratch.x.resize(n, 0.0);
+    scratch.passive.clear();
+    scratch.passive.extend_from_slice(support);
+    scratch.gx.resize(n, 0.0);
+    scratch.w.resize(n, 0.0);
+    let tol = 1e-10 * gram.max_abs().max(1.0);
+    scratch.idx.clear();
+    scratch.idx.extend((0..n).filter(|&i| scratch.passive[i]));
+    solve_passive(gram, atb, scratch)?;
+    if scratch.z.iter().all(|&v| v > tol.min(1e-12)) {
+        for slot in 0..scratch.idx.len() {
+            scratch.x[scratch.idx[slot]] = scratch.z[slot];
+        }
+        // KKT at the seeded vertex: every zero-bound coordinate's
+        // negative gradient w = Aᵀb − G·x must be within tolerance,
+        // or the true support moved and the seed is stale.
+        gram.matvec_into(&scratch.x, &mut scratch.gx)?;
+        let mut optimal = true;
+        for i in 0..n {
+            scratch.w[i] = atb[i] - scratch.gx[i];
+            if !scratch.passive[i] && scratch.w[i] > tol {
+                optimal = false;
+            }
+        }
+        if optimal {
+            return Ok((0, true));
+        }
+    }
+    // Stale or infeasible seed: rerun from scratch — `active_set` resets
+    // all state, so this is bit-identical to a cold call.
+    active_set(gram, atb, scratch).map(|iters| (iters, false))
+}
+
+// fluxlint: endregion(hot-path)
 
 /// The Lawson–Hanson active-set core on the normal equations. Leaves the
 /// solution in `scratch.x` and returns the outer iteration count.
@@ -535,6 +720,119 @@ mod tests {
             let expected = nnls(&a2, &b2).unwrap();
             assert_eq!(scratch.solution(), expected.x.as_slice());
         }
+    }
+
+    #[test]
+    fn warm_with_correct_support_is_bit_identical_and_iteration_free() {
+        // Well-conditioned random problems: solve cold, then re-solve
+        // warm-seeded with the cold support. The seed must be accepted
+        // (0 iterations) and the coefficients bit-identical — the warm
+        // accept path runs the same passive solve the cold loop ended on.
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut hits = 0usize;
+        for trial in 0..40 {
+            let m = rng.gen_range(8..60);
+            let n = rng.gen_range(1..6);
+            let mut data: Vec<f64> = (0..m * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for j in 0..n {
+                data[j * n + j] += 3.0;
+            }
+            let a = Matrix::from_vec(m, n, data).unwrap();
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            let cold = nnls(&a, &b).unwrap();
+            let support: Vec<bool> = cold.x.iter().map(|&v| v > 0.0).collect();
+            let warm = nnls_warm(&a, &b, &support).unwrap();
+            assert_eq!(
+                cold.x, warm.solution.x,
+                "trial {trial}: coefficients drifted"
+            );
+            assert_eq!(
+                cold.residual_norm.to_bits(),
+                warm.solution.residual_norm.to_bits(),
+                "trial {trial}"
+            );
+            if warm.warm_hit {
+                hits += 1;
+                assert_eq!(warm.solution.iterations, 0, "trial {trial}");
+            }
+        }
+        // The optimal support must be accepted on essentially every
+        // nondegenerate problem; demand a strong majority.
+        assert!(hits >= 35, "only {hits}/40 warm hits");
+    }
+
+    #[test]
+    fn warm_with_stale_support_falls_back_to_cold() {
+        // Force a support that puts the clamped variable in the passive
+        // set; the seeded solve is infeasible and must fall back,
+        // reproducing the cold answer exactly.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let b = [1.0, -0.5];
+        let cold = nnls(&a, &b).unwrap();
+        let warm = nnls_warm(&a, &b, &[true, true]).unwrap();
+        assert!(!warm.warm_hit);
+        assert_eq!(cold.x, warm.solution.x);
+        assert_eq!(cold.iterations, warm.solution.iterations);
+
+        // A support that misses the true positive variable is KKT-stale
+        // (the missing coordinate's gradient is positive) → fallback.
+        let b = [2.0, 3.0];
+        let cold = nnls(&a, &b).unwrap();
+        let warm = nnls_warm(&a, &b, &[true, false]).unwrap();
+        assert!(!warm.warm_hit);
+        assert_eq!(cold.x, warm.solution.x);
+    }
+
+    #[test]
+    fn warm_empty_support_equals_cold() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let cold = nnls(&a, &b).unwrap();
+        let warm = nnls_warm(&a, &b, &[false, false]).unwrap();
+        assert!(!warm.warm_hit);
+        assert_eq!(cold.x, warm.solution.x);
+        assert_eq!(cold.iterations, warm.solution.iterations);
+    }
+
+    #[test]
+    fn warm_gram_entry_matches_dense_warm_entry() {
+        let mut rng = StdRng::seed_from_u64(83);
+        for trial in 0..20 {
+            let m = rng.gen_range(8..40);
+            let n = rng.gen_range(1..5);
+            let mut data: Vec<f64> = (0..m * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for j in 0..n {
+                data[j * n + j] += 3.0;
+            }
+            let a = Matrix::from_vec(m, n, data).unwrap();
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            let support: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let dense = nnls_warm(&a, &b, &support).unwrap();
+            let (gram, atb, btb) = normal_equations(&a, &b);
+            let via_gram = nnls_gram_warm(&gram, &atb, btb, &support).unwrap();
+            assert_eq!(dense.solution.x, via_gram.solution.x, "trial {trial}");
+            assert_eq!(dense.warm_hit, via_gram.warm_hit, "trial {trial}");
+            // Scratch form agrees too and reports the same hit flag.
+            let mut scratch = NnlsScratch::new();
+            let (iters, hit) = nnls_gram_warm_into(&gram, &atb, &support, &mut scratch).unwrap();
+            assert_eq!(scratch.solution(), dense.solution.x.as_slice());
+            assert_eq!(iters, dense.solution.iterations);
+            assert_eq!(hit, dense.warm_hit);
+        }
+    }
+
+    #[test]
+    fn warm_entry_validates_support_length() {
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            nnls_warm(&a, &[1.0, 1.0], &[true]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let gram = Matrix::identity(2);
+        assert!(matches!(
+            nnls_gram_warm(&gram, &[1.0, 1.0], 2.0, &[true, false, true]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -125,6 +125,59 @@ pub fn associate_in(
     pool: &Pool,
     scratch: &mut CacheScratch,
 ) -> Result<Association, SmcError> {
+    associate_impl(
+        objective,
+        candidates,
+        explore_from,
+        config,
+        pool,
+        scratch,
+        false,
+    )
+}
+
+/// [`associate_in`] on the warm solve path: the scoring cache is built
+/// by diffing the scratch's [`CacheStore`](fluxprint_solver::CacheStore)
+/// against the previous window (carried posterior positions reuse their
+/// basis columns), every scan seeds the inner NNLS from the full
+/// support, and the finished cache is released back into the store for
+/// the next round. Cache reuse and warm seeding are bit-transparent —
+/// on non-degenerate fits this returns exactly what [`associate_in`]
+/// would — but the warm solve's KKT fallback is the only *guaranteed*
+/// equivalence, so the engine keeps the cold entry point as its oracle.
+///
+/// # Errors
+///
+/// As for [`associate`].
+pub fn associate_warm_in(
+    objective: &FluxObjective,
+    candidates: &[Vec<Point2>],
+    explore_from: &[usize],
+    config: &SmcConfig,
+    pool: &Pool,
+    scratch: &mut CacheScratch,
+) -> Result<Association, SmcError> {
+    associate_impl(
+        objective,
+        candidates,
+        explore_from,
+        config,
+        pool,
+        scratch,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn associate_impl(
+    objective: &FluxObjective,
+    candidates: &[Vec<Point2>],
+    explore_from: &[usize],
+    config: &SmcConfig,
+    pool: &Pool,
+    scratch: &mut CacheScratch,
+    warm: bool,
+) -> Result<Association, SmcError> {
     if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
         return Err(SmcError::ZeroUsers);
     }
@@ -135,8 +188,13 @@ pub fn associate_in(
         "explore_from must have one entry per user"
     );
 
-    // Basis columns, projections, and norms once per candidate.
-    let cache = objective.scoring_cache(candidates, pool);
+    // Basis columns, projections, and norms once per candidate; warm
+    // windows diff against the store instead of rebuilding.
+    let cache = if warm {
+        objective.scoring_cache_reusing(candidates, pool, &mut scratch.store)
+    } else {
+        objective.scoring_cache(candidates, pool)
+    };
 
     let mut selected: Vec<usize> = Vec::new();
     let mut chosen: Vec<Option<usize>> = vec![None; k];
@@ -165,6 +223,7 @@ pub fn associate_in(
                 config.explore_accept_ratio,
                 pool,
                 scratch,
+                warm,
             )?;
             if best
                 .as_ref()
@@ -187,6 +246,9 @@ pub fn associate_in(
     }
 
     if selected.is_empty() {
+        if warm {
+            cache.release(&mut scratch.store);
+        }
         return Ok(Association {
             selected,
             per_candidate_residual: vec![None; k],
@@ -217,9 +279,12 @@ pub fn associate_in(
         let cond = cache.conditioner(&others, 0);
         let scanned: Result<Vec<f64>, SmcError> = pool
             .map_reusing(limit, scratch, CacheScratch::new, |scratch, c| {
-                cache
-                    .evaluate_conditioned(&cond, (i, c), scratch)
-                    .map_err(SmcError::from)
+                if warm {
+                    cache.evaluate_conditioned_warm(&cond, (i, c), scratch)
+                } else {
+                    cache.evaluate_conditioned(&cond, (i, c), scratch)
+                }
+                .map_err(SmcError::from)
             })
             .into_iter()
             .collect();
@@ -242,6 +307,9 @@ pub fn associate_in(
         .map(|&i| candidates[i][chosen[i].expect("selected")])
         .collect();
     let fit = objective.evaluate(&positions)?;
+    if warm {
+        cache.release(&mut scratch.store);
+    }
     Ok(Association {
         selected,
         per_candidate_residual,
@@ -275,12 +343,16 @@ fn best_bid(
     explore_accept_ratio: f64,
     pool: &Pool,
     scratch: &mut CacheScratch,
+    warm: bool,
 ) -> Result<Bid, SmcError> {
     let scanned: Result<Vec<f64>, SmcError> = pool
         .map_reusing(cache.size(i), scratch, CacheScratch::new, |scratch, c| {
-            cache
-                .evaluate_conditioned(cond, (i, c), scratch)
-                .map_err(SmcError::from)
+            if warm {
+                cache.evaluate_conditioned_warm(cond, (i, c), scratch)
+            } else {
+                cache.evaluate_conditioned(cond, (i, c), scratch)
+            }
+            .map_err(SmcError::from)
         })
         .into_iter()
         .collect();

@@ -60,10 +60,10 @@ pub mod reference;
 mod state;
 mod tracker;
 
-pub use association::{associate, associate_in, associate_with, Association};
+pub use association::{associate, associate_in, associate_warm_in, associate_with, Association};
 pub use config::SmcConfig;
 pub use error::SmcError;
 pub use estimate::{effective_sample_size, weighted_mean, WeightedSample};
 pub use filtering::{filter_candidates, filter_candidates_with, CandidateScores, FilterStrategy};
 pub use state::{TrackerState, UserTrackState};
-pub use tracker::{StepOutcome, Tracker};
+pub use tracker::{StepOutcome, Tracker, WarmDirective};

@@ -12,9 +12,31 @@ use fluxprint_stats::WeightedAlias;
 use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{
-    associate_in, weighted_mean, FilterStrategy, SmcConfig, SmcError, TrackerState, UserTrackState,
-    WeightedSample,
+    associate_in, associate_warm_in, weighted_mean, FilterStrategy, SmcConfig, SmcError,
+    TrackerState, UserTrackState, WeightedSample,
 };
+
+/// Engine-owned policy for one warm round: which users get the bounded
+/// fast path and how hard their candidate budget shrinks.
+///
+/// A hot user carries its posterior instead of re-searching: its kept
+/// samples enter the candidate set verbatim (so the scoring cache can
+/// reuse their basis columns across rounds, and "stay put" is always a
+/// hypothesis), topped up to `n_predictions / shrink` fresh draws from
+/// the `v_max·Δt` motion disc, with **no** exploration candidates — the
+/// caller's periodic escape sweep (a fully cold round) is what recovers
+/// a user the bounded search loses. Cold users in the same round keep
+/// the full cold candidate recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmDirective<'a> {
+    /// Per-user flags (indexed by user id, length `k`): `true` selects
+    /// the bounded fast path. Users that have never matched an
+    /// observation are searched cold regardless.
+    pub hot: &'a [bool],
+    /// Candidate-budget divisor for hot users (≥ 1); the budget never
+    /// shrinks below the kept-sample count.
+    pub shrink: usize,
+}
 
 /// Per-round tracker output.
 #[derive(Debug, Clone)]
@@ -239,6 +261,7 @@ impl Tracker {
             t,
             objective,
             None,
+            None,
             rng,
             fluxprint_fluxpar::pool(),
             &mut scratch,
@@ -297,14 +320,61 @@ impl Tracker {
                 field: "participating",
             });
         }
-        self.step_impl(t, objective, Some(participating), rng, pool, scratch)
+        self.step_impl(t, objective, Some(participating), None, rng, pool, scratch)
     }
 
+    /// [`step_gated_in`](Tracker::step_gated_in) with an optional warm
+    /// [`WarmDirective`]: hot users search a bounded, posterior-seeded
+    /// candidate set and every inner solve runs warm-seeded against the
+    /// carried cache store. With `directive == None` this is
+    /// **bit-identical** to [`step_gated_in`](Tracker::step_gated_in) —
+    /// the engine passes `None` on escape rounds and whenever no user is
+    /// hot, so cold rounds inside a warm session are exactly cold.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_gated`](Tracker::step_gated); additionally
+    /// [`SmcError::BadConfig`] when the directive's `hot` length differs
+    /// from the user count or `shrink` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_gated_warm_in<R: Rng + ?Sized>(
+        &mut self,
+        t: f64,
+        objective: &FluxObjective,
+        participating: &[bool],
+        directive: Option<WarmDirective<'_>>,
+        rng: &mut R,
+        pool: &Pool,
+        scratch: &mut CacheScratch,
+    ) -> Result<StepOutcome, SmcError> {
+        if participating.len() != self.users.len() {
+            return Err(SmcError::BadConfig {
+                field: "participating",
+            });
+        }
+        if let Some(d) = &directive {
+            if d.hot.len() != self.users.len() || d.shrink == 0 {
+                return Err(SmcError::BadConfig { field: "warm" });
+            }
+        }
+        self.step_impl(
+            t,
+            objective,
+            Some(participating),
+            directive,
+            rng,
+            pool,
+            scratch,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn step_impl<R: Rng + ?Sized>(
         &mut self,
         t: f64,
         objective: &FluxObjective,
         participating: Option<&[bool]>,
+        warm: Option<WarmDirective<'_>>,
         rng: &mut R,
         pool: &Pool,
         scratch: &mut CacheScratch,
@@ -367,7 +437,49 @@ impl Tracker {
             let user = &self.users[ui];
             let mut cands = Vec::with_capacity(n);
             let mut weights = Vec::with_capacity(n);
-            if !user.initialized {
+            let hot = warm.as_ref().is_some_and(|d| d.hot[ui]) && user.initialized;
+            // fluxlint: region(hot-path) — warm candidate generation: runs
+            // once per hot user per round; draws must stay deterministic
+            // given the RNG stream and allocation-light.
+            if hot {
+                // Warm fast path: carry the posterior. Kept samples are
+                // candidates verbatim (their basis columns diff-reuse in
+                // the scoring cache, and "stay put" is always in the
+                // hypothesis set), topped up with fresh motion-disc
+                // draws to a shrunk budget; no exploration — the escape
+                // sweep owns recovery.
+                // fluxlint: allow(no-panic) — shrink >= 1 checked at the entry point
+                let shrink = warm.as_ref().expect("hot implies directive").shrink;
+                let n_warm = (n / shrink).max(user.samples.len()).max(1);
+                let radius = self.config.vmax * (t - user.t_last);
+                for s in &user.samples {
+                    cands.push(s.position);
+                    weights.push(s.weight);
+                }
+                // fluxlint: allow(hot-path-alloc) — keep_m-sized weight copy, once per hot user
+                let w: Vec<f64> = user.samples.iter().map(|s| s.weight).collect();
+                let alias = WeightedAlias::new(&w)
+                    .or_else(|_| {
+                        telemetry::counter(names::SMC_WEIGHT_DEGENERATE, 1);
+                        // fluxlint: allow(hot-path-alloc) — degenerate-weight fallback, pathological rounds only
+                        WeightedAlias::new(&vec![1.0; w.len()])
+                    })
+                    .map_err(|_| SmcError::BadConfig {
+                        field: "n_predictions",
+                    })?;
+                while cands.len() < n_warm {
+                    let parent = &user.samples[alias.sample(rng)];
+                    cands.push(deployment::random_point_in_disc(
+                        self.boundary.as_ref(),
+                        parent.position,
+                        radius,
+                        rng,
+                    ));
+                    weights.push(parent.weight);
+                }
+                explore_from.push(cands.len());
+                // fluxlint: endregion(hot-path)
+            } else if !user.initialized {
                 for _ in 0..n {
                     cands.push(deployment::random_point(self.boundary.as_ref(), rng));
                     weights.push(1.0);
@@ -453,14 +565,25 @@ impl Tracker {
         // Detection + association: forward selection of active sources
         // with motion-consistency preference (see the `association`
         // module). Unselected users receive the paper's Null update.
-        let assoc = associate_in(
-            objective,
-            &candidates,
-            &explore_from,
-            &self.config,
-            pool,
-            scratch,
-        )?;
+        let assoc = if warm.is_some() {
+            associate_warm_in(
+                objective,
+                &candidates,
+                &explore_from,
+                &self.config,
+                pool,
+                scratch,
+            )?
+        } else {
+            associate_in(
+                objective,
+                &candidates,
+                &explore_from,
+                &self.config,
+                pool,
+                scratch,
+            )?
+        };
 
         let mut active = vec![false; k];
         let mut stretches = vec![0.0; k];
@@ -839,6 +962,154 @@ mod tests {
         assert!(out.active[1], "joined user never detected");
         let err = out.estimates[1].distance(newcomer);
         assert!(err < 3.0, "joined user error {err:.2}");
+    }
+
+    #[test]
+    fn warm_directive_none_is_bit_identical_to_cold() {
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        let mut cold = Tracker::new(
+            2,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng_a,
+        )
+        .unwrap();
+        let mut warm = Tracker::new(
+            2,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng_b,
+        )
+        .unwrap();
+        let pool = fluxprint_fluxpar::Pool::with_threads(2);
+        let mut sa = CacheScratch::new();
+        let mut sb = CacheScratch::new();
+        for round in 1..=3 {
+            let obs = observation(&[
+                (Point2::new(8.0 + round as f64, 9.0), 2.0),
+                (Point2::new(22.0, 20.0), 1.5),
+            ]);
+            let a = cold
+                .step_gated_in(
+                    round as f64,
+                    &obs,
+                    &[true, true],
+                    &mut rng_a,
+                    &pool,
+                    &mut sa,
+                )
+                .unwrap();
+            let b = warm
+                .step_gated_warm_in(
+                    round as f64,
+                    &obs,
+                    &[true, true],
+                    None,
+                    &mut rng_b,
+                    &pool,
+                    &mut sb,
+                )
+                .unwrap();
+            assert_eq!(a.active, b.active);
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+            for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(ea.x.to_bits(), eb.x.to_bits());
+                assert_eq!(ea.y.to_bits(), eb.y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_round_bounds_search_and_keeps_tracking() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut tracker = Tracker::new(
+            1,
+            field(),
+            FluxModel::default(),
+            small_config(),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let truth = Point2::new(12.0, 17.0);
+        let obs = observation(&[(truth, 2.0)]);
+        let pool = fluxprint_fluxpar::Pool::with_threads(1);
+        let mut scratch = CacheScratch::new();
+        // Two cold rounds to initialize the posterior.
+        for round in 1..=2 {
+            tracker
+                .step_gated_in(round as f64, &obs, &[true], &mut rng, &pool, &mut scratch)
+                .unwrap();
+        }
+        // Warm rounds: candidate budget shrinks to n/4 and the kept
+        // samples lead the candidate list, yet tracking holds.
+        let before = fluxprint_telemetry::snapshot().counter(names::SMC_SAMPLES_PREDICTED);
+        let hot = [true];
+        let mut out = None;
+        for round in 3..=5 {
+            out = Some(
+                tracker
+                    .step_gated_warm_in(
+                        round as f64,
+                        &obs,
+                        &[true],
+                        Some(WarmDirective {
+                            hot: &hot,
+                            shrink: 4,
+                        }),
+                        &mut rng,
+                        &pool,
+                        &mut scratch,
+                    )
+                    .unwrap(),
+            );
+        }
+        let after = fluxprint_telemetry::snapshot().counter(names::SMC_SAMPLES_PREDICTED);
+        assert_eq!(
+            after - before,
+            3 * (300 / 4),
+            "warm rounds draw the shrunk budget"
+        );
+        let out = out.unwrap();
+        assert!(out.active[0]);
+        assert!(out.estimates[0].distance(truth) < 2.0);
+
+        // Directive validation: wrong hot length and zero shrink.
+        assert!(matches!(
+            tracker.step_gated_warm_in(
+                6.0,
+                &obs,
+                &[true],
+                Some(WarmDirective {
+                    hot: &[true, false],
+                    shrink: 4
+                }),
+                &mut rng,
+                &pool,
+                &mut scratch,
+            ),
+            Err(SmcError::BadConfig { field: "warm" })
+        ));
+        assert!(matches!(
+            tracker.step_gated_warm_in(
+                6.0,
+                &obs,
+                &[true],
+                Some(WarmDirective {
+                    hot: &hot,
+                    shrink: 0
+                }),
+                &mut rng,
+                &pool,
+                &mut scratch,
+            ),
+            Err(SmcError::BadConfig { field: "warm" })
+        ));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use fluxprint_fluxpar::Pool;
 use fluxprint_geometry::Point2;
-use fluxprint_linalg::{nnls_gram_into, Matrix, NnlsScratch};
+use fluxprint_linalg::{nnls_gram_into, nnls_gram_warm_into, Matrix, NnlsScratch};
 use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{FluxObjective, SinkFit, SolverError};
@@ -87,6 +87,11 @@ pub struct CacheScratch {
     gram_k: usize,
     atb: Vec<f64>,
     combo: Vec<Slot>,
+    support: Vec<bool>,
+    /// Cross-round cache store for the measurement-diff rebuild path
+    /// ([`FluxObjective::scoring_cache_reusing`]); rides in the scratch
+    /// because both share the same per-shard lifetime.
+    pub store: CacheStore,
 }
 
 impl CacheScratch {
@@ -100,6 +105,9 @@ impl CacheScratch {
             atb: Vec::new(),
             // fluxlint: allow(hot-path-alloc) — buffer is reused across evals
             combo: Vec::new(),
+            // fluxlint: allow(hot-path-alloc) — buffer is reused across evals
+            support: Vec::new(),
+            store: CacheStore::default(),
         }
     }
 
@@ -197,6 +205,138 @@ impl FluxObjective {
             blocks: None,
         }
     }
+
+    /// Builds a scoring cache by *diffing* against the previous window's
+    /// store instead of recomputing everything. A basis column depends
+    /// only on its candidate position and the sniffer set, so whenever
+    /// the store was stamped with the same sniffers, any candidate whose
+    /// position appears in the store reuses that column and its norm
+    /// outright; its projection `cᵀF′` is copied too when the
+    /// measurement vector also matches, and otherwise refreshed from the
+    /// stored column with one `O(n)` pass (no basis evaluation). Only
+    /// genuinely new positions are computed, in parallel on `pool`.
+    ///
+    /// The result is **bit-identical** to a fresh
+    /// [`scoring_cache`](Self::scoring_cache) build in every case:
+    /// reused values are the same deterministic floats a rebuild would
+    /// produce, and refreshed projections use the same accumulation
+    /// order. Hand the cache back with [`ScoringCache::release`] so the
+    /// next round can diff against it.
+    pub fn scoring_cache_reusing<'a>(
+        &'a self,
+        candidates: &[Vec<Point2>],
+        pool: &Pool,
+        store: &mut CacheStore,
+    ) -> ScoringCache<'a> {
+        telemetry::counter(names::SOLVER_GRAM_BUILD, 1);
+        let n = self.len();
+        let sniffers_same = store.valid && store.sniffers == self.positions();
+        let measurements_same = sniffers_same && store.measurements == self.measurements();
+        let measurements = self.measurements();
+        let mut offsets = Vec::with_capacity(candidates.len() + 1);
+        // fluxlint: allow(hot-path-alloc) — cache build runs once per window
+        let mut positions = Vec::new();
+        offsets.push(0);
+        for set in candidates {
+            positions.extend_from_slice(set);
+            offsets.push(positions.len());
+        }
+        let total = positions.len();
+        // Position → stored-column index, keyed by coordinate bits (the
+        // carried posterior repeats positions exactly, never merely
+        // nearby). Only lookups follow, so map order cannot matter.
+        // fluxlint: allow(nondet-order) — lookup-only map, never iterated
+        let index: std::collections::HashMap<(u64, u64), usize> = if sniffers_same {
+            store
+                .positions
+                .iter()
+                .enumerate()
+                .map(|(g, p)| ((p.x.to_bits(), p.y.to_bits()), g))
+                // fluxlint: allow(hot-path-alloc) — index build runs once per window
+                .collect()
+        } else {
+            // fluxlint: allow(nondet-order) — empty map, nothing to iterate
+            std::collections::HashMap::new()
+        };
+        let hits: Vec<Option<usize>> = positions
+            .iter()
+            .map(|p| index.get(&(p.x.to_bits(), p.y.to_bits())).copied())
+            // fluxlint: allow(hot-path-alloc) — one Option per candidate, once per window
+            .collect();
+        let reused = hits.iter().flatten().count();
+        if reused > 0 {
+            telemetry::counter(names::SOLVER_GRAM_COLS_REUSED, reused as u64);
+        }
+        let parts = pool.map_indexed(total, |g| match hits[g] {
+            Some(h) => {
+                let col = &store.cols[h * n..(h + 1) * n];
+                let p = if measurements_same {
+                    store.proj[h]
+                } else {
+                    col.iter().zip(measurements).map(|(c, m)| c * m).sum()
+                };
+                // The copy keeps reused and fresh columns in one layout
+                // while the store stays borrowed; it replaces a full
+                // basis-column rebuild (n model evaluations), not nothing.
+                // fluxlint: allow(hot-path-alloc) — column copy replaces an O(n) model rebuild
+                (col.to_vec(), p, store.diag[h])
+            }
+            None => {
+                let col = self.basis_column(positions[g]);
+                let p: f64 = col.iter().zip(measurements).map(|(c, m)| c * m).sum();
+                let d: f64 = col.iter().map(|c| c * c).sum();
+                (col, p, d)
+            }
+        });
+        let mut cols = Vec::with_capacity(total * n);
+        let mut proj = Vec::with_capacity(total);
+        let mut diag = Vec::with_capacity(total);
+        for (col, p, d) in parts {
+            cols.extend_from_slice(&col);
+            proj.push(p);
+            diag.push(d);
+        }
+        ScoringCache {
+            objective: self,
+            n,
+            offsets,
+            positions,
+            cols,
+            proj,
+            diag,
+            blocks: None,
+        }
+    }
+}
+
+/// Lifetime-free storage carrying one window's scoring-cache buffers to
+/// the next, so [`FluxObjective::scoring_cache_reusing`] can diff instead
+/// of rebuild. Owned by whatever owns the [`CacheScratch`] (one per grid
+/// shard); an empty store simply makes the first build a full one.
+#[derive(Debug, Default)]
+pub struct CacheStore {
+    /// Sniffer positions the stored columns were computed against.
+    sniffers: Vec<Point2>,
+    /// Measurement vector the stored projections were computed against.
+    measurements: Vec<f64>,
+    positions: Vec<Point2>,
+    cols: Vec<f64>,
+    proj: Vec<f64>,
+    diag: Vec<f64>,
+    valid: bool,
+}
+
+impl CacheStore {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        CacheStore::default()
+    }
+
+    /// Drops the stored window so the next build recomputes everything
+    /// (called on churn the caller knows invalidates the geometry).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
 }
 
 impl<'a> ScoringCache<'a> {
@@ -260,6 +400,36 @@ impl<'a> ScoringCache<'a> {
         combo: &[Slot],
         scratch: &mut CacheScratch,
     ) -> Result<f64, SolverError> {
+        self.assemble_combo(combo, scratch)?;
+        self.solve_and_residual(combo, scratch)
+    }
+
+    /// [`evaluate_combo`](ScoringCache::evaluate_combo) with a
+    /// warm-seeded inner solve: the active set starts from the full
+    /// support (every placed source emitting) and is accepted outright
+    /// when that guess passes feasibility and the KKT check, falling
+    /// back to the cold iteration otherwise. Arithmetic is identical to
+    /// the cold path whenever the final support agrees — the fallback
+    /// *is* the cold solve — so warm evaluation changes which work is
+    /// done, not which floats come out, on non-degenerate fits.
+    ///
+    /// # Errors
+    ///
+    /// As for [`evaluate_combo`](ScoringCache::evaluate_combo).
+    pub fn evaluate_combo_warm(
+        &self,
+        combo: &[Slot],
+        scratch: &mut CacheScratch,
+    ) -> Result<f64, SolverError> {
+        self.assemble_combo(combo, scratch)?;
+        self.solve_and_residual_warm(combo, scratch)
+    }
+
+    fn assemble_combo(
+        &self,
+        combo: &[Slot],
+        scratch: &mut CacheScratch,
+    ) -> Result<(), SolverError> {
         if combo.is_empty() {
             return Err(SolverError::ZeroSinks);
         }
@@ -277,7 +447,7 @@ impl<'a> ScoringCache<'a> {
                 scratch.gram[(c, r)] = d;
             }
         }
-        self.solve_and_residual(combo, scratch)
+        Ok(())
     }
 
     /// Prepares a conditioner for probing candidates against `base`
@@ -318,6 +488,36 @@ impl<'a> ScoringCache<'a> {
         probe: Slot,
         scratch: &mut CacheScratch,
     ) -> Result<f64, SolverError> {
+        self.assemble_conditioned(cond, probe, scratch);
+        // Move the slot list out of the scratch to satisfy borrows; put
+        // it back so its capacity is reused.
+        let combo = std::mem::take(&mut scratch.combo);
+        let out = self.solve_and_residual(&combo, scratch);
+        scratch.combo = combo;
+        out
+    }
+
+    /// [`evaluate_conditioned`](ScoringCache::evaluate_conditioned) with
+    /// the warm-seeded inner solve of
+    /// [`evaluate_combo_warm`](ScoringCache::evaluate_combo_warm).
+    ///
+    /// # Errors
+    ///
+    /// As for [`evaluate_combo`](ScoringCache::evaluate_combo).
+    pub fn evaluate_conditioned_warm(
+        &self,
+        cond: &Conditioner,
+        probe: Slot,
+        scratch: &mut CacheScratch,
+    ) -> Result<f64, SolverError> {
+        self.assemble_conditioned(cond, probe, scratch);
+        let combo = std::mem::take(&mut scratch.combo);
+        let out = self.solve_and_residual_warm(&combo, scratch);
+        scratch.combo = combo;
+        out
+    }
+
+    fn assemble_conditioned(&self, cond: &Conditioner, probe: Slot, scratch: &mut CacheScratch) {
         telemetry::counter(names::SOLVER_OBJECTIVE_EVALS, 1);
         telemetry::counter(names::SOLVER_GRAM_COMBO_EVALS, 1);
         let kb = cond.base.len();
@@ -343,12 +543,6 @@ impl<'a> ScoringCache<'a> {
         }
         scratch.gram[(at, at)] = self.diag[self.global(probe)];
         scratch.atb[at] = self.proj[self.global(probe)];
-        // Move the slot list out of the scratch to satisfy borrows; put
-        // it back so its capacity is reused.
-        let combo = std::mem::take(&mut scratch.combo);
-        let out = self.solve_and_residual(&combo, scratch);
-        scratch.combo = combo;
-        out
     }
 
     /// Evaluates a combination and packages the winner as a [`SinkFit`]
@@ -372,6 +566,45 @@ impl<'a> ScoringCache<'a> {
             stretches: scratch.stretches().to_vec(),
             residual,
         })
+    }
+
+    /// [`fit_combo`](ScoringCache::fit_combo) via the warm-seeded solve
+    /// of [`evaluate_combo_warm`](ScoringCache::evaluate_combo_warm).
+    ///
+    /// # Errors
+    ///
+    /// As for [`evaluate_combo`](ScoringCache::evaluate_combo).
+    pub fn fit_combo_warm(
+        &self,
+        combo: &[Slot],
+        scratch: &mut CacheScratch,
+    ) -> Result<SinkFit, SolverError> {
+        let residual = self.evaluate_combo_warm(combo, scratch)?;
+        Ok(SinkFit {
+            // fluxlint: allow(hot-path-alloc) — winner packaging, once a round
+            positions: combo.iter().map(|&s| self.position(s)).collect(),
+            // fluxlint: allow(hot-path-alloc) — winner packaging, once a round
+            stretches: scratch.stretches().to_vec(),
+            residual,
+        })
+    }
+
+    /// Hands the cache's buffers back to `store`, stamped with the
+    /// sniffer and measurement fingerprints they were computed under, so
+    /// the next round's [`FluxObjective::scoring_cache_reusing`] can
+    /// diff against this window instead of rebuilding it.
+    pub fn release(self, store: &mut CacheStore) {
+        store.sniffers.clear();
+        store.sniffers.extend_from_slice(self.objective.positions());
+        store.measurements.clear();
+        store
+            .measurements
+            .extend_from_slice(self.objective.measurements());
+        store.positions = self.positions;
+        store.cols = self.cols;
+        store.proj = self.proj;
+        store.diag = self.diag;
+        store.valid = true;
     }
 
     fn global(&self, (i, c): Slot) -> usize {
@@ -421,6 +654,41 @@ impl<'a> ScoringCache<'a> {
     ) -> Result<f64, SolverError> {
         telemetry::counter(names::SOLVER_NNLS_SOLVES, 1);
         nnls_gram_into(&scratch.gram, &scratch.atb, &mut scratch.nnls)?;
+        Ok(self.data_residual(combo, scratch))
+    }
+
+    /// [`solve_and_residual`](ScoringCache::solve_and_residual) seeded
+    /// from the full support: combination scans probe small perturbations
+    /// of fits whose sources were all emitting, so "everything stays in
+    /// the passive set" is the overwhelmingly common outcome and the
+    /// seeded KKT check replaces the whole active-set iteration.
+    fn solve_and_residual_warm(
+        &self,
+        combo: &[Slot],
+        scratch: &mut CacheScratch,
+    ) -> Result<f64, SolverError> {
+        telemetry::counter(names::SOLVER_NNLS_SOLVES, 1);
+        scratch.support.clear();
+        scratch.support.resize(combo.len(), true);
+        let (_, warm_hit) = nnls_gram_warm_into(
+            &scratch.gram,
+            &scratch.atb,
+            &scratch.support,
+            &mut scratch.nnls,
+        )?;
+        let counter = if warm_hit {
+            names::SOLVER_NNLS_WARM_HITS
+        } else {
+            names::SOLVER_NNLS_WARM_MISSES
+        };
+        telemetry::counter(counter, 1);
+        Ok(self.data_residual(combo, scratch))
+    }
+
+    /// Exact data-space residual `‖F̂ − F′‖₂`, same per-row summation
+    /// order as the dense path (`Matrix::matvec` + squared differences
+    /// in observation order).
+    fn data_residual(&self, combo: &[Slot], scratch: &CacheScratch) -> f64 {
         let x = scratch.nnls.solution();
         let measurements = self.objective.measurements();
         let mut r2 = 0.0;
@@ -433,7 +701,7 @@ impl<'a> ScoringCache<'a> {
             let d = pred - m;
             r2 += d * d;
         }
-        Ok(r2.sqrt())
+        r2.sqrt()
     }
 }
 
@@ -577,6 +845,97 @@ mod tests {
             cache.evaluate_combo(&[], &mut scratch),
             Err(SolverError::ZeroSinks)
         ));
+    }
+
+    #[test]
+    fn reusing_cache_is_bit_identical_to_fresh_build() {
+        let truth = [
+            (Point2::new(12.0, 17.0), 2.0),
+            (Point2::new(22.0, 21.0), 1.0),
+        ];
+        let obj = objective_for(&truth);
+        let cands = demo_candidates();
+        let pool = Pool::with_threads(2);
+        let mut store = CacheStore::new();
+
+        let assert_matches_fresh =
+            |obj: &FluxObjective, cands: &[Vec<Point2>], store: &mut CacheStore| {
+                let fresh = obj.scoring_cache(cands, &pool);
+                let reused = obj.scoring_cache_reusing(cands, &pool, store);
+                assert_eq!(fresh.positions, reused.positions);
+                assert_eq!(fresh.offsets, reused.offsets);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&fresh.cols), bits(&reused.cols));
+                assert_eq!(bits(&fresh.proj), bits(&reused.proj));
+                assert_eq!(bits(&fresh.diag), bits(&reused.diag));
+                reused.release(store);
+            };
+
+        // Round 1: empty store — full build.
+        assert_matches_fresh(&obj, &cands, &mut store);
+        // Round 2: nothing changed — every block reused.
+        let before = fluxprint_telemetry::snapshot().counter(names::SOLVER_GRAM_COLS_REUSED);
+        assert_matches_fresh(&obj, &cands, &mut store);
+        let after = fluxprint_telemetry::snapshot().counter(names::SOLVER_GRAM_COLS_REUSED);
+        assert_eq!(after - before, 7, "both blocks (3 + 4 candidates) reused");
+        // Round 3: measurements moved — columns reused, projections
+        // refreshed from the stored columns.
+        let shifted: Vec<f64> = obj.measurements().iter().map(|m| m * 1.25 + 0.01).collect();
+        let obj2 = obj.with_measurements(shifted).unwrap();
+        assert_matches_fresh(&obj2, &cands, &mut store);
+        // Round 4: one candidate churned — reuse is per position, so the
+        // remaining six still come from the store.
+        let mut churned = cands.clone();
+        churned[1][2] = Point2::new(9.0, 26.0);
+        let before = fluxprint_telemetry::snapshot().counter(names::SOLVER_GRAM_COLS_REUSED);
+        assert_matches_fresh(&obj2, &churned, &mut store);
+        let after = fluxprint_telemetry::snapshot().counter(names::SOLVER_GRAM_COLS_REUSED);
+        assert_eq!(after - before, 6, "every unchanged position reused");
+        // Round 5: invalidation forces a full rebuild that still matches.
+        store.invalidate();
+        let before = fluxprint_telemetry::snapshot().counter(names::SOLVER_GRAM_COLS_REUSED);
+        assert_matches_fresh(&obj2, &churned, &mut store);
+        let after = fluxprint_telemetry::snapshot().counter(names::SOLVER_GRAM_COLS_REUSED);
+        assert_eq!(after - before, 0, "invalidated store reuses nothing");
+    }
+
+    #[test]
+    fn warm_evaluations_match_cold_bitwise() {
+        let truth = [
+            (Point2::new(12.0, 17.0), 2.0),
+            (Point2::new(22.0, 21.0), 1.0),
+        ];
+        let obj = objective_for(&truth);
+        let cands = demo_candidates();
+        let pool = Pool::with_threads(1);
+        let cache = obj.scoring_cache(&cands, &pool);
+        let mut cold = CacheScratch::new();
+        let mut warm = CacheScratch::new();
+        for c0 in 0..cands[0].len() {
+            for c1 in 0..cands[1].len() {
+                let combo = [(0, c0), (1, c1)];
+                let a = cache.fit_combo(&combo, &mut cold).unwrap();
+                let b = cache.fit_combo_warm(&combo, &mut warm).unwrap();
+                assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+                assert_eq!(a.stretches, b.stretches);
+            }
+        }
+        let base = [(0, 1)];
+        let cond = cache.conditioner(&base, 1);
+        for c1 in 0..cands[1].len() {
+            let a = cache
+                .evaluate_conditioned(&cond, (1, c1), &mut cold)
+                .unwrap();
+            let b = cache
+                .evaluate_conditioned_warm(&cond, (1, c1), &mut warm)
+                .unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The warm path took the seeded-or-fallback solve every time.
+        let snap = fluxprint_telemetry::snapshot();
+        let hits = snap.counter(names::SOLVER_NNLS_WARM_HITS);
+        let misses = snap.counter(names::SOLVER_NNLS_WARM_MISSES);
+        assert!(hits + misses >= 16, "warm solves recorded: {hits}+{misses}");
     }
 
     #[test]

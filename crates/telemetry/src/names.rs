@@ -25,6 +25,14 @@ pub const SOLVER_BRIEFING_ROUNDS: &str = "solver.briefing.rounds";
 pub const SOLVER_GRAM_BUILD: &str = "solver.gram.build";
 /// Combination evaluations answered from the Gram cache (n-free path).
 pub const SOLVER_GRAM_COMBO_EVALS: &str = "solver.gram.combo_evals";
+/// Warm-seeded NNLS solves whose seeded support passed its KKT check
+/// (no active-set iteration needed).
+pub const SOLVER_NNLS_WARM_HITS: &str = "solver.nnls.warm_hits";
+/// Warm-seeded NNLS solves that fell back to the cold active-set loop.
+pub const SOLVER_NNLS_WARM_MISSES: &str = "solver.nnls.warm_misses";
+/// Scoring-cache basis columns reused from the previous window (sniffer
+/// set and candidate positions unchanged — the measurement-diff path).
+pub const SOLVER_GRAM_COLS_REUSED: &str = "solver.gram.cols_reused";
 
 /// SMC tracker observation rounds processed (Algorithm 4.1 steps).
 pub const SMC_STEPS: &str = "smc.steps";
@@ -72,6 +80,13 @@ pub const ENGINE_CHECKPOINTS: &str = "engine.checkpoints";
 pub const ENGINE_RESTORES: &str = "engine.restores";
 /// Users joined to live sessions after creation.
 pub const ENGINE_USERS_JOINED: &str = "engine.users.joined";
+/// Rounds ingested on the warm fast path (bounded candidate search
+/// seeded from the previous posterior).
+pub const ENGINE_WARM_ROUNDS: &str = "engine.warm.rounds";
+/// Full-width escape sweeps run by warm sessions (cadence recovery).
+pub const ENGINE_WARM_ESCAPES: &str = "engine.warm.escapes";
+/// Warm-state invalidations from lifecycle or sniffer churn.
+pub const ENGINE_WARM_INVALIDATIONS: &str = "engine.warm.invalidations";
 
 /// Sessions resident across all grids (opened or restored into a shard).
 pub const GRID_SESSIONS_RESIDENT: &str = "grid.sessions.resident";
@@ -124,6 +139,9 @@ pub const COUNTERS: &[&str] = &[
     SOLVER_BRIEFING_ROUNDS,
     SOLVER_GRAM_BUILD,
     SOLVER_GRAM_COMBO_EVALS,
+    SOLVER_NNLS_WARM_HITS,
+    SOLVER_NNLS_WARM_MISSES,
+    SOLVER_GRAM_COLS_REUSED,
     SMC_STEPS,
     SMC_SAMPLES_PREDICTED,
     SMC_SAMPLES_EXPLORE,
@@ -144,6 +162,9 @@ pub const COUNTERS: &[&str] = &[
     ENGINE_CHECKPOINTS,
     ENGINE_RESTORES,
     ENGINE_USERS_JOINED,
+    ENGINE_WARM_ROUNDS,
+    ENGINE_WARM_ESCAPES,
+    ENGINE_WARM_INVALIDATIONS,
     GRID_SESSIONS_RESIDENT,
     GRID_ROUNDS_QUEUED,
     GRID_ROUNDS_INGESTED,

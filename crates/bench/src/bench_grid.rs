@@ -146,6 +146,7 @@ fn run_grid(
         shards: threads,
         queue_capacity: trace.len(),
         threads,
+        hibernate_after: 0,
     };
     let mut wall_ms = f64::INFINITY;
     let mut outcomes = Vec::new();

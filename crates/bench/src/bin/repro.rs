@@ -7,6 +7,7 @@
 //! repro <target> [--quick] [--seed <u64>] [--json <path>] [--telemetry <path>]
 //! repro --bench-smoke [--bench-out <path>]
 //! repro --bench-grid [--bench-out <path>]
+//! repro --bench-fleet [--bench-out <path>]
 //! repro --plan <file> [--registry <path>] [--gate] [--report <path>]
 //! repro --registry-import <file> [--registry <path>]
 //! repro --report <path> [--registry <path>]
@@ -28,6 +29,12 @@
 //! `--bench-grid` times S tracking sessions × R rounds driven through
 //! one shared pool vs a sharded grid at matched thread budgets, writing
 //! `BENCH_5.json` (default; override with `--bench-out`).
+//!
+//! `--bench-fleet` drives mostly-idle fleets (5% of S sessions active
+//! per round) with hibernation on vs off, asserting bit-identity per
+//! cell, and measures 512-round checkpoint compaction and delta
+//! streaming, writing `BENCH_9.json` (default; override with
+//! `--bench-out`). `FLUXPRINT_FLEET_MAX_S` appends a larger fleet cell.
 //!
 //! `--plan` executes a declarative ablation plan (see DESIGN.md §13)
 //! through the engine/grid path and appends one registry row per job to
@@ -94,6 +101,7 @@ fn usage() -> ! {
     );
     eprintln!("       repro --bench-smoke [--bench-out <path>]");
     eprintln!("       repro --bench-grid [--bench-out <path>]");
+    eprintln!("       repro --bench-fleet [--bench-out <path>]");
     eprintln!("       repro --plan <file> [--registry <path>] [--gate] [--report <path>]");
     eprintln!("       repro --registry-import <file> [--registry <path>]");
     eprintln!("       repro --report <path> [--registry <path>]");
@@ -204,6 +212,7 @@ fn main() -> ExitCode {
     let mut telemetry_path: Option<String> = None;
     let mut bench_smoke = false;
     let mut bench_grid = false;
+    let mut bench_fleet = false;
     let mut bench_out: Option<String> = None;
     let mut mode = RegistryMode {
         plan: None,
@@ -224,6 +233,7 @@ fn main() -> ExitCode {
             "--telemetry" => telemetry_path = Some(it.next().unwrap_or_else(|| usage())),
             "--bench-smoke" => bench_smoke = true,
             "--bench-grid" => bench_grid = true,
+            "--bench-fleet" => bench_fleet = true,
             "--bench-out" => bench_out = Some(it.next().unwrap_or_else(|| usage())),
             "--plan" => mode.plan = Some(it.next().unwrap_or_else(|| usage())),
             "--registry" => mode.registry = it.next().unwrap_or_else(|| usage()),
@@ -241,7 +251,12 @@ fn main() -> ExitCode {
     if registry_mode {
         // Registry modes do not compose with figure targets or benches,
         // and --gate without --plan has nothing to gate.
-        if target.is_some() || bench_smoke || bench_grid || (mode.gate && mode.plan.is_none()) {
+        if target.is_some()
+            || bench_smoke
+            || bench_grid
+            || bench_fleet
+            || (mode.gate && mode.plan.is_none())
+        {
             usage();
         }
         return match run_registry_mode(&mode) {
@@ -252,16 +267,20 @@ fn main() -> ExitCode {
             }
         };
     }
-    if bench_smoke || bench_grid {
-        if target.is_some() || (bench_smoke && bench_grid) {
+    if bench_smoke || bench_grid || bench_fleet {
+        let picked = usize::from(bench_smoke) + usize::from(bench_grid) + usize::from(bench_fleet);
+        if target.is_some() || picked > 1 {
             usage();
         }
         if bench_smoke {
             let out = bench_out.as_deref().unwrap_or("BENCH_3.json");
             fluxprint_bench::bench_smoke::run_bench_smoke(out);
-        } else {
+        } else if bench_grid {
             let out = bench_out.as_deref().unwrap_or("BENCH_5.json");
             fluxprint_bench::bench_grid::run_bench_grid(out);
+        } else {
+            let out = bench_out.as_deref().unwrap_or("BENCH_9.json");
+            fluxprint_bench::bench_fleet::run_bench_fleet(out);
         }
         return ExitCode::SUCCESS;
     }

@@ -37,6 +37,12 @@ use serde_json::Value;
 /// * `reps` — timed repetitions per job (minimum wall time is reported).
 /// * `warm` — nonzero enables warm-started solving (posterior-seeded
 ///   shrunk candidate search with periodic escape sweeps; 0 = cold).
+/// * `hibernate_after` — grid idle threshold in drains before a resident
+///   session is evicted to compact form (0 = hibernation off).
+/// * `active_pct` — percentage of rounds each session actually receives
+///   (duty cycling; 100 = every session sees every round). Sessions
+///   rotate through the duty cycle so idle streaks form and hibernation
+///   has something to evict.
 pub const KNOWN_PARAMS: &[(&str, f64)] = &[
     ("sessions", 1.0),
     ("threads", 1.0),
@@ -49,6 +55,8 @@ pub const KNOWN_PARAMS: &[(&str, f64)] = &[
     ("sniffers", 24.0),
     ("reps", 1.0),
     ("warm", 0.0),
+    ("hibernate_after", 0.0),
+    ("active_pct", 100.0),
 ];
 
 /// Which direction of KPI movement counts as a regression.

@@ -9,9 +9,11 @@
 //! * **Deterministic** (gateable with tight tolerances): `mean_error`
 //!   (identity-free accuracy vs. ground truth, via `core::metrics`),
 //!   `mean_residual` and `active_fraction` (engine [`OutcomeKpis`]),
-//!   `evals_per_round` (objective evaluations per ingested round), and
-//!   `rounds`. These are bit-stable for a fixed seed at any thread
-//!   count (DESIGN.md §9/§11).
+//!   `evals_per_round` (objective evaluations per ingested round),
+//!   `rounds`, and the residency pair `checkpoint_bytes` /
+//!   `resident_sessions` (end-of-run grid footprint under the job's
+//!   `hibernate_after` / `active_pct` duty cycle). These are bit-stable
+//!   for a fixed seed at any thread count (DESIGN.md §9/§11/§15).
 //! * **Wall-clock** (`wall_ms`, `rounds_per_s`): recorded for the
 //!   trajectory; gate them only with generous relative tolerances.
 //!
@@ -117,16 +119,36 @@ fn session_seed(job: &Job, s: usize) -> u64 {
     1000 + job.seed.wrapping_mul(7919) + s as u64
 }
 
-/// Drives the job's fleet once and returns per-session outcomes.
-fn drive(
-    engine: &Engine,
-    job: &Job,
-    trace: &[ObservationRound],
-) -> Result<Vec<Vec<StepOutcome>>, String> {
+/// The duty-cycle stride: with `active_pct` percent of rounds delivered
+/// to each session, session `s` receives round `i` iff
+/// `(s + i) % stride == 0` — sessions rotate through the cycle, so idle
+/// streaks form and hibernation (when enabled) has evictions to do.
+/// `active_pct >= 100` means every session sees every round.
+fn duty_stride(job: &Job) -> usize {
+    let active_pct = job.value("active_pct").clamp(1.0, 100.0);
+    ((100.0 / active_pct).round() as usize).max(1)
+}
+
+/// One fleet drive's results: per-session outcomes with the trace
+/// indices of the rounds each session actually ingested (duty cycling
+/// makes them sparse), plus the end-of-run residency KPIs.
+struct DriveResult {
+    outcomes: Vec<Vec<StepOutcome>>,
+    ingested: Vec<Vec<usize>>,
+    /// Serialized size of the whole grid checkpoint after the run —
+    /// hibernated residents in compact form, hot ones in full form.
+    checkpoint_bytes: usize,
+    /// Sessions still hot (fully resident) after the final drain.
+    resident_sessions: usize,
+}
+
+/// Drives the job's fleet once.
+fn drive(engine: &Engine, job: &Job, trace: &[ObservationRound]) -> Result<DriveResult, String> {
     let grid_config = GridConfig {
         shards: job.count("shards"),
         queue_capacity: trace.len().max(1),
         threads: job.count("threads"),
+        hibernate_after: job.count("hibernate_after") as u64,
     };
     let config = SessionConfig {
         users: job.count("users"),
@@ -139,28 +161,48 @@ fn drive(
         warm: job.count("warm") > 0,
     };
     let sessions = job.count("sessions");
+    let stride = duty_stride(job);
     let mut grid = Grid::open(engine.clone(), &grid_config).map_err(|e| format!("{e}"))?;
     let ids: Vec<_> = (0..sessions)
         .map(|s| grid.open_session(&config, session_seed(job, s)))
         .collect::<Result<_, _>>()
         .map_err(|e| format!("open session: {e}"))?;
-    for round in trace {
-        for &id in &ids {
+    let mut ingested = vec![Vec::new(); sessions];
+    for (i, round) in trace.iter().enumerate() {
+        for (s, &id) in ids.iter().enumerate() {
+            if (s + i) % stride != 0 {
+                continue;
+            }
             match grid
                 .submit(id, round.clone())
                 .map_err(|e| format!("submit: {e}"))?
             {
-                Submit::Queued => {}
+                Submit::Queued => ingested[s].push(i),
                 Submit::Backpressure(_) => {
                     return Err("queue sized for the whole trace backpressured".to_string())
                 }
             }
         }
+        // Per-round drain barriers give idle streaks a clock to tick on;
+        // without one, hibernation could never observe an idle drain.
+        if stride > 1 || grid_config.hibernate_after > 0 {
+            grid.drain().map_err(|e| format!("drain: {e}"))?;
+        }
     }
     grid.join().map_err(|e| format!("drain: {e}"))?;
-    ids.iter()
+    let outcomes = ids
+        .iter()
         .map(|&id| grid.take_outcomes(id).map_err(|e| format!("outcomes: {e}")))
-        .collect()
+        .collect::<Result<_, _>>()?;
+    Ok(DriveResult {
+        outcomes,
+        ingested,
+        checkpoint_bytes: grid
+            .checkpoint_json()
+            .map_err(|e| format!("checkpoint: {e}"))?
+            .len(),
+        resident_sessions: grid.hot_sessions(),
+    })
 }
 
 fn run_job(plan: &Plan, job: &Job, commit: Option<&str>) -> Result<Row, String> {
@@ -177,26 +219,31 @@ fn run_job(plan: &Plan, job: &Job, commit: Option<&str>) -> Result<Row, String> 
 
     let reps = job.count("reps").max(1);
     let mut wall_ms = f64::INFINITY;
-    let mut outcomes = Vec::new();
+    let mut result = None;
     for _ in 0..reps {
         let start = Instant::now();
-        outcomes = drive(&engine, job, &trace_rounds)?;
+        result = Some(drive(&engine, job, &trace_rounds)?);
         wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
     }
+    let result = result.expect("reps >= 1");
 
-    let total_rounds = (job.count("sessions") * trace_rounds.len()) as f64;
+    // Duty cycling makes per-session round counts sparse; KPIs normalize
+    // by the rounds actually ingested, not the trace length.
+    let total_rounds = result.ingested.iter().map(Vec::len).sum::<usize>() as f64;
     let evals = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
     let evals_per_round = evals as f64 / (reps as f64 * total_rounds);
 
     let mut engine_kpis = OutcomeKpis::default();
     let mut error_sum = 0.0;
     let mut error_sessions = 0usize;
-    for session_outcomes in &outcomes {
+    for (session_outcomes, rounds) in result.outcomes.iter().zip(&result.ingested) {
         engine_kpis.fold(session_outcomes);
+        // Zip each outcome with the truth of the round it came from —
+        // under duty cycling those are not the first len() rounds.
         let pairs: Vec<(Vec<Point2>, Vec<Point2>)> = session_outcomes
             .iter()
-            .zip(&truths)
-            .map(|(outcome, truth)| (outcome.estimates.clone(), truth.clone()))
+            .zip(rounds)
+            .map(|(outcome, &i)| (outcome.estimates.clone(), truths[i].clone()))
             .collect();
         let err = mean_trajectory_error(&pairs).map_err(|e| format!("accuracy: {e}"))?;
         if err.is_finite() {
@@ -220,6 +267,13 @@ fn run_job(plan: &Plan, job: &Job, commit: Option<&str>) -> Result<Row, String> 
     }
     kpi("mean_residual", engine_kpis.mean_residual());
     kpi("active_fraction", engine_kpis.active_fraction());
+    // Residency KPIs: the serialized footprint of the end-of-run grid
+    // (hibernated residents compact, hot ones full) and the hot count.
+    // Both are deterministic for a fixed seed, so plans gate them —
+    // `checkpoint_bytes` with a lower-direction tolerance catches
+    // compaction regressions the way eval gates catch solver ones.
+    kpi("checkpoint_bytes", result.checkpoint_bytes as f64);
+    kpi("resident_sessions", result.resident_sessions as f64);
 
     let prov = trace::thread_provenance();
     let telemetry: Value = serde_json::from_str(&fluxprint_telemetry::snapshot().to_inline_json())
@@ -295,12 +349,45 @@ mod tests {
             "evals_per_round",
             "rounds",
             "active_fraction",
+            "checkpoint_bytes",
+            "resident_sessions",
         ] {
             assert_eq!(
                 row.kpis.get(kpi),
                 again[0].kpis.get(kpi),
                 "KPI {kpi} is not deterministic"
             );
+        }
+    }
+
+    #[test]
+    fn duty_cycled_hibernating_job_reports_residency_kpis() {
+        let plan = Plan::from_json(
+            r#"{
+                "name": "runner-hibernate",
+                "fixed": { "sessions": 4, "rounds": 4, "n_predictions": 24, "keep_m": 4,
+                           "sniffers": 16, "threads": 1, "shards": 1,
+                           "hibernate_after": 1, "active_pct": 50 },
+                "seeds": [0]
+            }"#,
+        )
+        .unwrap();
+        let rows = run_plan(&plan, None).unwrap();
+        let row = &rows[0];
+        // 50% duty cycle: each session ingests half the trace.
+        assert_eq!(row.kpis["rounds"], 8.0);
+        assert!(
+            row.kpis["resident_sessions"] < 4.0,
+            "a one-drain idle threshold must evict someone"
+        );
+        assert!(row.kpis["checkpoint_bytes"] > 0.0);
+        assert!(row.telemetry["counters"]["grid.hibernate.evictions"]
+            .as_u64()
+            .is_some_and(|n| n > 0));
+        // The residency KPIs are as deterministic as the accuracy ones.
+        let again = run_plan(&plan, None).unwrap();
+        for kpi in ["mean_error", "checkpoint_bytes", "resident_sessions"] {
+            assert_eq!(row.kpis.get(kpi), again[0].kpis.get(kpi), "KPI {kpi}");
         }
     }
 

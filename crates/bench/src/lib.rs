@@ -17,6 +17,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 pub mod ablations;
+pub mod bench_fleet;
 pub mod bench_grid;
 pub mod bench_smoke;
 pub mod common;

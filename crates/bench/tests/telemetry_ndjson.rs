@@ -140,6 +140,103 @@ fn quick_fig4_emits_schema_valid_telemetry() {
     );
     let ingests = &after.spans[names::SPAN_ENGINE_INGEST];
     assert!(ingests.count >= 3, "ingest span recorded per round");
+
+    // Hibernation metrics are catalog-padded (fig4 never touches them)…
+    for name in [
+        names::GRID_SESSIONS_HIBERNATED,
+        names::GRID_HIBERNATE_EVICTIONS,
+        names::GRID_HIBERNATE_REVIVALS,
+    ] {
+        assert!(counters.contains_key(name), "counter {name} missing");
+        assert_eq!(counters[name], 0, "fig4 must not touch {name}");
+    }
+    assert!(
+        histogram_names
+            .iter()
+            .any(|n| n == names::HIST_GRID_HIBERNATE_BYTES),
+        "hibernate bytes histogram missing from the catalog padding"
+    );
+
+    // …and all of them move across a hibernating-grid drive (same test,
+    // same process-global-registry reason as above).
+    let before = after;
+    drive_hibernating_grid();
+    let after = fluxprint_telemetry::snapshot();
+    for name in [
+        names::GRID_SESSIONS_HIBERNATED,
+        names::GRID_HIBERNATE_EVICTIONS,
+        names::GRID_HIBERNATE_REVIVALS,
+    ] {
+        assert!(
+            after.counter(name) > before.counter(name),
+            "counter {name} did not move across a hibernating grid"
+        );
+    }
+    let bytes = &after.histograms[names::HIST_GRID_HIBERNATE_BYTES];
+    assert!(
+        bytes.count() > 0,
+        "eviction must record the compact serialized size"
+    );
+}
+
+/// A two-session grid with a one-round idle threshold: one session goes
+/// quiet and hibernates (eviction + bytes), then a late submit revives
+/// it — so all three hibernation counters and the bytes histogram move.
+fn drive_hibernating_grid() {
+    use fluxprint_engine::{Engine, Grid, GridConfig, SessionConfig};
+    use fluxprint_fluxmodel::FluxModel;
+    use fluxprint_geometry::Point2;
+    use fluxprint_netsim::{NetworkBuilder, NoiseModel, Sniffer};
+    use fluxprint_smc::SmcConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = NetworkBuilder::new()
+        .field(fluxprint_geometry::Rect::square(30.0).expect("valid field"))
+        .perturbed_grid(10, 10, 0.3)
+        .radius(5.0)
+        .build(&mut rng)
+        .expect("valid network");
+    let sniffer = Sniffer::random_count(&net, 30, &mut rng).expect("valid sniffer");
+    let engine = Engine::for_network(&net, FluxModel::default()).expect("valid engine");
+    let config = SessionConfig {
+        users: 1,
+        smc: SmcConfig {
+            n_predictions: 50,
+            ..Default::default()
+        },
+        start_time: 0.0,
+        warm: false,
+    };
+    let rounds: Vec<_> = (1..=3u32)
+        .map(|i| {
+            let t = f64::from(i);
+            let user = [(Point2::new(10.0 + t, 15.0), 2.0)];
+            let flux = net.simulate_flux(&user, &mut rng).expect("flux simulates");
+            sniffer.observe_round_smoothed(t, &net, &flux, NoiseModel::None, &mut rng)
+        })
+        .collect();
+
+    let grid_config = GridConfig {
+        shards: 1,
+        queue_capacity: 4,
+        threads: 1,
+        hibernate_after: 1,
+    };
+    let mut grid = Grid::open(engine, &grid_config).expect("grid opens");
+    let busy = grid.open_session(&config, 11).expect("session opens");
+    let idle = grid.open_session(&config, 12).expect("session opens");
+    grid.submit(busy, rounds[0].clone()).expect("submit");
+    grid.submit(idle, rounds[0].clone()).expect("submit");
+    grid.drain().expect("drain");
+    // The idle session misses this round and evicts at the barrier.
+    grid.submit(busy, rounds[1].clone()).expect("submit");
+    grid.drain().expect("drain");
+    assert!(grid.is_hibernated(idle).expect("known id"));
+    // The late round revives it.
+    grid.submit(idle, rounds[2].clone()).expect("submit");
+    grid.join().expect("join");
 }
 
 /// One small exact-enumeration filter on an explicit 2-thread pool, so

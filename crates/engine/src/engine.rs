@@ -11,7 +11,7 @@ use fluxprint_netsim::Network;
 use fluxprint_smc::{SmcConfig, Tracker};
 use fluxprint_telemetry::{self as telemetry, names};
 
-use crate::{EngineError, Session, SessionCheckpoint, UserState, WarmState};
+use crate::{CompactCheckpoint, EngineError, Session, SessionCheckpoint, UserState, WarmState};
 
 /// Parameters for one tracking session.
 #[derive(Debug, Clone)]
@@ -223,6 +223,30 @@ impl Engine {
         let checkpoint: SessionCheckpoint =
             serde_json::from_str(json).map_err(|e| EngineError::CheckpointCodec(e.to_string()))?;
         self.restore(&checkpoint)
+    }
+
+    /// [`restore`](Engine::restore) from a [`CompactCheckpoint`]
+    /// (produced by [`Session::checkpoint_compact`](crate::Session::checkpoint_compact)).
+    /// The expansion is bit-exact, so the revived session continues
+    /// bit-identically, same as a full restore.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompactCheckpoint::expand`] and [`restore`](Engine::restore).
+    pub fn restore_compact(&self, checkpoint: &CompactCheckpoint) -> Result<Session, EngineError> {
+        self.restore(&checkpoint.expand()?)
+    }
+
+    /// [`restore_compact`](Engine::restore_compact) from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CheckpointCodec`] for unparseable JSON;
+    /// otherwise as [`restore_compact`](Engine::restore_compact).
+    pub fn restore_compact_json(&self, json: &str) -> Result<Session, EngineError> {
+        let checkpoint: CompactCheckpoint =
+            serde_json::from_str(json).map_err(|e| EngineError::CheckpointCodec(e.to_string()))?;
+        self.restore_compact(&checkpoint)
     }
 
     /// The field boundary sessions track over.

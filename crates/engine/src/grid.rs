@@ -30,6 +30,21 @@
 //! [`Grid::checkpoint`] snapshots every resident session *plus its
 //! pending (queued, not yet ingested) rounds*; restoring and draining
 //! yields the same outcomes as never having stopped.
+//!
+//! # Hibernation
+//!
+//! With [`GridConfig::hibernate_after`] set, a resident that sits
+//! through that many consecutive drains without ingesting a round is
+//! evicted to its compact serialized form (a [`CompactCheckpoint`] JSON
+//! string) in the shard's in-memory hibernarium; the live [`Session`] —
+//! samples, template, scratch references — is dropped. The next
+//! [`submit`](Grid::submit) (or a drain of restored pending rounds)
+//! revives it transparently. Eviction and revival are bit-transparent:
+//! the compact form expands exactly, so a fleet run with any eviction
+//! threshold is bit-identical to the always-resident run.
+//! [`Grid::checkpoint`] round-trips hibernated residents *without
+//! reviving them*, so checkpointing a 100k-session fleet touches only
+//! the hot few.
 
 use serde::{Deserialize, Serialize};
 
@@ -40,9 +55,14 @@ use fluxprint_solver::CacheScratch;
 use fluxprint_telemetry::{self as telemetry, names};
 
 use crate::{
-    Engine, EngineError, Session, SessionCheckpoint, SessionConfig, CHECKPOINT_VERSION,
-    CHECKPOINT_VERSION_MIN,
+    CompactCheckpoint, Engine, EngineError, Session, SessionCheckpoint, SessionConfig,
+    CHECKPOINT_VERSION, CHECKPOINT_VERSION_MIN,
 };
+
+/// History cap used for hibernation snapshots: the live tracker itself
+/// never keeps more than two heading-history entries, so this cap is
+/// lossless and eviction/revival stays bit-transparent.
+const HIBERNATE_HISTORY_CAP: u32 = 2;
 
 /// Configuration for [`Grid::open`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +76,12 @@ pub struct GridConfig {
     /// Worker-thread budget split across the shards ([`Pool::split`]);
     /// `0` means the process-wide pool's width.
     pub threads: usize,
+    /// Hibernation threshold: a resident idle for this many consecutive
+    /// drains (no rounds ingested) is evicted to its compact serialized
+    /// form; `0` (the default) keeps every session resident forever.
+    /// Results never depend on this — eviction/revival is
+    /// bit-transparent — only peak memory does.
+    pub hibernate_after: u64,
 }
 
 impl Default for GridConfig {
@@ -64,6 +90,7 @@ impl Default for GridConfig {
             shards: 4,
             queue_capacity: 64,
             threads: 0,
+            hibernate_after: 0,
         }
     }
 }
@@ -104,14 +131,63 @@ pub enum Submit {
     Backpressure(ObservationRound),
 }
 
-/// One resident session: its queue of not-yet-ingested rounds and the
-/// outcome log its drains append to.
+/// Where a resident's session state lives right now.
+#[derive(Debug)]
+enum Residency {
+    /// A live session, ready to ingest.
+    Hot(Box<Session>),
+    /// Evicted to the hibernarium: the session's compact checkpoint
+    /// JSON is all that remains in memory.
+    Cold(Hibernated),
+}
+
+/// One hibernarium entry: the compact serialized session.
+#[derive(Debug)]
+struct Hibernated {
+    json: String,
+}
+
+/// One resident session: its state (hot or hibernated), its queue of
+/// not-yet-ingested rounds, the outcome log its drains append to, and
+/// the idle streak the hibernation policy watches.
 #[derive(Debug)]
 struct Resident {
     id: usize,
-    session: Session,
+    residency: Residency,
     pending: Vec<ObservationRound>,
     outcomes: Vec<StepOutcome>,
+    /// Consecutive drains in which this resident ingested nothing.
+    /// Scheduling state, not session state: deliberately absent from
+    /// checkpoints (a restored resident starts a fresh streak).
+    rounds_idle: u64,
+}
+
+impl Resident {
+    /// Ensures the resident is hot, reviving it from the hibernarium if
+    /// needed.
+    fn revive(&mut self, engine: &Engine) -> Result<(), EngineError> {
+        if let Residency::Cold(hibernated) = &self.residency {
+            let session = engine.restore_compact_json(&hibernated.json)?;
+            telemetry::counter(names::GRID_HIBERNATE_REVIVALS, 1);
+            self.residency = Residency::Hot(Box::new(session));
+        }
+        Ok(())
+    }
+
+    /// Evicts a hot resident to its compact serialized form; a no-op on
+    /// an already-cold one.
+    fn hibernate(&mut self) -> Result<(), EngineError> {
+        if let Residency::Hot(session) = &self.residency {
+            let compact = session.checkpoint_compact(HIBERNATE_HISTORY_CAP);
+            let json = serde_json::to_string(&compact)
+                .map_err(|e| EngineError::CheckpointCodec(e.to_string()))?;
+            telemetry::counter(names::GRID_HIBERNATE_EVICTIONS, 1);
+            telemetry::counter(names::GRID_SESSIONS_HIBERNATED, 1);
+            telemetry::record(names::HIST_GRID_HIBERNATE_BYTES, json.len() as f64);
+            self.residency = Residency::Cold(Hibernated { json });
+        }
+        Ok(())
+    }
 }
 
 /// One shard: a dedicated pool slice, a reusable solver scratch, and the
@@ -129,6 +205,7 @@ pub struct Grid {
     engine: Engine,
     shards: Vec<Shard>,
     queue_capacity: usize,
+    hibernate_after: u64,
     /// `assignments[id] == (shard, slot)` for every resident session.
     assignments: Vec<(usize, usize)>,
     rounds_ingested: u64,
@@ -168,6 +245,7 @@ impl Grid {
             engine,
             shards,
             queue_capacity: config.queue_capacity,
+            hibernate_after: config.hibernate_after,
             assignments: Vec::new(),
             rounds_ingested: 0,
         })
@@ -185,45 +263,57 @@ impl Grid {
         seed: u64,
     ) -> Result<SessionId, EngineError> {
         let session = self.engine.open_session(config, seed)?;
-        Ok(self.adopt(session, Vec::new()))
+        Ok(self.adopt(Residency::Hot(Box::new(session)), Vec::new()))
     }
 
-    /// Inserts a session (with any pending rounds) under the next id.
-    fn adopt(&mut self, session: Session, pending: Vec<ObservationRound>) -> SessionId {
+    /// Inserts a resident (with any pending rounds) under the next id.
+    fn adopt(&mut self, residency: Residency, pending: Vec<ObservationRound>) -> SessionId {
         telemetry::counter(names::GRID_SESSIONS_RESIDENT, 1);
+        if let Residency::Cold(hibernated) = &residency {
+            telemetry::counter(names::GRID_SESSIONS_HIBERNATED, 1);
+            telemetry::record(
+                names::HIST_GRID_HIBERNATE_BYTES,
+                hibernated.json.len() as f64,
+            );
+        }
         let id = self.assignments.len();
         let shard = id % self.shards.len();
         let slot = self.shards[shard].residents.len();
         self.shards[shard].residents.push(Resident {
             id,
-            session,
+            residency,
             pending,
             outcomes: Vec::new(),
+            rounds_idle: 0,
         });
         self.assignments.push((shard, slot));
         SessionId(id)
     }
 
-    /// Queues one round for a session. Never blocks: a full queue hands
-    /// the round back as [`Submit::Backpressure`] (with a
+    /// Queues one round for a session, reviving it from the hibernarium
+    /// first if the idle policy evicted it. Never blocks: a full queue
+    /// hands the round back as [`Submit::Backpressure`] (with a
     /// `grid.backpressure.events` count) and the caller decides whether
     /// to [`drain`](Grid::drain) and resubmit or shed load.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::UnknownSession`] for an id this grid never
-    /// issued.
+    /// issued and propagates revival errors.
     pub fn submit(
         &mut self,
         id: SessionId,
         round: ObservationRound,
     ) -> Result<Submit, EngineError> {
         let (shard, slot) = self.locate(id)?;
+        let engine = &self.engine;
         let resident = &mut self.shards[shard].residents[slot];
         if resident.pending.len() >= self.queue_capacity {
             telemetry::counter(names::GRID_BACKPRESSURE_EVENTS, 1);
             return Ok(Submit::Backpressure(round));
         }
+        resident.revive(engine)?;
+        resident.rounds_idle = 0;
         resident.pending.push(round);
         telemetry::counter(names::GRID_ROUNDS_QUEUED, 1);
         Ok(Submit::Queued)
@@ -251,8 +341,13 @@ impl Grid {
             let depth: usize = shard.residents.iter().map(|r| r.pending.len()).sum();
             telemetry::record(names::HIST_GRID_QUEUE_DEPTH, depth as f64);
         }
+        let engine = &self.engine;
+        let hibernate_after = self.hibernate_after;
         let results: Vec<(u64, Option<EngineError>)> = if self.shards.len() <= 1 {
-            self.shards.iter_mut().map(drain_shard).collect()
+            self.shards
+                .iter_mut()
+                .map(|shard| drain_shard(shard, engine, hibernate_after))
+                .collect()
         } else {
             // fluxlint: allow(thread-confinement) — sanctioned drain fan-out
             std::thread::scope(|scope| {
@@ -262,7 +357,7 @@ impl Grid {
                     .map(|shard| {
                         // fluxlint: allow(thread-confinement) — shard-ordered join
                         scope.spawn(move || {
-                            let r = drain_shard(shard);
+                            let r = drain_shard(shard, engine, hibernate_after);
                             // Scope exit does not wait for TLS destructors;
                             // merge this worker's telemetry first, exactly
                             // as fluxpar workers do.
@@ -309,9 +404,48 @@ impl Grid {
         Ok(self.rounds_ingested)
     }
 
-    /// Number of resident sessions.
+    /// Number of resident sessions (hot and hibernated).
     pub fn sessions(&self) -> usize {
         self.assignments.len()
+    }
+
+    /// Number of sessions currently hot (live in memory).
+    pub fn hot_sessions(&self) -> usize {
+        self.sessions() - self.hibernated_sessions()
+    }
+
+    /// Number of sessions currently hibernated.
+    pub fn hibernated_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.residents)
+            .filter(|r| matches!(r.residency, Residency::Cold(_)))
+            .count()
+    }
+
+    /// Total serialized bytes held by the hibernarium across all shards.
+    pub fn hibernated_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.residents)
+            .map(|r| match &r.residency {
+                Residency::Cold(h) => h.json.len(),
+                Residency::Hot(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Whether a session is currently hibernated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    pub fn is_hibernated(&self, id: SessionId) -> Result<bool, EngineError> {
+        let (shard, slot) = self.locate(id)?;
+        Ok(matches!(
+            self.shards[shard].residents[slot].residency,
+            Residency::Cold(_)
+        ))
     }
 
     /// Number of shards.
@@ -333,23 +467,37 @@ impl Grid {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    /// Returns [`EngineError::UnknownSession`] for an unknown id and
+    /// [`EngineError::SessionHibernated`] for a cold resident (a shared
+    /// reference cannot revive; use [`session_mut`](Grid::session_mut)
+    /// or submit a round).
     pub fn session(&self, id: SessionId) -> Result<&Session, EngineError> {
         let (shard, slot) = self.locate(id)?;
-        Ok(&self.shards[shard].residents[slot].session)
+        match &self.shards[shard].residents[slot].residency {
+            Residency::Hot(session) => Ok(session),
+            Residency::Cold(_) => Err(EngineError::SessionHibernated { session: id.0 }),
+        }
     }
 
-    /// Mutable access to a resident session — user lifecycle calls
+    /// Mutable access to a resident session, reviving it from the
+    /// hibernarium if needed — user lifecycle calls
     /// ([`join`](Session::join), [`suspend`](Session::suspend), …) apply
     /// immediately, so callers interleaving them with queued rounds
     /// should [`drain`](Grid::drain) first to fix the ordering.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::UnknownSession`] for an unknown id.
+    /// Returns [`EngineError::UnknownSession`] for an unknown id and
+    /// propagates revival errors.
     pub fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, EngineError> {
         let (shard, slot) = self.locate(id)?;
-        Ok(&mut self.shards[shard].residents[slot].session)
+        let engine = &self.engine;
+        let resident = &mut self.shards[shard].residents[slot];
+        resident.revive(engine)?;
+        match &mut resident.residency {
+            Residency::Hot(session) => Ok(session),
+            Residency::Cold(_) => Err(EngineError::SessionHibernated { session: id.0 }),
+        }
     }
 
     /// Rounds currently queued (submitted, not yet drained) for a session.
@@ -376,25 +524,43 @@ impl Grid {
     }
 
     /// Snapshots every resident session — including rounds still queued —
-    /// into one versioned checkpoint. Outcome logs are derived data and
-    /// are not captured; take them first if you need them.
-    pub fn checkpoint(&self) -> GridCheckpoint {
-        GridCheckpoint {
+    /// into one versioned checkpoint. Hot residents are captured in the
+    /// full checkpoint form; hibernated residents are captured in their
+    /// compact form *without being revived* (the stored JSON is parsed,
+    /// never expanded into a live session). Outcome logs are derived
+    /// data and are not captured; take them first if you need them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CheckpointCodec`] when a hibernarium entry
+    /// fails to parse (never happens for entries this grid wrote).
+    pub fn checkpoint(&self) -> Result<GridCheckpoint, EngineError> {
+        let sessions = self
+            .assignments
+            .iter()
+            .map(|&(shard, slot)| {
+                let resident = &self.shards[shard].residents[slot];
+                let (session, hibernated) = match &resident.residency {
+                    Residency::Hot(session) => (Some(session.checkpoint()), None),
+                    Residency::Cold(h) => {
+                        let compact: CompactCheckpoint = serde_json::from_str(&h.json)
+                            .map_err(|e| EngineError::CheckpointCodec(e.to_string()))?;
+                        (None, Some(compact))
+                    }
+                };
+                Ok(GridSessionCheckpoint {
+                    session,
+                    hibernated,
+                    pending: resident.pending.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        Ok(GridCheckpoint {
             version: CHECKPOINT_VERSION,
             shards: self.shards.len(),
             queue_capacity: self.queue_capacity,
-            sessions: self
-                .assignments
-                .iter()
-                .map(|&(shard, slot)| {
-                    let resident = &self.shards[shard].residents[slot];
-                    GridSessionCheckpoint {
-                        session: resident.session.checkpoint(),
-                        pending: resident.pending.clone(),
-                    }
-                })
-                .collect(),
-        }
+            sessions,
+        })
     }
 
     /// [`checkpoint`](Grid::checkpoint) serialized to a JSON string.
@@ -403,23 +569,28 @@ impl Grid {
     ///
     /// Returns [`EngineError::CheckpointCodec`] when encoding fails.
     pub fn checkpoint_json(&self) -> Result<String, EngineError> {
-        serde_json::to_string(&self.checkpoint())
+        serde_json::to_string(&self.checkpoint()?)
             .map_err(|e| EngineError::CheckpointCodec(e.to_string()))
     }
 
-    /// Revives a grid from a checkpoint: every session is restored (see
-    /// [`Engine::restore`]) under its original id with its pending rounds
-    /// re-queued, so restore-then-drain is bit-identical to never having
-    /// stopped. The config must keep the checkpoint's shard count (the
-    /// session→shard map is `id % shards`); the thread budget and queue
-    /// capacity are free to change — neither affects results.
+    /// Revives a grid from a checkpoint: every session is restored under
+    /// its original id with its pending rounds re-queued, so
+    /// restore-then-drain is bit-identical to never having stopped. Hot
+    /// entries are restored live (see [`Engine::restore`]); hibernated
+    /// entries are validated and adopted *cold* — straight back into the
+    /// hibernarium without ever building a live session, so a restored
+    /// fleet's memory stays bounded from the first instant. The config
+    /// must keep the checkpoint's shard count (the session→shard map is
+    /// `id % shards`); the thread budget, queue capacity, and
+    /// hibernation threshold are free to change — none affects results.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::UnsupportedVersion`] for a foreign format
     /// version, [`EngineError::BadCheckpoint`] when `config.shards`
-    /// disagrees with the checkpoint, and propagates per-session restore
-    /// errors.
+    /// disagrees with the checkpoint or an entry is not exactly one of
+    /// hot/hibernated (or claims hibernation under a pre-v3 version),
+    /// and propagates per-session restore errors.
     pub fn restore(
         engine: Engine,
         config: &GridConfig,
@@ -436,8 +607,25 @@ impl Grid {
         }
         let mut grid = Grid::open(engine, config)?;
         for entry in &checkpoint.sessions {
-            let session = grid.engine.restore(&entry.session)?;
-            grid.adopt(session, entry.pending.clone());
+            let residency = match (&entry.session, &entry.hibernated) {
+                (Some(session), None) => Residency::Hot(Box::new(grid.engine.restore(session)?)),
+                (None, Some(compact)) => {
+                    // Hibernation shapes exist from format version 3.
+                    if checkpoint.version < 3 {
+                        return Err(EngineError::BadCheckpoint {
+                            field: "hibernated",
+                        });
+                    }
+                    compact.validate()?;
+                    let json = serde_json::to_string(compact)
+                        .map_err(|e| EngineError::CheckpointCodec(e.to_string()))?;
+                    Residency::Cold(Hibernated { json })
+                }
+                _ => {
+                    return Err(EngineError::BadCheckpoint { field: "sessions" });
+                }
+            };
+            grid.adopt(residency, entry.pending.clone());
         }
         Ok(grid)
     }
@@ -469,10 +657,16 @@ impl Grid {
     }
 }
 
-/// Ingests one shard's queues in session-id order; returns the rounds
-/// ingested and the first failure, if any. Runs on a shard worker thread
-/// during parallel drains.
-fn drain_shard(shard: &mut Shard) -> (u64, Option<EngineError>) {
+/// Ingests one shard's queues in session-id order, then applies the
+/// hibernation policy: residents that ingested nothing extend their idle
+/// streak and are evicted once it reaches `hibernate_after` (0 = never).
+/// Returns the rounds ingested and the first failure, if any. Runs on a
+/// shard worker thread during parallel drains.
+fn drain_shard(
+    shard: &mut Shard,
+    engine: &Engine,
+    hibernate_after: u64,
+) -> (u64, Option<EngineError>) {
     let Shard {
         pool,
         scratch,
@@ -481,15 +675,31 @@ fn drain_shard(shard: &mut Shard) -> (u64, Option<EngineError>) {
     let mut ingested = 0u64;
     for resident in residents.iter_mut() {
         if resident.pending.is_empty() {
+            // Idle this drain: extend the streak, evict at the
+            // threshold. Eviction is bit-transparent, so doing it here
+            // (in parallel, per shard) never affects results.
+            resident.rounds_idle += 1;
+            if hibernate_after > 0 && resident.rounds_idle >= hibernate_after {
+                if let Err(e) = resident.hibernate() {
+                    return (ingested, Some(e));
+                }
+            }
             continue;
         }
+        // Pending rounds for a cold resident (a restored checkpoint of
+        // a hibernated session with a queued backlog): revive first.
+        if let Err(e) = resident.revive(engine) {
+            return (ingested, Some(e));
+        }
+        resident.rounds_idle = 0;
+        let Residency::Hot(session) = &mut resident.residency else {
+            // revive() just guaranteed hotness.
+            continue;
+        };
         let batch = std::mem::take(&mut resident.pending);
         telemetry::counter(names::GRID_BATCHES, 1);
         let before = resident.outcomes.len();
-        let result =
-            resident
-                .session
-                .ingest_batch_into(&batch, pool, scratch, &mut resident.outcomes);
+        let result = session.ingest_batch_into(&batch, pool, scratch, &mut resident.outcomes);
         let done = resident.outcomes.len() - before;
         ingested += done as u64;
         telemetry::counter(names::GRID_ROUNDS_INGESTED, done as u64);
@@ -511,11 +721,19 @@ fn drain_shard(shard: &mut Shard) -> (u64, Option<EngineError>) {
     (ingested, None)
 }
 
-/// One session's slice of a [`GridCheckpoint`].
+/// One session's slice of a [`GridCheckpoint`]: exactly one of
+/// [`session`](Self::session) (a hot resident, full form) or
+/// [`hibernated`](Self::hibernated) (a cold resident, compact form) is
+/// present. Pre-v3 grid checkpoints always carried the full form, and
+/// deserialize here with `session: Some(..)` and `hibernated: None`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridSessionCheckpoint {
-    /// The session snapshot.
-    pub session: SessionCheckpoint,
+    /// The full session snapshot, for a resident that was hot at
+    /// checkpoint time.
+    pub session: Option<SessionCheckpoint>,
+    /// The compact session snapshot, for a resident that was hibernated
+    /// at checkpoint time (captured without reviving it).
+    pub hibernated: Option<CompactCheckpoint>,
     /// Rounds that were queued but not yet ingested at checkpoint time.
     pub pending: Vec<ObservationRound>,
 }

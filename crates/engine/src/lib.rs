@@ -92,10 +92,15 @@ pub mod grid;
 pub mod kpi;
 mod session;
 
-pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION, CHECKPOINT_VERSION_MIN};
+pub use checkpoint::{
+    materialize, CompactCheckpoint, DeltaBasis, DeltaCheckpoint, DeltaUser, SessionCheckpoint,
+    CHECKPOINT_VERSION, CHECKPOINT_VERSION_MIN,
+};
 pub use engine::{Engine, SessionConfig};
 pub use error::EngineError;
-pub use grid::{Grid, GridCheckpoint, GridConfig, GridHandle, SessionId, Submit};
+pub use grid::{
+    Grid, GridCheckpoint, GridConfig, GridHandle, GridSessionCheckpoint, SessionId, Submit,
+};
 pub use kpi::OutcomeKpis;
 pub use session::{Session, UserState, WarmState, WARM_ESCAPE_EVERY, WARM_SHRINK};
 

@@ -103,6 +103,7 @@ fn grid_matches_solo_sessions_at_every_shard_count() {
             shards,
             queue_capacity: 8,
             threads: 0,
+            hibernate_after: 0,
         };
         let mut grid = Grid::open(engine.clone(), &grid_config).unwrap();
         let ids: Vec<SessionId> = (0..SESSIONS)
@@ -247,6 +248,7 @@ fn backpressure_hands_the_round_back() {
             shards: 2,
             queue_capacity: 2,
             threads: 1,
+            hibernate_after: 0,
         },
     )
     .unwrap();
@@ -297,6 +299,7 @@ fn drain_reports_session_failure_and_recovers() {
             shards: 2,
             queue_capacity: 8,
             threads: 2,
+            hibernate_after: 0,
         },
     )
     .unwrap();
@@ -347,6 +350,7 @@ fn all_suspended_round_is_a_null_update() {
             shards: 2,
             queue_capacity: 4,
             threads: 1,
+            hibernate_after: 0,
         },
     )
     .unwrap();
@@ -437,6 +441,7 @@ fn checkpoint_with_pending_rounds_restores_bit_identically() {
         shards: 2,
         queue_capacity: 8,
         threads: 2,
+        hibernate_after: 0,
     };
 
     let mut grid = Grid::open(engine.clone(), &grid_config).unwrap();
@@ -464,7 +469,7 @@ fn checkpoint_with_pending_rounds_restores_bit_identically() {
     }
 
     let json = grid.checkpoint_json().unwrap();
-    let checkpoint = grid.checkpoint();
+    let checkpoint = grid.checkpoint().unwrap();
     assert_eq!(checkpoint.sessions.len(), SESSIONS);
     assert!(checkpoint.sessions.iter().all(|s| s.pending.len() == 3));
 
@@ -481,6 +486,7 @@ fn checkpoint_with_pending_rounds_restores_bit_identically() {
         shards: 2,
         queue_capacity: 16,
         threads: 1,
+        hibernate_after: 0,
     };
     let mut revived = Grid::restore_json(engine.clone(), &restored_config, &json).unwrap();
     assert_eq!(revived.sessions(), SESSIONS);
@@ -527,7 +533,8 @@ fn grid_config_validation() {
             &GridConfig {
                 shards: 0,
                 queue_capacity: 4,
-                threads: 0
+                threads: 0,
+                hibernate_after: 0
             }
         ),
         Err(EngineError::BadConfig { field: "shards" })
@@ -538,7 +545,8 @@ fn grid_config_validation() {
             &GridConfig {
                 shards: 1,
                 queue_capacity: 0,
-                threads: 0
+                threads: 0,
+                hibernate_after: 0
             }
         ),
         Err(EngineError::BadConfig {

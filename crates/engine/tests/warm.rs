@@ -127,6 +127,7 @@ fn warm_grid_is_bit_identical_across_thread_budgets() {
             shards: threads,
             queue_capacity: trace.len(),
             threads,
+            hibernate_after: 0,
         };
         let mut grid = Grid::open(engine.clone(), &grid_config).unwrap();
         let ids: Vec<_> = (0..sessions)

@@ -65,5 +65,5 @@ pub use config::SmcConfig;
 pub use error::SmcError;
 pub use estimate::{effective_sample_size, weighted_mean, WeightedSample};
 pub use filtering::{filter_candidates, filter_candidates_with, CandidateScores, FilterStrategy};
-pub use state::{TrackerState, UserTrackState};
+pub use state::{CompactTrackerState, CompactUserTrackState, TrackerState, UserTrackState};
 pub use tracker::{StepOutcome, Tracker, WarmDirective};

@@ -98,6 +98,14 @@ pub const GRID_ROUNDS_INGESTED: &str = "grid.rounds.ingested";
 pub const GRID_BACKPRESSURE_EVENTS: &str = "grid.backpressure.events";
 /// Contiguous batches handed to `Session::ingest_batch` by drains.
 pub const GRID_BATCHES: &str = "grid.batches";
+/// Sessions moved into the hibernarium (idle evictions plus cold
+/// adoptions at grid restore).
+pub const GRID_SESSIONS_HIBERNATED: &str = "grid.sessions.hibernated";
+/// Idle-policy evictions of live sessions to compact serialized form.
+pub const GRID_HIBERNATE_EVICTIONS: &str = "grid.hibernate.evictions";
+/// Hibernated sessions revived (by submit, mutable access, or a drain
+/// of restored pending rounds).
+pub const GRID_HIBERNATE_REVIVALS: &str = "grid.hibernate.revivals";
 
 /// Per-round prediction candidate counts (distribution across rounds).
 pub const HIST_SMC_ROUND_SAMPLES: &str = "smc.round.samples_predicted";
@@ -108,6 +116,9 @@ pub const HIST_SMC_ROUND_RESIDUAL: &str = "smc.round.residual";
 /// Rounds queued per shard at the start of each grid drain (shard-level
 /// backlog distribution).
 pub const HIST_GRID_QUEUE_DEPTH: &str = "grid.shard.queue_depth";
+/// Serialized bytes per session entering the hibernarium (compact
+/// checkpoint size distribution).
+pub const HIST_GRID_HIBERNATE_BYTES: &str = "grid.hibernate.bytes";
 
 /// Span: one multi-start random position search.
 pub const SPAN_RANDOM_SEARCH: &str = "solver.random_search";
@@ -170,6 +181,9 @@ pub const COUNTERS: &[&str] = &[
     GRID_ROUNDS_INGESTED,
     GRID_BACKPRESSURE_EVENTS,
     GRID_BATCHES,
+    GRID_SESSIONS_HIBERNATED,
+    GRID_HIBERNATE_EVICTIONS,
+    GRID_HIBERNATE_REVIVALS,
 ];
 
 /// Every histogram in the catalog.
@@ -178,6 +192,7 @@ pub const HISTOGRAMS: &[&str] = &[
     HIST_SMC_ROUND_ACTIVE,
     HIST_SMC_ROUND_RESIDUAL,
     HIST_GRID_QUEUE_DEPTH,
+    HIST_GRID_HIBERNATE_BYTES,
 ];
 
 /// Every span root in the catalog. Nested paths (`a/b`) appear in

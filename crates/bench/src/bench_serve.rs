@@ -1,0 +1,454 @@
+//! `repro --bench-serve`: a closed-loop load generator against a
+//! loopback fluxd.
+//!
+//! Spawns a loopback fluxd over the standard bench scenario and replays
+//! mobility traffic from N concurrent client connections, each driving
+//! its own tracking session in small pipelined batches under the
+//! protocol's credit-window flow control. Before any number is written,
+//! every served trajectory is asserted bit-identical to the same
+//! workload driven through an in-process grid — the serving layer must
+//! be a transport, never a perturbation.
+//!
+//! Reported per cell: closed-loop rounds/s, ack latency percentiles
+//! (p50/p95/p99, submit write → ack read), and total credit-stall time.
+//! An in-process grid run of the same workload anchors the serving
+//! overhead. A final isolation cell adds one deliberately slowed client
+//! (it sleeps between batches and overcommits its window) to four
+//! normal ones: the slow client must visibly stall on its credit window
+//! while the fast clients' trajectories stay bit-identical and their
+//! tail latency stays in the same regime as the slow-free baseline.
+//! Results land in `BENCH_10.json`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use fluxprint_engine::{Engine, Grid, GridConfig, SessionConfig, SessionId, StepOutcome, Submit};
+use fluxprint_fluxd::{server, Client, ServerConfig, ServerHandle, SessionSpec, WireOutcome};
+use fluxprint_fluxmodel::FluxModel;
+use fluxprint_geometry::{Point2, Rect};
+use fluxprint_netsim::{Network, NetworkBuilder, NoiseModel, ObservationRound, Sniffer};
+
+/// Connection-count sweep; the last cell is the headline.
+const CONNECTION_COUNTS: [usize; 3] = [1, 4, 16];
+/// The headline cell (concurrent connections).
+const HEADLINE_CONNECTIONS: usize = 16;
+/// Observation rounds each connection replays.
+const ROUNDS_PER_CONN: usize = 48;
+/// Rounds per pipelined submit batch.
+const BATCH: usize = 4;
+/// Server-side per-session queue capacity (= default credit window).
+const QUEUE_CAPACITY: usize = 16;
+/// Fast clients in the slow-client isolation cell.
+const ISOLATION_FAST: usize = 4;
+/// Sleep between the slow client's batches, milliseconds.
+const SLOW_SLEEP_MS: u64 = 2;
+
+fn bench_network() -> Network {
+    let mut rng = StdRng::seed_from_u64(0x9A1D);
+    NetworkBuilder::new()
+        .field(Rect::square(30.0).expect("valid field"))
+        .perturbed_grid(12, 12, 0.3)
+        .radius(4.0)
+        .build(&mut rng)
+        .expect("valid network")
+}
+
+/// True user position at observation time `t` (shared across sessions).
+fn true_position(t: f64) -> Point2 {
+    Point2::new(8.0 + 0.3 * t, 15.0)
+}
+
+/// The shared trace: one user walking east past a fixed 24-sniffer set,
+/// noiseless so the workload (and therefore `mean_error`) is fully
+/// deterministic.
+fn bench_trace(net: &Network) -> Vec<ObservationRound> {
+    let mut rng = StdRng::seed_from_u64(0x51FF);
+    let sniffer = Sniffer::random_count(net, 24, &mut rng).expect("valid sniffer");
+    (1..=ROUNDS_PER_CONN)
+        .map(|i| {
+            let t = i as f64;
+            let user = (true_position(t), 2.0);
+            let flux = net
+                .simulate_flux(&[user], &mut rng)
+                .expect("flux simulates");
+            sniffer.observe_round_smoothed(t, net, &flux, NoiseModel::None, &mut rng)
+        })
+        .collect()
+}
+
+fn session_seed(conn: usize) -> u64 {
+    1000 + conn as u64
+}
+
+fn session_spec(conn: usize) -> SessionSpec {
+    SessionSpec {
+        seed: session_seed(conn),
+        users: 1,
+        n_predictions: 16,
+        keep_m: 4,
+        warm: false,
+        start_time: 0.0,
+    }
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        users: 1,
+        smc: fluxprint_smc::SmcConfig {
+            n_predictions: 16,
+            keep_m: 4,
+            ..Default::default()
+        },
+        start_time: 0.0,
+        warm: false,
+    }
+}
+
+fn grid_config() -> GridConfig {
+    GridConfig {
+        shards: 4,
+        queue_capacity: QUEUE_CAPACITY,
+        threads: 0,
+        hibernate_after: 0,
+    }
+}
+
+fn spawn_server(net: &Network) -> ServerHandle {
+    let engine = Engine::for_network(net, FluxModel::default()).expect("engine builds");
+    server::spawn(
+        engine,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            grid: grid_config(),
+            credits: 0,
+            drain_threshold: 0,
+        },
+    )
+    .expect("server spawns")
+}
+
+/// One connection's closed-loop run.
+struct ConnRun {
+    outcomes: Vec<WireOutcome>,
+    latencies_ns: Vec<u64>,
+    stall_ns: u64,
+}
+
+/// Replays the trace over one connection in pipelined batches; sleeps
+/// `slow_ms` between batches when simulating a slow client.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    conn: usize,
+    trace: &[ObservationRound],
+    slow_ms: u64,
+) -> ConnRun {
+    let mut client = Client::connect(addr).expect("client connects");
+    let session = client
+        .open_session(&session_spec(conn))
+        .expect("session opens");
+    for batch in trace.chunks(BATCH) {
+        client.submit(session, batch).expect("batch submits");
+        if slow_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(slow_ms));
+        }
+    }
+    client.wait_acks().expect("acks arrive");
+    let outcomes = client.take_outcomes(session);
+    let latencies_ns = client.latencies_ns().to_vec();
+    let stall_ns = client.stall_ns();
+    client.goodbye().expect("orderly goodbye");
+    ConnRun {
+        outcomes,
+        latencies_ns,
+        stall_ns,
+    }
+}
+
+/// The same workload through an in-process grid: the bit-identity
+/// reference and the serving-overhead anchor.
+fn run_in_process(
+    net: &Network,
+    connections: usize,
+    trace: &[ObservationRound],
+) -> (Vec<Vec<StepOutcome>>, f64) {
+    let engine = Engine::for_network(net, FluxModel::default()).expect("engine builds");
+    let mut grid = Grid::open(engine, &grid_config()).expect("grid opens");
+    let config = session_config();
+    let ids: Vec<SessionId> = (0..connections)
+        .map(|conn| {
+            grid.open_session(&config, session_seed(conn))
+                .expect("session opens")
+        })
+        .collect();
+    let start = Instant::now();
+    for batch in trace.chunks(BATCH) {
+        for &id in &ids {
+            for round in batch {
+                match grid.submit(id, round.clone()).expect("submit accepts") {
+                    Submit::Queued => {}
+                    Submit::Backpressure(round) => {
+                        grid.drain().expect("drain runs");
+                        match grid.submit(id, round).expect("resubmit accepts") {
+                            Submit::Queued => {}
+                            Submit::Backpressure(_) => {
+                                unreachable!("queue empty after drain")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grid.drain().expect("drain runs");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let outcomes = ids
+        .iter()
+        .map(|&id| grid.take_outcomes(id).expect("session exists"))
+        .collect();
+    (outcomes, wall_s)
+}
+
+fn assert_bit_identical(conn: usize, served: &[WireOutcome], reference: &[StepOutcome]) {
+    assert_eq!(
+        served.len(),
+        reference.len(),
+        "bench-serve: conn {conn} round count"
+    );
+    for (i, (wire, solo)) in served.iter().zip(reference).enumerate() {
+        assert_eq!(
+            wire.time.to_bits(),
+            solo.time.to_bits(),
+            "bench-serve: conn {conn} round {i} time"
+        );
+        assert_eq!(
+            wire.residual.to_bits(),
+            solo.residual.to_bits(),
+            "bench-serve: conn {conn} round {i} residual"
+        );
+        assert_eq!(
+            wire.active, solo.active,
+            "bench-serve: conn {conn} round {i}"
+        );
+        for ((x, y), point) in wire.estimates.iter().zip(&solo.estimates) {
+            assert_eq!(
+                (x.to_bits(), y.to_bits()),
+                (point.x.to_bits(), point.y.to_bits()),
+                "bench-serve: conn {conn} round {i} estimate diverged over the wire"
+            );
+        }
+    }
+}
+
+/// Mean distance between served estimates and the true trajectory — the
+/// deterministic quality KPI of the serve workload.
+fn mean_error(runs: &[ConnRun]) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for run in runs {
+        for outcome in &run.outcomes {
+            let truth = true_position(outcome.time);
+            for (x, y) in &outcome.estimates {
+                sum += ((x - truth.x).powi(2) + (y - truth.y).powi(2)).sqrt();
+                count += 1;
+            }
+        }
+    }
+    sum / count.max(1) as f64
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+/// One sweep cell: N closed-loop connections against a fresh server.
+struct CellResult {
+    rounds_per_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    stall_ms: f64,
+    mean_error: f64,
+}
+
+fn run_cell(net: &Network, connections: usize, trace: &[ObservationRound]) -> CellResult {
+    let (reference, _) = run_in_process(net, connections, trace);
+    let server = spawn_server(net);
+    let addr = server.addr();
+    let start = Instant::now();
+    let runs: Vec<ConnRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                let trace = &trace;
+                scope.spawn(move || drive_connection(addr, conn, trace, 0))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("connection thread"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    server.shutdown().expect("clean shutdown");
+
+    for (conn, run) in runs.iter().enumerate() {
+        assert_bit_identical(conn, &run.outcomes, &reference[conn]);
+    }
+
+    let mut latencies: Vec<u64> = runs
+        .iter()
+        .flat_map(|r| r.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let stall_ms = runs.iter().map(|r| r.stall_ns).sum::<u64>() as f64 / 1e6;
+    CellResult {
+        rounds_per_s: (connections * ROUNDS_PER_CONN) as f64 / wall_s,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p95_ms: percentile_ms(&latencies, 0.95),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        stall_ms,
+        mean_error: mean_error(&runs),
+    }
+}
+
+/// The isolation cell: `ISOLATION_FAST` normal clients plus one slowed
+/// client that sleeps between batches. The slow client overcommits its
+/// credit window (forced by the pipelined batches against a finite
+/// window) and must stall *itself*; the fast clients' trajectories stay
+/// bit-identical and their tail latency is reported against the
+/// slow-free baseline of the same size.
+fn run_isolation(net: &Network, trace: &[ObservationRound]) -> serde_json::Value {
+    let baseline = run_cell(net, ISOLATION_FAST, trace);
+
+    let (reference, _) = run_in_process(net, ISOLATION_FAST + 1, trace);
+    let server = spawn_server(net);
+    let addr = server.addr();
+    let start = Instant::now();
+    let runs: Vec<ConnRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..=ISOLATION_FAST)
+            .map(|conn| {
+                let trace = &trace;
+                let slow_ms = if conn == ISOLATION_FAST {
+                    SLOW_SLEEP_MS
+                } else {
+                    0
+                };
+                scope.spawn(move || drive_connection(addr, conn, trace, slow_ms))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("connection thread"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    server.shutdown().expect("clean shutdown");
+
+    for (conn, run) in runs.iter().enumerate() {
+        assert_bit_identical(conn, &run.outcomes, &reference[conn]);
+    }
+    let slow = runs.last().expect("slow client ran");
+    assert!(
+        slow.stall_ns > 0,
+        "bench-serve: the slowed client never hit its credit window; \
+         shrink QUEUE_CAPACITY or grow the trace"
+    );
+
+    let mut fast_latencies: Vec<u64> = runs[..ISOLATION_FAST]
+        .iter()
+        .flat_map(|r| r.latencies_ns.iter().copied())
+        .collect();
+    fast_latencies.sort_unstable();
+    let fast_p99 = percentile_ms(&fast_latencies, 0.99);
+    let fast_rounds = ISOLATION_FAST * ROUNDS_PER_CONN;
+    eprintln!(
+        "bench-serve: isolation — slow client stalled {stall:.1} ms on its window; \
+         fast p99 {fast_p99:.3} ms vs {base:.3} ms without it",
+        stall = slow.stall_ns as f64 / 1e6,
+        base = baseline.p99_ms,
+    );
+    json!({
+        "fast_connections": ISOLATION_FAST,
+        "slow_sleep_ms": SLOW_SLEEP_MS,
+        "slow_stall_ms": slow.stall_ns as f64 / 1e6,
+        "fast_p99_ms": fast_p99,
+        "baseline_p99_ms": baseline.p99_ms,
+        "fast_p99_ratio": fast_p99 / baseline.p99_ms.max(1e-9),
+        "fast_rounds_per_s": fast_rounds as f64 / wall_s,
+        "baseline_rounds_per_s": baseline.rounds_per_s,
+    })
+}
+
+/// Runs the sweep and writes `out_path` (JSON). Returns the written value.
+pub fn run_bench_serve(out_path: &str) -> serde_json::Value {
+    let net = bench_network();
+    let trace = bench_trace(&net);
+
+    let (_, in_process_wall) = run_in_process(&net, HEADLINE_CONNECTIONS, &trace);
+    let in_process_rps = (HEADLINE_CONNECTIONS * ROUNDS_PER_CONN) as f64 / in_process_wall;
+
+    let mut cells = Vec::new();
+    let mut headline = None;
+    for &connections in &CONNECTION_COUNTS {
+        let cell = run_cell(&net, connections, &trace);
+        eprintln!(
+            "bench-serve: N={connections:<3} {rps:>8.0} rounds/s — \
+             p50 {p50:.3} ms, p95 {p95:.3} ms, p99 {p99:.3} ms, \
+             stall {stall:.1} ms, mean error {err:.3} m",
+            rps = cell.rounds_per_s,
+            p50 = cell.p50_ms,
+            p95 = cell.p95_ms,
+            p99 = cell.p99_ms,
+            stall = cell.stall_ms,
+            err = cell.mean_error,
+        );
+        if connections == HEADLINE_CONNECTIONS {
+            headline = Some(json!({
+                "connections": connections,
+                "rounds_per_s": cell.rounds_per_s,
+                "p99_ms": cell.p99_ms,
+                "mean_error": cell.mean_error,
+                "in_process_rounds_per_s": in_process_rps,
+                "serve_overhead": in_process_rps / cell.rounds_per_s.max(1e-9),
+            }));
+        }
+        cells.push(json!({
+            "connections": connections,
+            "rounds_per_connection": ROUNDS_PER_CONN,
+            "batch": BATCH,
+            "rounds_per_s": cell.rounds_per_s,
+            "p50_ms": cell.p50_ms,
+            "p95_ms": cell.p95_ms,
+            "p99_ms": cell.p99_ms,
+            "backpressure_stall_ms": cell.stall_ms,
+            "mean_error": cell.mean_error,
+        }));
+    }
+    let headline = headline.expect("headline cell is part of the sweep");
+
+    let isolation = run_isolation(&net, &trace);
+
+    let value = json!({
+        "bench": "serve",
+        "rounds_per_connection": ROUNDS_PER_CONN,
+        "batch": BATCH,
+        "queue_capacity": QUEUE_CAPACITY,
+        "cells": cells,
+        "headline": headline,
+        "isolation": isolation,
+    });
+    std::fs::write(out_path, format!("{value:#}\n")).expect("write bench output");
+    eprintln!(
+        "bench-serve: headline N={HEADLINE_CONNECTIONS} \
+         {rps:.0} rounds/s (p99 {p99:.3} ms); wrote {out_path}",
+        rps = headline["rounds_per_s"].as_f64().unwrap_or(0.0),
+        p99 = headline["p99_ms"].as_f64().unwrap_or(0.0),
+    );
+    value
+}

@@ -8,6 +8,7 @@
 //! repro --bench-smoke [--bench-out <path>]
 //! repro --bench-grid [--bench-out <path>]
 //! repro --bench-fleet [--bench-out <path>]
+//! repro --bench-serve [--bench-out <path>]
 //! repro --plan <file> [--registry <path>] [--gate] [--report <path>]
 //! repro --registry-import <file> [--registry <path>]
 //! repro --report <path> [--registry <path>]
@@ -35,6 +36,13 @@
 //! cell, and measures 512-round checkpoint compaction and delta
 //! streaming, writing `BENCH_9.json` (default; override with
 //! `--bench-out`). `FLUXPRINT_FLEET_MAX_S` appends a larger fleet cell.
+//!
+//! `--bench-serve` spawns a loopback fluxd and replays mobility traffic
+//! from N concurrent closed-loop client connections, asserting each
+//! served trajectory bit-identical to an in-process grid run, then
+//! reports rounds/s, ack-latency percentiles, and credit-window stall
+//! time (plus a slow-client isolation cell), writing `BENCH_10.json`
+//! (default; override with `--bench-out`).
 //!
 //! `--plan` executes a declarative ablation plan (see DESIGN.md §13)
 //! through the engine/grid path and appends one registry row per job to
@@ -102,6 +110,7 @@ fn usage() -> ! {
     eprintln!("       repro --bench-smoke [--bench-out <path>]");
     eprintln!("       repro --bench-grid [--bench-out <path>]");
     eprintln!("       repro --bench-fleet [--bench-out <path>]");
+    eprintln!("       repro --bench-serve [--bench-out <path>]");
     eprintln!("       repro --plan <file> [--registry <path>] [--gate] [--report <path>]");
     eprintln!("       repro --registry-import <file> [--registry <path>]");
     eprintln!("       repro --report <path> [--registry <path>]");
@@ -213,6 +222,7 @@ fn main() -> ExitCode {
     let mut bench_smoke = false;
     let mut bench_grid = false;
     let mut bench_fleet = false;
+    let mut bench_serve = false;
     let mut bench_out: Option<String> = None;
     let mut mode = RegistryMode {
         plan: None,
@@ -234,6 +244,7 @@ fn main() -> ExitCode {
             "--bench-smoke" => bench_smoke = true,
             "--bench-grid" => bench_grid = true,
             "--bench-fleet" => bench_fleet = true,
+            "--bench-serve" => bench_serve = true,
             "--bench-out" => bench_out = Some(it.next().unwrap_or_else(|| usage())),
             "--plan" => mode.plan = Some(it.next().unwrap_or_else(|| usage())),
             "--registry" => mode.registry = it.next().unwrap_or_else(|| usage()),
@@ -255,6 +266,7 @@ fn main() -> ExitCode {
             || bench_smoke
             || bench_grid
             || bench_fleet
+            || bench_serve
             || (mode.gate && mode.plan.is_none())
         {
             usage();
@@ -267,8 +279,11 @@ fn main() -> ExitCode {
             }
         };
     }
-    if bench_smoke || bench_grid || bench_fleet {
-        let picked = usize::from(bench_smoke) + usize::from(bench_grid) + usize::from(bench_fleet);
+    if bench_smoke || bench_grid || bench_fleet || bench_serve {
+        let picked = usize::from(bench_smoke)
+            + usize::from(bench_grid)
+            + usize::from(bench_fleet)
+            + usize::from(bench_serve);
         if target.is_some() || picked > 1 {
             usage();
         }
@@ -278,9 +293,12 @@ fn main() -> ExitCode {
         } else if bench_grid {
             let out = bench_out.as_deref().unwrap_or("BENCH_5.json");
             fluxprint_bench::bench_grid::run_bench_grid(out);
-        } else {
+        } else if bench_fleet {
             let out = bench_out.as_deref().unwrap_or("BENCH_9.json");
             fluxprint_bench::bench_fleet::run_bench_fleet(out);
+        } else {
+            let out = bench_out.as_deref().unwrap_or("BENCH_10.json");
+            fluxprint_bench::bench_serve::run_bench_serve(out);
         }
         return ExitCode::SUCCESS;
     }

@@ -1,6 +1,6 @@
 //! Folding pre-registry history into registry rows.
 //!
-//! Three legacy shapes exist, all from earlier PRs:
+//! Four legacy shapes exist, all from earlier PRs:
 //!
 //! * `BENCH_3.json` — the PR-3 filter smoke (`"bench":
 //!   "filter_candidates"`): one row, per-target wall times and the
@@ -8,6 +8,10 @@
 //! * `BENCH_5.json` — the PR-5 many-sink sweep (`"bench":
 //!   "grid_many_sink"`): one row per sweep cell, the cell's `(sessions,
 //!   threads, shards)` as params.
+//! * `BENCH_9.json` — the PR-9 fleet-hibernation sweep (`"bench":
+//!   "fleet_hibernation"`): one row per fleet cell keyed by `(sessions,
+//!   active_pct)`, plus one `section: "compaction"` row for the
+//!   checkpoint-stream measurements.
 //! * `docs/repro_results.jsonl` — recorded full-run figure/ablation
 //!   results: one row per record, the figure or ablation id as a param
 //!   and every numeric top-level scalar as a KPI (nested series stay in
@@ -112,6 +116,38 @@ fn import_bench_grid(value: &Value) -> Result<Vec<Row>, String> {
         .collect()
 }
 
+fn import_bench_fleet(value: &Value) -> Result<Vec<Row>, String> {
+    let targets = value["targets"]
+        .as_array()
+        .ok_or_else(|| "bench fleet record lacks targets".to_string())?;
+    let mut rows: Vec<Row> = targets
+        .iter()
+        .map(|cell| {
+            let mut params = BTreeMap::new();
+            for key in ["sessions", "active_pct"] {
+                let v = cell
+                    .get(key)
+                    .filter(|v| !v.is_null())
+                    .ok_or_else(|| format!("bench fleet cell lacks {key}"))?;
+                params.insert(key.to_string(), v.clone());
+            }
+            let kpis = scalar_kpis(cell)
+                .into_iter()
+                .filter(|(k, _)| !params.contains_key(k))
+                .collect();
+            Ok(import_row("bench-fleet", params, kpis))
+        })
+        .collect::<Result<_, String>>()?;
+    // The compaction section is one more cell in the same key-space,
+    // distinguished by a `section` param instead of a fleet size.
+    if let Some(compaction) = value.get("compaction").filter(|v| v.as_object().is_some()) {
+        let mut params = BTreeMap::new();
+        params.insert("section".to_string(), json!("compaction"));
+        rows.push(import_row("bench-fleet", params, scalar_kpis(compaction)));
+    }
+    Ok(rows)
+}
+
 fn import_results_line(value: &Value) -> Option<Row> {
     let (key, id) = if let Some(figure) = value["figure"].as_str() {
         ("figure", figure)
@@ -139,6 +175,7 @@ pub fn import_file(path: &Path) -> Result<Vec<Row>, String> {
         match value["bench"].as_str() {
             Some("filter_candidates") => return import_bench_smoke(&value),
             Some("grid_many_sink") => return import_bench_grid(&value),
+            Some("fleet_hibernation") => return import_bench_fleet(&value),
             _ => {}
         }
     }
@@ -220,6 +257,41 @@ mod tests {
         );
         // Cells share one key-space: identical plan hash, distinct params.
         assert_eq!(rows[0].plan_hash, rows[1].plan_hash);
+        assert_ne!(rows[0].key(), rows[1].key());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_fleet_folds_cells_and_the_compaction_section() {
+        let dir = std::env::temp_dir().join("fluxreg_import_fleet");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_9.json");
+        std::fs::write(
+            &path,
+            r#"{"bench":"fleet_hibernation","rounds_per_trace":6,"active_pct":5,
+                "targets":[
+                  {"sessions":1024,"active_pct":5,"rounds":307,"resident_reduction":19.7,
+                   "bytes_per_session":723.9},
+                  {"sessions":4096,"active_pct":5,"rounds":1228,"resident_reduction":20.4,
+                   "bytes_per_session":731.2}],
+                "headline":{"sessions":4096,"resident_reduction":20.4},
+                "compaction":{"rounds":512,"single_shot_ratio":6.1,"stream_ratio":11.8}}"#,
+        )
+        .unwrap();
+        let rows = import_file(&path).unwrap();
+        assert_eq!(rows.len(), 3, "two cells plus the compaction section");
+        assert_eq!(rows[0].source, "import:bench-fleet");
+        assert_eq!(rows[1].params["sessions"], json!(4096));
+        assert_eq!(rows[1].kpis["resident_reduction"], 20.4);
+        assert!(
+            !rows[1].kpis.contains_key("sessions"),
+            "params are not KPIs"
+        );
+        assert_eq!(rows[2].params["section"], json!("compaction"));
+        assert_eq!(rows[2].kpis["stream_ratio"], 11.8);
+        // All three share one pseudo-plan; keys stay distinct.
+        assert_eq!(rows[0].plan_hash, rows[2].plan_hash);
         assert_ne!(rows[0].key(), rows[1].key());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -43,6 +43,10 @@ use serde_json::Value;
 ///   (duty cycling; 100 = every session sees every round). Sessions
 ///   rotate through the duty cycle so idle streaks form and hibernation
 ///   has something to evict.
+/// * `serve` — nonzero drives the job through a loopback fluxd (one TCP
+///   connection per session under credit-window flow control) instead
+///   of an in-process grid; deterministic KPIs must not move, and
+///   `p99_latency_ms` / `backpressure_stall_ms` are recorded.
 pub const KNOWN_PARAMS: &[(&str, f64)] = &[
     ("sessions", 1.0),
     ("threads", 1.0),
@@ -57,6 +61,7 @@ pub const KNOWN_PARAMS: &[(&str, f64)] = &[
     ("warm", 0.0),
     ("hibernate_after", 0.0),
     ("active_pct", 100.0),
+    ("serve", 0.0),
 ];
 
 /// Which direction of KPI movement counts as a regression.

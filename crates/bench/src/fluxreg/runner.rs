@@ -17,6 +17,13 @@
 //! * **Wall-clock** (`wall_ms`, `rounds_per_s`): recorded for the
 //!   trajectory; gate them only with generous relative tolerances.
 //!
+//! A nonzero `serve` parameter reroutes the job through a loopback
+//! fluxd (one TCP connection per session, pipelined batches under
+//! credit-window flow control) instead of an in-process grid. The
+//! deterministic KPIs must come out identical — the serving layer is a
+//! transport — and `p99_latency_ms` / `backpressure_stall_ms` ride
+//! along as recorded wall-clock KPIs.
+//!
 //! The telemetry registry is reset per job, so the folded snapshot
 //! embedded in each row covers exactly that job.
 
@@ -29,6 +36,7 @@ use serde_json::{json, Value};
 
 use fluxprint_core::metrics::mean_trajectory_error;
 use fluxprint_engine::{Engine, Grid, GridConfig, OutcomeKpis, SessionConfig, StepOutcome, Submit};
+use fluxprint_fluxd::{server as fluxd_server, Client, ServerConfig, SessionSpec, WireOutcome};
 use fluxprint_fluxmodel::FluxModel;
 use fluxprint_geometry::{Point2, Rect};
 use fluxprint_netsim::{Network, NetworkBuilder, NoiseModel, ObservationRound, Sniffer};
@@ -205,11 +213,222 @@ fn drive(engine: &Engine, job: &Job, trace: &[ObservationRound]) -> Result<Drive
     })
 }
 
+/// One serve-mode drive: per-session wire outcomes plus latency stats.
+struct ServeDrive {
+    outcomes: Vec<Vec<WireOutcome>>,
+    ingested: Vec<Vec<usize>>,
+    latencies_ns: Vec<u64>,
+    stall_ns: u64,
+}
+
+/// Drives the job's fleet through a loopback fluxd: one TCP connection
+/// per session, each replaying its duty-cycled slice of the trace in
+/// pipelined batches under credit-window flow control. The wire
+/// outcomes are bit-identical to the in-process [`drive`] by the
+/// serving layer's determinism contract, so serve-mode rows gate the
+/// same KPIs.
+fn drive_served(
+    engine: &Engine,
+    job: &Job,
+    trace: &[ObservationRound],
+) -> Result<ServeDrive, String> {
+    let grid_config = GridConfig {
+        shards: job.count("shards"),
+        queue_capacity: trace.len().max(1),
+        threads: job.count("threads"),
+        hibernate_after: job.count("hibernate_after") as u64,
+    };
+    let server = fluxd_server::spawn(
+        engine.clone(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            grid: grid_config,
+            credits: 0,
+            drain_threshold: 0,
+        },
+    )
+    .map_err(|e| format!("fluxd spawn: {e}"))?;
+    let addr = server.addr();
+    let sessions = job.count("sessions");
+    let stride = duty_stride(job);
+
+    type ConnResult = Result<(Vec<WireOutcome>, Vec<usize>, Vec<u64>, u64), String>;
+    let per_conn: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || -> ConnResult {
+                    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let spec = SessionSpec {
+                        seed: session_seed(job, s),
+                        users: job.count("users") as u32,
+                        n_predictions: job.count("n_predictions") as u32,
+                        keep_m: job.count("keep_m") as u32,
+                        warm: job.count("warm") > 0,
+                        start_time: 0.0,
+                    };
+                    let session = client
+                        .open_session(&spec)
+                        .map_err(|e| format!("open session: {e}"))?;
+                    let mine: Vec<usize> =
+                        (0..trace.len()).filter(|i| (s + i) % stride == 0).collect();
+                    let rounds: Vec<ObservationRound> =
+                        mine.iter().map(|&i| trace[i].clone()).collect();
+                    for batch in rounds.chunks(4) {
+                        client
+                            .submit(session, batch)
+                            .map_err(|e| format!("submit: {e}"))?;
+                    }
+                    client.wait_acks().map_err(|e| format!("acks: {e}"))?;
+                    let outcomes = client.take_outcomes(session);
+                    let latencies = client.latencies_ns().to_vec();
+                    let stall = client.stall_ns();
+                    client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+                    Ok((outcomes, mine, latencies, stall))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .map_err(|_| "connection thread panicked".to_string())?
+            })
+            .collect()
+    });
+    server.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    let mut result = ServeDrive {
+        outcomes: Vec::with_capacity(sessions),
+        ingested: Vec::with_capacity(sessions),
+        latencies_ns: Vec::new(),
+        stall_ns: 0,
+    };
+    for conn in per_conn {
+        let (outcomes, mine, latencies, stall) = conn?;
+        result.outcomes.push(outcomes);
+        result.ingested.push(mine);
+        result.latencies_ns.extend(latencies);
+        result.stall_ns += stall;
+    }
+    Ok(result)
+}
+
+fn run_job_served(plan: &Plan, job: &Job, commit: Option<&str>) -> Result<Row, String> {
+    fluxprint_telemetry::reset();
+    let net = network_for(job)?;
+    let (trace_rounds, truths) = trace_for(job, &net)?;
+    let engine =
+        Engine::for_network(&net, FluxModel::default()).map_err(|e| format!("engine: {e}"))?;
+
+    let reps = job.count("reps").max(1);
+    let mut wall_ms = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = Some(drive_served(&engine, job, &trace_rounds)?);
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let result = result.expect("reps >= 1");
+
+    let total_rounds = result.ingested.iter().map(Vec::len).sum::<usize>() as f64;
+    let evals = fluxprint_telemetry::snapshot().counter(names::SOLVER_OBJECTIVE_EVALS);
+    let evals_per_round = evals as f64 / (reps as f64 * total_rounds);
+
+    // Fold the wire outcomes into the same deterministic aggregates the
+    // in-process path reports, so a serve plan's gates pin the serving
+    // layer's bit-identity, not just its liveness.
+    let mut engine_kpis = OutcomeKpis::default();
+    let mut error_sum = 0.0;
+    let mut error_sessions = 0usize;
+    for (session_outcomes, rounds) in result.outcomes.iter().zip(&result.ingested) {
+        for outcome in session_outcomes {
+            engine_kpis.rounds += 1;
+            engine_kpis.residual_sum += outcome.residual;
+            engine_kpis.user_rounds += outcome.active.len() as u64;
+            engine_kpis.active_user_rounds += outcome.active.iter().filter(|a| **a).count() as u64;
+        }
+        let pairs: Vec<(Vec<Point2>, Vec<Point2>)> = session_outcomes
+            .iter()
+            .zip(rounds)
+            .map(|(outcome, &i)| {
+                let estimates = outcome
+                    .estimates
+                    .iter()
+                    .map(|&(x, y)| Point2::new(x, y))
+                    .collect();
+                (estimates, truths[i].clone())
+            })
+            .collect();
+        let err = mean_trajectory_error(&pairs).map_err(|e| format!("accuracy: {e}"))?;
+        if err.is_finite() {
+            error_sum += err;
+            error_sessions += 1;
+        }
+    }
+
+    let mut latencies = result.latencies_ns;
+    latencies.sort_unstable();
+    let p99_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies[((latencies.len() - 1) as f64 * 0.99).round() as usize] as f64 / 1e6
+    };
+
+    let mut kpis = BTreeMap::new();
+    let mut kpi = |name: &str, value: f64| {
+        if value.is_finite() {
+            kpis.insert(name.to_string(), value);
+        }
+    };
+    kpi("rounds", total_rounds);
+    kpi("wall_ms", wall_ms);
+    kpi("rounds_per_s", total_rounds / (wall_ms / 1e3));
+    kpi("evals_per_round", evals_per_round);
+    if error_sessions > 0 {
+        kpi("mean_error", error_sum / error_sessions as f64);
+    }
+    kpi("mean_residual", engine_kpis.mean_residual());
+    kpi("active_fraction", engine_kpis.active_fraction());
+    kpi("p99_latency_ms", p99_ms);
+    kpi("backpressure_stall_ms", result.stall_ns as f64 / 1e6);
+
+    let prov = trace::thread_provenance();
+    let telemetry: Value = serde_json::from_str(&fluxprint_telemetry::snapshot().to_inline_json())
+        .map_err(|e| format!("telemetry fold: {e}"))?;
+    Ok(Row {
+        plan: plan.name.clone(),
+        plan_hash: plan.hash.clone(),
+        seed: job.seed,
+        commit: commit.map(str::to_string),
+        source: "plan".to_string(),
+        params: job
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), param_json(*v)))
+            .collect(),
+        kpis,
+        run_meta: json!({
+            "target": format!("plan:{}", plan.name),
+            "effort": "plan",
+            "seed": job.seed,
+            "git": commit.map_or(Value::Null, |c| Value::String(c.to_string())),
+            "threads": prov.threads,
+            "threads_env": prov.env.as_deref().map_or(Value::Null, |e| Value::String(e.to_string())),
+            "threads_env_status": prov.status,
+        }),
+        telemetry,
+    })
+}
+
 fn run_job(plan: &Plan, job: &Job, commit: Option<&str>) -> Result<Row, String> {
     for required in ["sessions", "rounds", "users", "threads", "shards"] {
         if job.count(required) == 0 {
             return Err(format!("parameter {required:?} must be at least 1"));
         }
+    }
+    if job.count("serve") > 0 {
+        return run_job_served(plan, job, commit);
     }
     fluxprint_telemetry::reset();
     let net = network_for(job)?;
@@ -389,6 +608,39 @@ mod tests {
         for kpi in ["mean_error", "checkpoint_bytes", "resident_sessions"] {
             assert_eq!(row.kpis.get(kpi), again[0].kpis.get(kpi), "KPI {kpi}");
         }
+    }
+
+    #[test]
+    fn serve_mode_matches_the_in_process_deterministic_kpis() {
+        let fixed = r#""sessions": 2, "rounds": 3, "n_predictions": 24, "keep_m": 4,
+                        "sniffers": 16, "threads": 1, "shards": 2"#;
+        let in_process = Plan::from_json(&format!(
+            r#"{{ "name": "runner-serve", "fixed": {{ {fixed} }}, "seeds": [0] }}"#
+        ))
+        .unwrap();
+        let served = Plan::from_json(&format!(
+            r#"{{ "name": "runner-serve", "fixed": {{ {fixed}, "serve": 1 }}, "seeds": [0] }}"#
+        ))
+        .unwrap();
+        let base = &run_plan(&in_process, None).unwrap()[0];
+        let row = &run_plan(&served, None).unwrap()[0];
+        // The serving layer is a transport: every deterministic KPI of
+        // the in-process run must come through the wire unchanged.
+        for kpi in [
+            "rounds",
+            "mean_error",
+            "mean_residual",
+            "active_fraction",
+            "evals_per_round",
+        ] {
+            assert_eq!(base.kpis.get(kpi), row.kpis.get(kpi), "KPI {kpi}");
+        }
+        // The serving KPIs ride along.
+        assert!(row.kpis.contains_key("p99_latency_ms"));
+        assert!(row.kpis.contains_key("backpressure_stall_ms"));
+        assert!(row.telemetry["counters"]["fluxd.rounds.served"]
+            .as_u64()
+            .is_some_and(|n| n >= 6));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod ablations;
 pub mod bench_fleet;
 pub mod bench_grid;
+pub mod bench_serve;
 pub mod bench_smoke;
 pub mod common;
 pub mod fig10;

@@ -177,6 +177,112 @@ fn quick_fig4_emits_schema_valid_telemetry() {
         bytes.count() > 0,
         "eviction must record the compact serialized size"
     );
+
+    // Serving metrics are catalog-padded (fig4 never serves)…
+    for name in [
+        names::FLUXD_CONNECTIONS,
+        names::FLUXD_FRAMES_IN,
+        names::FLUXD_FRAMES_OUT,
+        names::FLUXD_ROUNDS_SERVED,
+        names::FLUXD_BACKPRESSURE_STALLS,
+        names::FLUXD_PROTOCOL_ERRORS,
+    ] {
+        assert!(counters.contains_key(name), "counter {name} missing");
+        assert_eq!(counters[name], 0, "fig4 must not touch {name}");
+    }
+    assert!(
+        histogram_names
+            .iter()
+            .any(|n| n == names::HIST_FLUXD_FRAME_LATENCY),
+        "frame latency histogram missing from the catalog padding"
+    );
+
+    // …and move across a loopback serve drive (same test, same
+    // process-global-registry reason as above).
+    let before = after;
+    drive_loopback_fluxd();
+    let after = fluxprint_telemetry::snapshot();
+    for name in [
+        names::FLUXD_CONNECTIONS,
+        names::FLUXD_FRAMES_IN,
+        names::FLUXD_FRAMES_OUT,
+        names::FLUXD_ROUNDS_SERVED,
+    ] {
+        assert!(
+            after.counter(name) > before.counter(name),
+            "counter {name} did not move across a loopback serve drive"
+        );
+    }
+    assert!(
+        after.counter(names::FLUXD_ROUNDS_SERVED) >= before.counter(names::FLUXD_ROUNDS_SERVED) + 3,
+        "three rounds were served"
+    );
+    let frame_latency = &after.histograms[names::HIST_FLUXD_FRAME_LATENCY];
+    assert!(
+        frame_latency.count() > 0,
+        "served frames must record their service latency"
+    );
+}
+
+/// A loopback fluxd serving one three-round session over TCP, so the
+/// connection/frame/round counters and the frame-latency histogram all
+/// move. (Counters recorded on the serving threads fold into the global
+/// registry when `shutdown` joins them.)
+fn drive_loopback_fluxd() {
+    use fluxprint_engine::{Engine, GridConfig};
+    use fluxprint_fluxd::{server, Client, ServerConfig, SessionSpec};
+    use fluxprint_fluxmodel::FluxModel;
+    use fluxprint_geometry::Point2;
+    use fluxprint_netsim::{NetworkBuilder, NoiseModel, Sniffer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = NetworkBuilder::new()
+        .field(fluxprint_geometry::Rect::square(30.0).expect("valid field"))
+        .perturbed_grid(10, 10, 0.3)
+        .radius(5.0)
+        .build(&mut rng)
+        .expect("valid network");
+    let sniffer = Sniffer::random_count(&net, 30, &mut rng).expect("valid sniffer");
+    let engine = Engine::for_network(&net, FluxModel::default()).expect("valid engine");
+    let handle = server::spawn(
+        engine,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            grid: GridConfig {
+                shards: 1,
+                queue_capacity: 4,
+                threads: 1,
+                hibernate_after: 0,
+            },
+            credits: 0,
+            drain_threshold: 0,
+        },
+    )
+    .expect("server spawns");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let session = client
+        .open_session(&SessionSpec {
+            seed: 11,
+            users: 1,
+            n_predictions: 50,
+            keep_m: 8,
+            warm: false,
+            start_time: 0.0,
+        })
+        .expect("session opens");
+    for i in 1..=3u32 {
+        let t = f64::from(i);
+        let user = [(Point2::new(10.0 + t, 15.0), 2.0)];
+        let flux = net.simulate_flux(&user, &mut rng).expect("flux simulates");
+        let round = sniffer.observe_round_smoothed(t, &net, &flux, NoiseModel::None, &mut rng);
+        client.submit(session, &[round]).expect("round submits");
+    }
+    client.wait_acks().expect("acks arrive");
+    assert_eq!(client.take_outcomes(session).len(), 3);
+    client.goodbye().expect("orderly goodbye");
+    handle.shutdown().expect("clean shutdown");
 }
 
 /// A two-session grid with a one-round idle threshold: one session goes

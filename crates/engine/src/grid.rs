@@ -453,6 +453,26 @@ impl Grid {
         self.shards.len()
     }
 
+    /// The per-session bounded ingest-queue capacity. A serving layer
+    /// sizing per-connection credit windows against this bound can
+    /// guarantee that protocol-compliant clients never trip
+    /// [`Submit::Backpressure`].
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Total rounds currently queued (submitted, not yet drained) across
+    /// every resident session — the backlog a [`drain`](Grid::drain)
+    /// barrier would clear. Drain schedulers use this to amortize the
+    /// barrier over many connections instead of paying it per submit.
+    pub fn queued_total(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.residents)
+            .map(|r| r.pending.len())
+            .sum()
+    }
+
     /// Rounds ingested over the grid's lifetime.
     pub fn rounds_ingested(&self) -> u64 {
         self.rounds_ingested

@@ -1,0 +1,78 @@
+//! The crate error type.
+
+use fluxprint_engine::EngineError;
+
+use crate::protocol::{ErrorCode, ProtocolError};
+
+/// Everything that can go wrong serving or speaking the fluxd protocol.
+#[derive(Debug)]
+pub enum FluxdError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The peer sent bytes this build cannot decode.
+    Protocol(ProtocolError),
+    /// The peer answered with a typed protocol-level error frame.
+    Remote {
+        /// The typed wire error code.
+        code: ErrorCode,
+        /// Detail string from the peer.
+        detail: String,
+    },
+    /// The engine rejected an operation.
+    Engine(EngineError),
+    /// The connection or an internal channel closed mid-conversation.
+    Closed,
+    /// The peer answered with a frame type the caller did not expect.
+    Unexpected {
+        /// What the caller was waiting for.
+        what: &'static str,
+    },
+    /// A server or client configuration field was invalid.
+    BadConfig {
+        /// The offending field.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for FluxdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FluxdError::Io(e) => write!(f, "io: {e}"),
+            FluxdError::Protocol(e) => write!(f, "protocol: {e}"),
+            FluxdError::Remote { code, detail } => write!(f, "remote {code}: {detail}"),
+            FluxdError::Engine(e) => write!(f, "engine: {e}"),
+            FluxdError::Closed => write!(f, "connection closed"),
+            FluxdError::Unexpected { what } => write!(f, "unexpected response: {what}"),
+            FluxdError::BadConfig { field } => write!(f, "bad config field `{field}`"),
+        }
+    }
+}
+
+impl std::error::Error for FluxdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FluxdError::Io(e) => Some(e),
+            FluxdError::Protocol(e) => Some(e),
+            FluxdError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FluxdError {
+    fn from(e: std::io::Error) -> Self {
+        FluxdError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for FluxdError {
+    fn from(e: ProtocolError) -> Self {
+        FluxdError::Protocol(e)
+    }
+}
+
+impl From<EngineError> for FluxdError {
+    fn from(e: EngineError) -> Self {
+        FluxdError::Engine(e)
+    }
+}

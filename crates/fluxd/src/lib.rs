@@ -1,0 +1,30 @@
+//! fluxd: the fluxprint grid served over TCP.
+//!
+//! A std-only daemon exposing the sharded multi-session scheduler
+//! ([`fluxprint_engine::Grid`]) behind a versioned, length-prefixed
+//! binary wire protocol: session open/suspend/resume/checkpoint frames,
+//! batched round submission, and per-user position queries, with the
+//! grid's [`Submit::Backpressure`](fluxprint_engine::Submit) mapped to
+//! protocol-level credit-window flow control so a slow client stalls
+//! itself, never the shard. See DESIGN.md §16 for the wire format,
+//! framing rules, and threading model.
+//!
+//! - [`protocol`]: frame codec and typed protocol errors.
+//! - [`server`]: the daemon ([`server::spawn`]) — reader/writer threads
+//!   per connection around a single grid-owning core thread running the
+//!   drain scheduler.
+//! - [`client`]: a blocking client with client-side credit bookkeeping,
+//!   stall accounting, and latency logging for load generation.
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use error::FluxdError;
+pub use protocol::{
+    ErrorCode, ProtocolError, Request, Response, SessionSpec, WireOutcome, MAGIC, MAX_FRAME_LEN,
+    VERSION,
+};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -38,5 +38,5 @@ pub mod snapshot;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::{Histogram, BUCKET_BOUNDS};
 pub use recorder::{OpenSpan, Recorder, SpanStat};
-pub use registry::{counter, flush, record, reset, set_clock, snapshot, span, SpanGuard};
+pub use registry::{clock_ns, counter, flush, record, reset, set_clock, snapshot, span, SpanGuard};
 pub use snapshot::{json_number, json_string, Snapshot};

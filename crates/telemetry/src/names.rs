@@ -107,6 +107,20 @@ pub const GRID_HIBERNATE_EVICTIONS: &str = "grid.hibernate.evictions";
 /// of restored pending rounds).
 pub const GRID_HIBERNATE_REVIVALS: &str = "grid.hibernate.revivals";
 
+/// Client connections accepted by the serving daemon.
+pub const FLUXD_CONNECTIONS: &str = "fluxd.connections";
+/// Request frames decoded off client sockets.
+pub const FLUXD_FRAMES_IN: &str = "fluxd.frames.in";
+/// Response frames encoded onto client sockets.
+pub const FLUXD_FRAMES_OUT: &str = "fluxd.frames.out";
+/// Observation rounds accepted over the wire.
+pub const FLUXD_ROUNDS_SERVED: &str = "fluxd.rounds.served";
+/// Grid backpressure hits absorbed by the daemon (drain-then-resubmit
+/// stalls on the core thread; protocol credits should make these rare).
+pub const FLUXD_BACKPRESSURE_STALLS: &str = "fluxd.backpressure.stalls";
+/// Malformed or protocol-violating frames answered with a typed error.
+pub const FLUXD_PROTOCOL_ERRORS: &str = "fluxd.protocol.errors";
+
 /// Per-round prediction candidate counts (distribution across rounds).
 pub const HIST_SMC_ROUND_SAMPLES: &str = "smc.round.samples_predicted";
 /// Per-round count of users detected active.
@@ -119,6 +133,9 @@ pub const HIST_GRID_QUEUE_DEPTH: &str = "grid.shard.queue_depth";
 /// Serialized bytes per session entering the hibernarium (compact
 /// checkpoint size distribution).
 pub const HIST_GRID_HIBERNATE_BYTES: &str = "grid.hibernate.bytes";
+/// Frame service latency in milliseconds: request frame decoded →
+/// response frame handed to the connection's writer.
+pub const HIST_FLUXD_FRAME_LATENCY: &str = "fluxd.frame.latency_ms";
 
 /// Span: one multi-start random position search.
 pub const SPAN_RANDOM_SEARCH: &str = "solver.random_search";
@@ -184,6 +201,12 @@ pub const COUNTERS: &[&str] = &[
     GRID_SESSIONS_HIBERNATED,
     GRID_HIBERNATE_EVICTIONS,
     GRID_HIBERNATE_REVIVALS,
+    FLUXD_CONNECTIONS,
+    FLUXD_FRAMES_IN,
+    FLUXD_FRAMES_OUT,
+    FLUXD_ROUNDS_SERVED,
+    FLUXD_BACKPRESSURE_STALLS,
+    FLUXD_PROTOCOL_ERRORS,
 ];
 
 /// Every histogram in the catalog.
@@ -193,6 +216,7 @@ pub const HISTOGRAMS: &[&str] = &[
     HIST_SMC_ROUND_RESIDUAL,
     HIST_GRID_QUEUE_DEPTH,
     HIST_GRID_HIBERNATE_BYTES,
+    HIST_FLUXD_FRAME_LATENCY,
 ];
 
 /// Every span root in the catalog. Nested paths (`a/b`) appear in

@@ -47,6 +47,16 @@ fn now_ns() -> u64 {
     }
 }
 
+/// Reads the registry's clock — the same injectable [`Clock`] that spans
+/// time themselves against. This is the sanctioned way for workspace
+/// crates to take a timestamp (e.g. `fluxd`'s frame-latency histogram):
+/// production runs see the monotonic clock, deterministic tests see
+/// whatever [`set_clock`] installed, and the wall-clock read stays
+/// confined to this crate's one waivered site.
+pub fn clock_ns() -> u64 {
+    now_ns()
+}
+
 /// Replaces the global clock (e.g. with a [`ManualClock`](crate::ManualClock)
 /// for deterministic integration tests). Spans opened under the previous
 /// clock will close against the new one; swap clocks only between runs.
